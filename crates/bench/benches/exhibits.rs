@@ -1,0 +1,58 @@
+//! One Criterion group per paper exhibit: how long each table/figure
+//! takes to regenerate at a reduced configuration. (The full-size runs
+//! are the `src/bin` binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mira::experiments::common::{quick_sim_config, sweep_ur};
+use mira::experiments::{energy, latency, patterns, power, tables, thermal};
+use mira::traffic::workloads::Application;
+
+fn bench_static_exhibits(c: &mut Criterion) {
+    c.bench_function("table1_area", |b| b.iter(tables::table1));
+    c.bench_function("table2_params", |b| b.iter(tables::table2));
+    c.bench_function("table3_delay", |b| b.iter(tables::table3));
+    c.bench_function("fig9_energy_breakdown", |b| b.iter(energy::fig9));
+}
+
+fn bench_workload_exhibits(c: &mut Criterion) {
+    let apps = [Application::Tpcw, Application::Multimedia];
+    c.bench_function("fig1_data_patterns", |b| b.iter(|| patterns::fig1(&apps, 2_000)));
+    c.bench_function("fig2_packet_types", |b| b.iter(|| patterns::fig2(&apps, 2_000)));
+    c.bench_function("fig13a_short_flits", |b| b.iter(|| patterns::fig13a(&apps, 2_000)));
+}
+
+fn bench_simulation_exhibits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_exhibits");
+    group.sample_size(10);
+    group.bench_function("fig11a_12a_12d_sweep_point", |b| {
+        b.iter(|| {
+            let sweep = sweep_ur(&[0.05], 0.0, quick_sim_config());
+            (latency::fig11a(&sweep), power::fig12a(&sweep), power::fig12d(&sweep))
+        });
+    });
+    group.bench_function("fig11b_12b_point", |b| {
+        b.iter(|| {
+            (
+                latency::fig11b(&[0.05], quick_sim_config()),
+                power::fig12b(&[0.05], quick_sim_config()),
+            )
+        });
+    });
+    group.bench_function("fig11c_single_app", |b| {
+        b.iter(|| latency::fig11c(&[Application::Multimedia], 2_000, quick_sim_config()));
+    });
+    group.bench_function("fig12c_single_app", |b| {
+        b.iter(|| power::fig12c(&[Application::Multimedia], 2_000, quick_sim_config()));
+    });
+    group.bench_function("fig13b_shutdown", |b| {
+        b.iter(|| power::fig13b(0.10, quick_sim_config()));
+    });
+    group.bench_function("fig13c_thermal_point", |b| {
+        b.iter(|| thermal::fig13c(&[0.05], quick_sim_config()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_exhibits, bench_workload_exhibits, bench_simulation_exhibits);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the analytic models and substrates: thermal
+//! solver, energy pricing, coherence trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mira::experiments::thermal::chip_model;
+use mira::traffic::workloads::Application;
+use mira::Arch;
+use mira_nuca::cmp::{CmpConfig, CmpSystem};
+
+fn bench_thermal_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_solver");
+    for arch in [Arch::TwoDB, Arch::ThreeDM] {
+        let chip = chip_model(arch, 10.0);
+        group.bench_with_input(BenchmarkId::new("solve", arch.name()), &chip, |b, chip| {
+            b.iter(|| chip.solve());
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("cmp_trace_2k_cycles", |b| {
+        b.iter(|| {
+            let arch = Arch::TwoDB;
+            let mut sys = CmpSystem::new(CmpConfig::for_app(
+                Application::Tpcw,
+                arch.cpu_nodes(),
+                arch.cache_nodes(),
+                7,
+            ));
+            sys.generate_trace(2_000)
+        });
+    });
+}
+
+fn bench_energy_pricing(c: &mut Criterion) {
+    let pricing = Arch::ThreeDME.network_power();
+    let mut counters = mira::noc::stats::ActivityCounters::new();
+    counters.cycles = 1_000;
+    for _ in 0..1_000 {
+        counters.record_buffer_write(0.5);
+        counters.record_buffer_read(0.5);
+        counters.record_xbar(0.5);
+        counters.record_link(1.58, 0.5);
+    }
+    c.bench_function("network_power_pricing", |b| {
+        b.iter(|| pricing.average_power_w(&counters));
+    });
+}
+
+criterion_group!(benches, bench_thermal_solver, bench_trace_generation, bench_energy_pricing);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the simulation engine: cycles/second for each
+//! topology and load level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mira::arch::Arch;
+use mira::experiments::EXPERIMENT_SEED;
+use mira::noc::sim::{SimConfig, Simulator};
+use mira::noc::traffic::UniformRandom;
+
+fn tiny_sim() -> SimConfig {
+    SimConfig { warmup_cycles: 100, measure_cycles: 400, drain_cycles: 1_500 }
+}
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_cycle_throughput");
+    for arch in Arch::HARDWARE {
+        group.bench_with_input(BenchmarkId::new("ur_10pct", arch.name()), &arch, |b, &arch| {
+            b.iter(|| {
+                let mut sim =
+                    Simulator::new(arch.topology(), arch.network_config(false), tiny_sim());
+                sim.run(Box::new(UniformRandom::new(0.10, 5, EXPERIMENT_SEED)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_load_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_load_levels");
+    for rate in [0.02_f64, 0.10, 0.30] {
+        group.bench_with_input(
+            BenchmarkId::new("2db", format!("{rate:.2}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let arch = Arch::TwoDB;
+                    let mut sim =
+                        Simulator::new(arch.topology(), arch.network_config(false), tiny_sim());
+                    sim.run(Box::new(UniformRandom::new(rate, 5, EXPERIMENT_SEED)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_architectures, bench_load_levels);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Ablation: X-Y vs turn-model adaptive routing on adversarial traffic.
+use std::time::Instant;
+
+use mira::experiments::ablations::ablate_routing;
+use mira_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let fig = ablate_routing(0.15, cli.sim_config());
+    emit(cli, &fig.to_text(), &fig, t0);
+}

@@ -1,0 +1,66 @@
+//! Runs every table and figure in sequence (the full reproduction pass).
+//!
+//! `--quick` keeps the total under a couple of minutes; the default
+//! configuration is what EXPERIMENTS.md records.
+use std::time::Instant;
+
+use mira::experiments::common::sweep_ur;
+use mira::experiments::{ablations, energy, latency, patterns, power, scorecard, tables, thermal};
+use mira::traffic::workloads::Application;
+use mira_bench::{rates_nuca, rates_ur, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let sim = cli.sim_config();
+    let cycles = if cli.quick { 4_000 } else { 20_000 };
+    let trace_cycles = cli.trace_cycles();
+
+    println!("{}", tables::table1().to_text());
+    println!("{}", tables::table2().to_text());
+    println!("{}", tables::table3().to_text());
+    println!("{}", energy::fig9().to_text());
+    println!("{}", patterns::fig1(&Application::ALL, cycles).to_text());
+    println!("{}", patterns::fig2(&Application::ALL, cycles).to_text());
+    println!("{}", patterns::fig13a(&Application::ALL, cycles).to_text());
+
+    eprintln!("[static exhibits done at {:.1?}; starting UR sweep]", t0.elapsed());
+    let sweep = sweep_ur(&rates_ur(cli), 0.0, sim);
+    println!("{}", latency::fig11a(&sweep).to_text());
+    println!("{}", power::fig12a(&sweep).to_text());
+    println!("{}", power::fig12d(&sweep).to_text());
+
+    eprintln!("[UR done at {:.1?}; starting NUCA-UR]", t0.elapsed());
+    println!("{}", latency::fig11b(&rates_nuca(cli), sim).to_text());
+    println!("{}", power::fig12b(&rates_nuca(cli), sim).to_text());
+
+    eprintln!("[NUCA-UR done at {:.1?}; starting traces]", t0.elapsed());
+    println!("{}", latency::fig11c(&Application::PRESENTED, trace_cycles, sim).to_text());
+    println!("{}", power::fig12c(&Application::PRESENTED, trace_cycles, sim).to_text());
+    println!(
+        "{}",
+        latency::fig11d(&sweep, 0.05, Application::Apache, trace_cycles, sim).to_text()
+    );
+
+    eprintln!("[traces done at {:.1?}; starting shutdown/thermal]", t0.elapsed());
+    println!("{}", power::fig13b(0.10, sim).to_text());
+    let rates: &[f64] = if cli.quick { &[0.05, 0.20] } else { &[0.05, 0.15, 0.30] };
+    println!("{}", thermal::fig13c(rates, sim).to_text());
+
+    eprintln!("[paper exhibits done at {:.1?}; starting extensions]", t0.elapsed());
+    println!("{}", ablations::ablate_pipeline(0.10, sim).to_text());
+    println!("{}", ablations::ablate_express_span(0.10, sim).to_text());
+    println!("{}", ablations::ablate_buffers(0.15, sim).to_text());
+    println!("{}", ablations::ablate_routing(0.15, sim).to_text());
+    println!("{}", latency::tail_latency(0.15, sim).to_text());
+
+    let claims = scorecard::run_scorecard(sim, trace_cycles);
+    println!("{}", scorecard::scorecard_table(&claims).to_text());
+    println!(
+        "{}/{} claims reproduced\n",
+        claims.iter().filter(|c| c.passes()).count(),
+        claims.len()
+    );
+
+    eprintln!("[all experiments done in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,12 @@
+//! Extension: tail latency (p50/p95/p99) per architecture under UR.
+use std::time::Instant;
+
+use mira::experiments::latency::tail_latency;
+use mira_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let fig = tail_latency(0.15, cli.sim_config());
+    emit(cli, &fig.to_text(), &fig, t0);
+}

@@ -1,0 +1,12 @@
+//! Fig. 9: per-flit energy breakdown per architecture.
+use std::time::Instant;
+
+use mira::experiments::energy::fig9;
+use mira_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let fig = fig9();
+    emit(cli, &fig.to_text(), &fig, t0);
+}

@@ -1,0 +1,13 @@
+//! Fig. 11(c): MP-trace latency normalised to 2DB.
+use std::time::Instant;
+
+use mira::experiments::latency::fig11c;
+use mira::traffic::workloads::Application;
+use mira_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let fig = fig11c(&Application::PRESENTED, cli.trace_cycles(), cli.sim_config());
+    emit(cli, &fig.to_text(), &fig, t0);
+}

@@ -1,0 +1,12 @@
+//! Fig. 12(b): average power vs request rate, NUCA-UR bimodal.
+use std::time::Instant;
+
+use mira::experiments::power::fig12b;
+use mira_bench::{emit, rates_nuca, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let fig = fig12b(&rates_nuca(cli), cli.sim_config());
+    emit(cli, &fig.to_text(), &fig, t0);
+}

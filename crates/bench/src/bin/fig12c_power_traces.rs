@@ -1,0 +1,13 @@
+//! Fig. 12(c): MP-trace power normalised to 2DB (shutdown on 3DM/3DM-E).
+use std::time::Instant;
+
+use mira::experiments::power::fig12c;
+use mira::traffic::workloads::Application;
+use mira_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let fig = fig12c(&Application::PRESENTED, cli.trace_cycles(), cli.sim_config());
+    emit(cli, &fig.to_text(), &fig, t0);
+}

@@ -1,0 +1,14 @@
+//! Fig. 13(a): short-flit percentage per application.
+use std::time::Instant;
+
+use mira::experiments::patterns::fig13a;
+use mira::traffic::workloads::Application;
+use mira_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let cycles = if cli.quick { 4_000 } else { 20_000 };
+    let fig = fig13a(&Application::ALL, cycles);
+    emit(cli, &fig.to_text(), &fig, t0);
+}

@@ -1,0 +1,20 @@
+//! The reproduction scorecard: every headline claim of the paper checked
+//! against a live run, with PASS/FAIL verdicts.
+use std::time::Instant;
+
+use mira::experiments::scorecard::{run_scorecard, scorecard_table};
+use mira_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let claims = run_scorecard(cli.sim_config(), cli.trace_cycles());
+    let table = scorecard_table(&claims);
+    println!("{}", table.to_text());
+    let passed = claims.iter().filter(|c| c.passes()).count();
+    println!("{passed}/{} claims reproduced", claims.len());
+    eprintln!("[done in {:.1?}]", t0.elapsed());
+    if passed < claims.len() {
+        std::process::exit(1);
+    }
+}

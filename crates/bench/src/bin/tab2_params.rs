@@ -1,0 +1,12 @@
+//! Table 2: design parameters (wire delays, link lengths).
+use std::time::Instant;
+
+use mira::experiments::tables::table2;
+use mira_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let t = table2();
+    emit(cli, &t.to_text(), &t, t0);
+}

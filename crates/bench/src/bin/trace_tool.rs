@@ -1,0 +1,67 @@
+//! Trace utility: synthesise an application trace to a JSON-lines file,
+//! or print the statistics of an existing trace file.
+//!
+//! ```console
+//! $ cargo run -p mira-bench --bin trace_tool -- generate tpcw /tmp/tpcw.jsonl
+//! $ cargo run -p mira-bench --bin trace_tool -- stats /tmp/tpcw.jsonl
+//! ```
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use mira::arch::Arch;
+use mira::experiments::EXPERIMENT_SEED;
+use mira::nuca::cmp::{CmpConfig, CmpSystem, TraceStats};
+use mira::traffic::trace::{read_trace, TraceWriter};
+use mira::traffic::workloads::Application;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_tool generate <app> <out.jsonl> [cycles]");
+    eprintln!("       trace_tool stats <in.jsonl>");
+    eprintln!("apps: {}", Application::ALL.map(|a| a.name()).join(" "));
+    std::process::exit(2);
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => {
+            let (Some(app_name), Some(path)) = (args.get(1), args.get(2)) else { usage() };
+            let cycles: u64 = args.get(3).map_or(30_000, |s| s.parse().expect("cycle count"));
+            let app = Application::ALL
+                .into_iter()
+                .find(|a| a.name() == app_name)
+                .unwrap_or_else(|| usage());
+            let arch = Arch::TwoDB;
+            let mut sys = CmpSystem::new(CmpConfig::for_app(
+                app,
+                arch.cpu_nodes(),
+                arch.cache_nodes(),
+                EXPERIMENT_SEED,
+            ));
+            sys.calibrate_rate(app.profile().offered_load, 36, 10_000);
+            let trace = sys.generate_trace(cycles);
+            let mut w = TraceWriter::new(BufWriter::new(File::create(path)?));
+            for rec in &trace {
+                w.write(rec)?;
+            }
+            let n = w.records_written();
+            w.finish()?;
+            println!("wrote {n} packets over {cycles} cycles to {path}");
+            Ok(())
+        }
+        Some("stats") => {
+            let Some(path) = args.get(1) else { usage() };
+            let trace = read_trace(BufReader::new(File::open(path)?))?;
+            let span = trace.last().map_or(0, |r| r.cycle + 1);
+            let stats = TraceStats::from_trace(&trace, span);
+            println!("{} packets, {} flits, span {span} cycles", stats.packets, stats.flits);
+            println!("control fraction : {:.1}%", stats.control_fraction() * 100.0);
+            println!("short payload    : {:.1}%", stats.short_payload_fraction() * 100.0);
+            println!("short (all flits): {:.1}%", stats.short_total_fraction() * 100.0);
+            let (z, o, other) = stats.patterns.fractions();
+            println!("word patterns    : {z:.3} all-0, {o:.3} all-1, {other:.3} other");
+            Ok(())
+        }
+        _ => usage(),
+    }
+}

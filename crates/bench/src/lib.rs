@@ -1,0 +1,93 @@
+#![warn(missing_docs)]
+//! # mira-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index). Every binary accepts `--quick` to run a reduced configuration
+//! and prints the regenerated exhibit as text (plus `--json` for
+//! machine-readable output).
+//!
+//! Criterion benches covering the simulator engine and each experiment
+//! group live under `benches/`.
+
+use std::time::Instant;
+
+/// Shared CLI handling for the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cli {
+    /// Reduced configuration (shorter sims, fewer points).
+    pub quick: bool,
+    /// Emit JSON instead of aligned text.
+    pub json: bool,
+}
+
+impl Cli {
+    /// Parses the process arguments (unknown flags abort with usage).
+    pub fn parse() -> Cli {
+        let mut cli = Cli { quick: false, json: false };
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--json" => cli.json = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--quick] [--json]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; usage: <bin> [--quick] [--json]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// The simulation window for this invocation.
+    pub fn sim_config(&self) -> mira::noc::sim::SimConfig {
+        if self.quick {
+            mira::experiments::quick_sim_config()
+        } else {
+            mira::noc::sim::SimConfig {
+                warmup_cycles: 2_000,
+                measure_cycles: 10_000,
+                drain_cycles: 30_000,
+            }
+        }
+    }
+
+    /// Trace length (cycles) for trace-driven experiments.
+    pub fn trace_cycles(&self) -> u64 {
+        if self.quick {
+            5_000
+        } else {
+            30_000
+        }
+    }
+}
+
+/// Prints an exhibit in the requested format, with a timing footer.
+pub fn emit<T: serde::Serialize>(cli: Cli, text: &str, value: &T, started: Instant) {
+    if cli.json {
+        println!("{}", serde_json::to_string_pretty(value).expect("serialisable exhibit"));
+    } else {
+        println!("{text}");
+    }
+    eprintln!("[done in {:.1?}]", started.elapsed());
+}
+
+/// Injection-rate grid for the uniform-random sweeps (flits/node/cycle).
+pub fn rates_ur(cli: Cli) -> Vec<f64> {
+    if cli.quick {
+        vec![0.05, 0.15, 0.30]
+    } else {
+        vec![0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40]
+    }
+}
+
+/// Request-rate grid for the NUCA-UR sweeps (requests/CPU/cycle).
+pub fn rates_nuca(cli: Cli) -> Vec<f64> {
+    if cli.quick {
+        vec![0.05, 0.15]
+    } else {
+        vec![0.02, 0.05, 0.10, 0.15, 0.20, 0.30]
+    }
+}

@@ -1,0 +1,289 @@
+//! Flits: the unit of flow control, and their data-payload patterns.
+//!
+//! MIRA's power optimisation hinges on the observation (paper Fig. 1) that
+//! NUCA traffic payloads are dominated by *frequent patterns* — words that
+//! are all zeros or all ones — and by short address/control flits. The
+//! multi-layered router splits a `W`-bit flit into `L` word slices, one per
+//! silicon layer (LSB word on the top layer), and a zero-detector shuts the
+//! lower layers down when they would only carry redundant data.
+//!
+//! [`FlitData`] models the payload at word granularity and implements the
+//! zero-detector ([`FlitData::active_words`]) and the frequent-pattern
+//! classifier used to regenerate the paper's Fig. 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+use crate::packet::{PacketClass, PacketId};
+
+/// Number of bits per payload word (one word per silicon layer).
+pub const WORD_BITS: usize = 32;
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; carries routing information.
+    Head,
+    /// Interior flit of a multi-flit packet.
+    Body,
+    /// Last flit of a multi-flit packet; releases the virtual channel.
+    Tail,
+    /// Only flit of a single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Returns `true` for flits that carry the packet header (route/VC
+    /// decisions happen on these).
+    #[inline]
+    pub const fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Returns `true` for flits that terminate the packet (the VC is
+    /// released after they traverse the switch).
+    #[inline]
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// Classification of a payload word, following the frequent-pattern
+/// taxonomy of Alameldeen & Wood that the paper cites for Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WordPattern {
+    /// All 32 bits are zero.
+    AllZero,
+    /// All 32 bits are one.
+    AllOne,
+    /// Any other value.
+    Other,
+}
+
+impl WordPattern {
+    /// Classifies a single payload word.
+    #[inline]
+    pub fn of(word: u32) -> Self {
+        match word {
+            0 => WordPattern::AllZero,
+            u32::MAX => WordPattern::AllOne,
+            _ => WordPattern::Other,
+        }
+    }
+
+    /// Returns `true` if the word carries no information beyond its
+    /// pattern tag (and can therefore be regenerated on the far side
+    /// instead of being transported).
+    #[inline]
+    pub fn is_redundant(self) -> bool {
+        !matches!(self, WordPattern::Other)
+    }
+}
+
+/// Payload of one flit, stored at word granularity.
+///
+/// The flit width is `words.len() * 32` bits; the MIRA evaluation uses
+/// 128-bit flits (4 words, 4 layers). Word 0 is the least-significant word
+/// and lives on the **top** layer (closest to the heat sink), so layer
+/// shutdown always retains word 0.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlitData {
+    words: Vec<u32>,
+}
+
+impl FlitData {
+    /// Creates a payload from explicit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty.
+    pub fn new(words: Vec<u32>) -> Self {
+        assert!(!words.is_empty(), "flit payload must have at least one word");
+        FlitData { words }
+    }
+
+    /// An all-zero payload of `num_words` words — the maximally short flit.
+    pub fn zeroed(num_words: usize) -> Self {
+        FlitData::new(vec![0; num_words])
+    }
+
+    /// A payload in which every word is distinct and non-redundant — the
+    /// maximally long flit (all layers active).
+    pub fn dense(num_words: usize) -> Self {
+        FlitData::new((0..num_words).map(|i| 0xDEAD_0001_u32.wrapping_mul(i as u32 + 1)).collect())
+    }
+
+    /// Builds a payload with exactly `active` meaningful low words; all
+    /// higher words are zero. `active` is clamped to `1..=num_words`.
+    pub fn with_active_words(num_words: usize, active: usize) -> Self {
+        let active = active.clamp(1, num_words);
+        let mut words = vec![0u32; num_words];
+        for (i, w) in words.iter_mut().enumerate().take(active) {
+            *w = 0xA5A5_0001_u32.wrapping_mul(i as u32 + 1);
+        }
+        FlitData::new(words)
+    }
+
+    /// Number of payload words (= number of datapath layers it spans).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Borrow the payload words (word 0 = LSB = top layer).
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The zero-detector: number of low-order words that must stay
+    /// powered. All words above the returned index are redundant
+    /// (all-zero or all-one) and their layers can be shut down.
+    ///
+    /// The result is always at least 1: the top layer (word 0) is never
+    /// gated, because the header travels with it.
+    pub fn active_words(&self) -> usize {
+        let mut active = self.words.len();
+        while active > 1 && WordPattern::of(self.words[active - 1]).is_redundant() {
+            active -= 1;
+        }
+        active
+    }
+
+    /// A *short flit* in the paper's sense: every word except the top-layer
+    /// word is redundant, so only one layer of the datapath is needed.
+    #[inline]
+    pub fn is_short(&self) -> bool {
+        self.active_words() == 1
+    }
+
+    /// Fraction of datapath layers that stay active for this flit
+    /// (`active_words / num_words`), the quantity that scales the
+    /// separable-module energy under layer shutdown.
+    #[inline]
+    pub fn active_fraction(&self) -> f64 {
+        self.active_words() as f64 / self.words.len() as f64
+    }
+
+    /// Per-word pattern classification (drives the Fig. 1 reproduction).
+    pub fn patterns(&self) -> impl Iterator<Item = WordPattern> + '_ {
+        self.words.iter().map(|&w| WordPattern::of(w))
+    }
+}
+
+/// The unit of flow control: one flit travelling through the network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Packet this flit belongs to.
+    pub packet: PacketId,
+    /// Sequence number of this flit within its packet (0 = head).
+    pub seq: u32,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Source node of the packet.
+    pub src: NodeId,
+    /// Destination node of the packet.
+    pub dst: NodeId,
+    /// Traffic class (selects the virtual channel).
+    pub class: PacketClass,
+    /// Payload words.
+    pub data: FlitData,
+    /// Cycle at which the owning packet was created at the source.
+    pub created_at: u64,
+    /// Number of router-to-router hops taken so far.
+    pub hops: u32,
+}
+
+impl Flit {
+    /// Returns `true` if this flit carries the packet header.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.kind.is_head()
+    }
+
+    /// Returns `true` if this flit terminates the packet.
+    #[inline]
+    pub fn is_tail(&self) -> bool {
+        self.kind.is_tail()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_pattern_classification() {
+        assert_eq!(WordPattern::of(0), WordPattern::AllZero);
+        assert_eq!(WordPattern::of(u32::MAX), WordPattern::AllOne);
+        assert_eq!(WordPattern::of(42), WordPattern::Other);
+        assert!(WordPattern::AllZero.is_redundant());
+        assert!(WordPattern::AllOne.is_redundant());
+        assert!(!WordPattern::Other.is_redundant());
+    }
+
+    #[test]
+    fn zero_detector_counts_low_words() {
+        let d = FlitData::new(vec![7, 0, 0, 0]);
+        assert_eq!(d.active_words(), 1);
+        assert!(d.is_short());
+
+        let d = FlitData::new(vec![7, 9, 0, 0]);
+        assert_eq!(d.active_words(), 2);
+        assert!(!d.is_short());
+
+        let d = FlitData::new(vec![7, 9, 1, 3]);
+        assert_eq!(d.active_words(), 4);
+    }
+
+    #[test]
+    fn all_ones_count_as_redundant() {
+        let d = FlitData::new(vec![7, u32::MAX, u32::MAX, u32::MAX]);
+        assert_eq!(d.active_words(), 1);
+    }
+
+    #[test]
+    fn top_layer_never_gated() {
+        let d = FlitData::zeroed(4);
+        assert_eq!(d.active_words(), 1, "even an all-zero flit keeps one layer");
+        assert!((d.active_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_zero_does_not_shorten() {
+        // A zero word *between* meaningful words cannot be gated: layers
+        // shut down strictly from the bottom (MSB side).
+        let d = FlitData::new(vec![7, 0, 5, 0]);
+        assert_eq!(d.active_words(), 3);
+    }
+
+    #[test]
+    fn dense_payload_uses_all_layers() {
+        let d = FlitData::dense(4);
+        assert_eq!(d.active_words(), 4);
+        assert!((d.active_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_active_words_clamps() {
+        assert_eq!(FlitData::with_active_words(4, 0).active_words(), 1);
+        assert_eq!(FlitData::with_active_words(4, 2).active_words(), 2);
+        assert_eq!(FlitData::with_active_words(4, 9).active_words(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn empty_payload_panics() {
+        let _ = FlitData::new(vec![]);
+    }
+
+    #[test]
+    fn flit_kind_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(FlitKind::HeadTail.is_head());
+        assert!(FlitKind::HeadTail.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(!FlitKind::Body.is_head());
+        assert!(!FlitKind::Body.is_tail());
+    }
+}

@@ -1,0 +1,137 @@
+//! Strongly typed identifiers for nodes, ports, and virtual channels.
+//!
+//! Using newtypes instead of bare `usize` values keeps node, port, and VC
+//! indices from being confused with each other at compile time (the three
+//! are freely mixed inside router inner loops, where such a mix-up would
+//! silently corrupt a simulation rather than crash it).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a network node (a router plus its attached core).
+///
+/// Nodes are numbered `0..num_nodes` by the [`Topology`] that owns them;
+/// the mapping from id to spatial coordinates is topology-specific.
+///
+/// [`Topology`]: crate::topology::Topology
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a router port.
+///
+/// Port 0 is always the local (injection/ejection) port; the meaning of the
+/// remaining ports depends on the topology (see [`crate::topology`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PortId(pub usize);
+
+impl PortId {
+    /// The local injection/ejection port present on every router.
+    pub const LOCAL: PortId = PortId(0);
+
+    /// Returns the raw index of this port.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` if this is the local (injection/ejection) port.
+    #[inline]
+    pub const fn is_local(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<usize> for PortId {
+    fn from(value: usize) -> Self {
+        PortId(value)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a virtual channel within a port.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VcId(pub usize);
+
+impl VcId {
+    /// Returns the raw index of this virtual channel.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for VcId {
+    fn from(value: usize) -> Self {
+        VcId(value)
+    }
+}
+
+impl fmt::Display for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from(17);
+        assert_eq!(n.index(), 17);
+        assert_eq!(n.to_string(), "n17");
+    }
+
+    #[test]
+    fn local_port_is_zero() {
+        assert!(PortId::LOCAL.is_local());
+        assert!(!PortId(1).is_local());
+        assert_eq!(PortId::LOCAL.index(), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(PortId(0) < PortId(4));
+        assert!(VcId(0) < VcId(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PortId(3).to_string(), "p3");
+        assert_eq!(VcId(1).to_string(), "v1");
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # mira-noc — a cycle-accurate Network-on-Chip simulator
+//!
+//! This crate is the simulation substrate for the MIRA reproduction
+//! (Park et al., *"MIRA: A Multi-Layered On-Chip Interconnect Router
+//! Architecture"*, ISCA 2008). It implements a cycle-accurate,
+//! credit-based wormhole router with virtual channels, two-stage virtual
+//! channel allocation, two-stage switch allocation, deterministic
+//! dimension-ordered routing, and the MIRA-specific mechanisms:
+//!
+//! * **multi-layer bit-sliced datapaths** — flits are split word-wise
+//!   across stacked silicon layers ([`layers`]),
+//! * **short-flit layer shutdown** — a zero-detector gates the lower
+//!   layers of the separable datapath (buffer, crossbar, link) when the
+//!   upper words of a flit carry redundant data ([`flit`]),
+//! * **pipeline combining** — the switch-traversal and link-traversal
+//!   stages merge into a single cycle when wire lengths permit
+//!   ([`config::PipelineConfig`]),
+//! * **express channels** — Dally-style multi-hop links on a 2D mesh
+//!   ([`topology::ExpressMesh2D`]).
+//!
+//! The simulator is deterministic: identical configurations and seeds
+//! produce identical results, cycle for cycle.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mira_noc::config::{NetworkConfig, PipelineConfig};
+//! use mira_noc::sim::{SimConfig, Simulator};
+//! use mira_noc::topology::Mesh2D;
+//! use mira_noc::traffic::UniformRandom;
+//!
+//! let topo = Mesh2D::new(4, 4);
+//! let net = NetworkConfig::builder()
+//!     .pipeline(PipelineConfig::separate_lt())
+//!     .build();
+//! let mut sim = Simulator::new(Box::new(topo), net, SimConfig::default());
+//! let workload = UniformRandom::new(0.05, 5, 7);
+//! let report = sim.run(Box::new(workload));
+//! assert!(report.packets_ejected > 0);
+//! ```
+
+pub mod adaptive;
+pub mod arbiter;
+pub mod buffer;
+pub mod config;
+pub mod error;
+pub mod flit;
+pub mod ids;
+pub mod layers;
+pub mod link;
+pub mod network;
+pub mod packet;
+pub mod router;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod traffic;
+pub mod vc;
+
+pub use config::{NetworkConfig, PipelineConfig, RouterConfig};
+pub use error::NocError;
+pub use flit::{Flit, FlitData, FlitKind};
+pub use ids::{NodeId, PortId, VcId};
+pub use packet::{Packet, PacketClass, PacketId};
+pub use sim::{SimConfig, SimReport, Simulator};
+pub use stats::{ActivityCounters, LatencyStats};
+pub use adaptive::{AdaptiveMesh2D, TurnModel};
+pub use topology::{ExpressMesh2D, Mesh2D, Mesh3D, Topology};

@@ -1,0 +1,170 @@
+//! Inter-router links: flit transport forward, credit returns backward.
+//!
+//! A link models one unidirectional physical channel (the reverse credit
+//! wire rides along). Delivery times are assigned by the sender according
+//! to the pipeline configuration: with ST+LT combining the flit is
+//! available at the downstream router on the cycle after switch traversal;
+//! with a separate LT stage it spends one extra cycle on the wire
+//! (paper Fig. 8).
+//!
+//! In the multi-layered designs the link is bit-sliced like the rest of
+//! the datapath (paper §3.2.3); the slice accounting happens in the
+//! activity counters, keyed by the per-flit active-layer fraction.
+
+use std::collections::VecDeque;
+
+use crate::flit::Flit;
+use crate::ids::{NodeId, PortId, VcId};
+
+/// A flit in flight on a link.
+#[derive(Debug, Clone)]
+pub struct FlitInFlight {
+    /// Cycle at which the flit becomes visible to the downstream router.
+    pub deliver_at: u64,
+    /// Downstream input VC the flit was allocated to.
+    pub vc: VcId,
+    /// The flit itself.
+    pub flit: Flit,
+}
+
+/// A credit return in flight on a link (towards the upstream router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditInFlight {
+    /// Cycle at which the credit reaches the upstream router.
+    pub deliver_at: u64,
+    /// Output VC (on the upstream router) being credited.
+    pub vc: VcId,
+}
+
+/// One unidirectional link between two router ports.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Upstream endpoint: (router, output port).
+    pub from: (NodeId, PortId),
+    /// Downstream endpoint: (router, input port).
+    pub to: (NodeId, PortId),
+    /// Physical wire length in millimetres (drives power/delay models).
+    pub length_mm: f64,
+    flits: VecDeque<FlitInFlight>,
+    credits: VecDeque<CreditInFlight>,
+}
+
+impl Link {
+    /// Creates an empty link.
+    pub fn new(from: (NodeId, PortId), to: (NodeId, PortId), length_mm: f64) -> Self {
+        Link { from, to, length_mm, flits: VecDeque::new(), credits: VecDeque::new() }
+    }
+
+    /// Sends a flit downstream, to be delivered at `deliver_at`.
+    ///
+    /// Delivery times must be non-decreasing across calls (links are
+    /// FIFOs); this holds by construction because the per-link latency is
+    /// constant and senders call this once per cycle at most.
+    pub fn send_flit(&mut self, flit: Flit, vc: VcId, deliver_at: u64) {
+        debug_assert!(
+            self.flits.back().is_none_or(|f| f.deliver_at <= deliver_at),
+            "link is not a FIFO"
+        );
+        self.flits.push_back(FlitInFlight { deliver_at, vc, flit });
+    }
+
+    /// Sends a credit upstream, to be delivered at `deliver_at`.
+    pub fn send_credit(&mut self, vc: VcId, deliver_at: u64) {
+        self.credits.push_back(CreditInFlight { deliver_at, vc });
+    }
+
+    /// Removes and returns the next flit due at or before `cycle`.
+    pub fn take_due_flit(&mut self, cycle: u64) -> Option<FlitInFlight> {
+        if self.flits.front().is_some_and(|f| f.deliver_at <= cycle) {
+            self.flits.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the next credit due at or before `cycle`.
+    pub fn take_due_credit(&mut self, cycle: u64) -> Option<CreditInFlight> {
+        if self.credits.front().is_some_and(|c| c.deliver_at <= cycle) {
+            self.credits.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Number of flits currently in flight.
+    pub fn flits_in_flight(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Returns `true` if no flits or credits are in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.flits.is_empty() && self.credits.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitData, FlitKind};
+    use crate::packet::{PacketClass, PacketId};
+
+    fn mk_flit() -> Flit {
+        Flit {
+            packet: PacketId(1),
+            seq: 0,
+            kind: FlitKind::HeadTail,
+            src: NodeId(0),
+            dst: NodeId(1),
+            class: PacketClass::Ack,
+            data: FlitData::zeroed(4),
+            created_at: 0,
+            hops: 0,
+        }
+    }
+
+    fn mk_link() -> Link {
+        Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1)
+    }
+
+    #[test]
+    fn flit_delivery_respects_time() {
+        let mut l = mk_link();
+        l.send_flit(mk_flit(), VcId(0), 5);
+        assert!(l.take_due_flit(4).is_none());
+        let f = l.take_due_flit(5).unwrap();
+        assert_eq!(f.vc, VcId(0));
+        assert!(l.take_due_flit(6).is_none());
+    }
+
+    #[test]
+    fn credit_delivery_respects_time() {
+        let mut l = mk_link();
+        l.send_credit(VcId(1), 3);
+        assert!(l.take_due_credit(2).is_none());
+        assert_eq!(l.take_due_credit(3), Some(CreditInFlight { deliver_at: 3, vc: VcId(1) }));
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut l = mk_link();
+        assert!(l.is_quiescent());
+        l.send_flit(mk_flit(), VcId(0), 1);
+        assert!(!l.is_quiescent());
+        assert_eq!(l.flits_in_flight(), 1);
+        let _ = l.take_due_flit(1);
+        assert!(l.is_quiescent());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut l = mk_link();
+        let mut f0 = mk_flit();
+        f0.seq = 0;
+        let mut f1 = mk_flit();
+        f1.seq = 1;
+        l.send_flit(f0, VcId(0), 2);
+        l.send_flit(f1, VcId(0), 3);
+        assert_eq!(l.take_due_flit(3).unwrap().flit.seq, 0);
+        assert_eq!(l.take_due_flit(3).unwrap().flit.seq, 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! The network: routers wired by a topology, plus the network interfaces.
+//!
+//! [`Network`] owns the routers, the links, and per-node network
+//! interfaces (NICs) with unbounded source queues. Packets enter through
+//! [`Network::enqueue_packet`]; each cycle the NIC moves flits into the
+//! local input buffers as space permits, routers advance one cycle, and
+//! ejected flits accumulate for the simulator to collect.
+
+use std::collections::VecDeque;
+
+use crate::config::NetworkConfig;
+use crate::flit::Flit;
+use crate::ids::{NodeId, PortId, VcId};
+use crate::link::Link;
+use crate::packet::Packet;
+use crate::router::{EjectedFlit, Router};
+use crate::stats::{ActivityCounters, RouterActivity};
+use crate::topology::Topology;
+
+/// Per-node network interface: one unbounded source queue per VC.
+#[derive(Debug)]
+struct Nic {
+    queues: Vec<VecDeque<Flit>>,
+}
+
+impl Nic {
+    fn new(vcs: usize) -> Self {
+        Nic { queues: (0..vcs).map(|_| VecDeque::new()).collect() }
+    }
+
+    fn queued_flits(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// A complete network instance.
+pub struct Network {
+    topo: Box<dyn Topology>,
+    cfg: NetworkConfig,
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    nics: Vec<Nic>,
+    ejected: Vec<EjectedFlit>,
+    counters: ActivityCounters,
+    activity: Vec<RouterActivity>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("topology", &self.topo.name())
+            .field("routers", &self.routers.len())
+            .field("links", &self.links.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Builds the network for `topo` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`NetworkConfig::validate`]).
+    pub fn new(topo: Box<dyn Topology>, cfg: NetworkConfig) -> Self {
+        cfg.validate().expect("invalid network configuration");
+        let n = topo.num_nodes();
+        let radix = topo.radix();
+        let mut routers: Vec<Router> =
+            (0..n).map(|i| Router::new(NodeId(i), radix, &cfg)).collect();
+
+        // Wire every existing (node, out-port) pair with a unidirectional
+        // link to the neighbour's opposite input port.
+        let mut links = Vec::new();
+        for node in 0..n {
+            for p in 1..radix {
+                let out_port = PortId(p);
+                if let Some(dst) = topo.neighbor(NodeId(node), out_port) {
+                    let in_port = topo.opposite_port(out_port);
+                    let length = topo.link_length_mm(NodeId(node), out_port);
+                    let li = links.len();
+                    links.push(Link::new((NodeId(node), out_port), (dst, in_port), length));
+                    routers[node].set_out_link(out_port, li);
+                    routers[dst.index()].set_in_link(in_port, li);
+                }
+            }
+        }
+
+        let vcs = cfg.router.vcs_per_port;
+        Network {
+            topo,
+            cfg,
+            routers,
+            links,
+            nics: (0..n).map(|_| Nic::new(vcs)).collect(),
+            ejected: Vec::new(),
+            counters: ActivityCounters::new(),
+            activity: vec![RouterActivity::default(); n],
+        }
+    }
+
+    /// The topology driving this network.
+    pub fn topology(&self) -> &dyn Topology {
+        &*self.topo
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Cumulative activity counters since construction.
+    pub fn counters(&self) -> &ActivityCounters {
+        &self.counters
+    }
+
+    /// Cumulative per-router activity since construction (spatial power
+    /// distribution for the thermal analysis).
+    pub fn router_activity(&self) -> &[RouterActivity] {
+        &self.activity
+    }
+
+    /// Splits `packet` into flits and appends them to the source queue at
+    /// its source node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's source or destination node is outside the
+    /// topology.
+    pub fn enqueue_packet(&mut self, packet: Packet) {
+        assert!(packet.src.index() < self.routers.len(), "unknown source {}", packet.src);
+        assert!(packet.dst.index() < self.routers.len(), "unknown destination {}", packet.dst);
+        let vc = packet.class.vc_index().min(self.cfg.router.vcs_per_port - 1);
+        let nic = &mut self.nics[packet.src.index()];
+        for flit in packet.into_flits() {
+            nic.queues[vc].push_back(flit);
+        }
+    }
+
+    /// Advances the whole network by one cycle.
+    pub fn step(&mut self, cycle: u64) {
+        self.counters.cycles += 1;
+
+        // 1. Deliver due flits and credits from the links.
+        for li in 0..self.links.len() {
+            while let Some(f) = self.links[li].take_due_flit(cycle) {
+                let (dst, port) = self.links[li].to;
+                self.routers[dst.index()].receive_flit(
+                    port,
+                    f.vc,
+                    f.flit,
+                    cycle,
+                    &mut self.counters,
+                    &mut self.activity[dst.index()],
+                );
+            }
+            while let Some(c) = self.links[li].take_due_credit(cycle) {
+                let (src, port) = self.links[li].from;
+                self.routers[src.index()].receive_credit(port, c.vc);
+            }
+        }
+
+        // 2. Router pipelines.
+        for (i, r) in self.routers.iter_mut().enumerate() {
+            r.step(
+                cycle,
+                &*self.topo,
+                &mut self.links,
+                &mut self.counters,
+                &mut self.activity[i],
+                &mut self.ejected,
+            );
+        }
+
+        // 3. Occupancy accounting: buffered flits this cycle.
+        self.counters.buffer_occupancy_flit_cycles +=
+            self.routers.iter().map(|r| r.buffered_flits() as u64).sum::<u64>();
+
+        // 4. NIC injection: move queued flits into local input buffers.
+        // This runs after the router phase so that a slot freed by ST in
+        // this cycle is immediately refillable — the NIC plays the role of
+        // an upstream pipeline latch, keeping wormhole streaming gapless.
+        for node in 0..self.nics.len() {
+            for vc in 0..self.cfg.router.vcs_per_port {
+                while !self.nics[node].queues[vc].is_empty()
+                    && self.routers[node].local_free_slots(VcId(vc)) > 0
+                {
+                    let flit = self.nics[node].queues[vc].pop_front().expect("non-empty queue");
+                    self.counters.flits_injected += 1;
+                    self.routers[node].receive_flit(
+                        PortId::LOCAL,
+                        VcId(vc),
+                        flit,
+                        cycle,
+                        &mut self.counters,
+                        &mut self.activity[node],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the flits ejected so far.
+    pub fn take_ejected(&mut self) -> Vec<EjectedFlit> {
+        std::mem::take(&mut self.ejected)
+    }
+
+    /// Flits inside the network fabric (router buffers + links), excluding
+    /// source queues.
+    pub fn flits_in_fabric(&self) -> usize {
+        self.routers.iter().map(Router::buffered_flits).sum::<usize>()
+            + self.links.iter().map(Link::flits_in_flight).sum::<usize>()
+    }
+
+    /// Flits waiting in source queues.
+    pub fn flits_in_source_queues(&self) -> usize {
+        self.nics.iter().map(Nic::queued_flits).sum()
+    }
+
+    /// Returns `true` when no flit remains anywhere (fabric and sources).
+    pub fn is_drained(&self) -> bool {
+        self.flits_in_fabric() == 0
+            && self.flits_in_source_queues() == 0
+            && self.links.iter().all(Link::is_quiescent)
+            && self.routers.iter().all(Router::is_quiescent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitData;
+    use crate::packet::{PacketClass, PacketId};
+    use crate::topology::Mesh2D;
+
+    fn mk_net() -> Network {
+        Network::new(Box::new(Mesh2D::new(4, 4)), NetworkConfig::default())
+    }
+
+    fn mk_packet(id: u64, src: usize, dst: usize, len: usize) -> Packet {
+        Packet {
+            id: PacketId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            class: if len > 1 { PacketClass::DataResponse } else { PacketClass::ReadRequest },
+            payload: (0..len).map(|_| FlitData::dense(4)).collect(),
+            created_at: 0,
+        }
+    }
+
+    fn run_until_drained(net: &mut Network, max_cycles: u64) -> Vec<EjectedFlit> {
+        let mut out = Vec::new();
+        for c in 0..max_cycles {
+            net.step(c);
+            out.extend(net.take_ejected());
+            if net.is_drained() {
+                return out;
+            }
+        }
+        panic!("network did not drain within {max_cycles} cycles");
+    }
+
+    #[test]
+    fn link_count_matches_mesh() {
+        let net = mk_net();
+        // 4x4 mesh: 2 * (3*4 + 4*3) = 48 unidirectional links.
+        assert_eq!(net.links.len(), 48);
+    }
+
+    #[test]
+    fn single_packet_delivery() {
+        let mut net = mk_net();
+        net.enqueue_packet(mk_packet(1, 0, 15, 5));
+        let ejected = run_until_drained(&mut net, 200);
+        assert_eq!(ejected.len(), 5);
+        assert!(ejected.iter().all(|e| e.node == NodeId(15)));
+        // 4x4 corner to corner: 6 hops.
+        assert!(ejected.iter().all(|e| e.flit.hops == 6));
+        // Flits of one packet eject in order, essentially back to back.
+        // A single bubble before the tail is legitimate: with 4-flit
+        // buffers, a 5-flit packet and a 3-cycle credit round trip, the
+        // tail waits once for the first returned credit.
+        let cycles: Vec<_> = ejected.iter().map(|e| e.cycle).collect();
+        for w in cycles.windows(2) {
+            assert!(w[1] > w[0], "flits eject in order");
+            assert!(w[1] - w[0] <= 2, "at most one bubble between flits: {cycles:?}");
+        }
+        assert!(
+            cycles[4] - cycles[0] <= 5,
+            "5 flits must eject within 6 cycles: {cycles:?}"
+        );
+    }
+
+    #[test]
+    fn zero_load_latency_matches_pipeline_model() {
+        // Enqueue at cycle 0 → NIC writes the buffer at the end of step 0
+        // → RC at cycle 1, then 5 cycles per hop with a separate LT stage
+        // and 4 at the final router before ejection:
+        //   eject_cycle = hops*5 + 4.
+        let mut net = mk_net();
+        net.enqueue_packet(mk_packet(1, 0, 3, 1)); // 3 hops east
+        let ejected = run_until_drained(&mut net, 100);
+        assert_eq!(ejected.len(), 1);
+        let hops = 3u64;
+        let expected = hops * 5 + 4;
+        assert_eq!(ejected[0].cycle, expected, "got {}", ejected[0].cycle);
+    }
+
+    #[test]
+    fn combined_pipeline_saves_one_cycle_per_hop() {
+        let cfg_sep = NetworkConfig::default();
+        let mut cfg_comb = NetworkConfig::default();
+        cfg_comb.router.pipeline = crate::config::PipelineConfig::combined_st_lt();
+
+        let mut latencies = Vec::new();
+        for cfg in [cfg_sep, cfg_comb] {
+            let mut net = Network::new(Box::new(Mesh2D::new(4, 4)), cfg);
+            net.enqueue_packet(mk_packet(1, 0, 3, 1));
+            let ejected = run_until_drained(&mut net, 100);
+            latencies.push(ejected[0].cycle);
+        }
+        assert_eq!(latencies[0] - latencies[1], 3, "one cycle saved per hop over 3 hops");
+    }
+
+    #[test]
+    fn flit_conservation() {
+        let mut net = mk_net();
+        for i in 0..20 {
+            net.enqueue_packet(mk_packet(i, (i as usize) % 16, (3 * i as usize + 1) % 16, 3));
+        }
+        let mut ejected = 0usize;
+        for c in 0..500 {
+            net.step(c);
+            ejected += net.take_ejected().len();
+            let in_queues = net.flits_in_source_queues();
+            let in_fabric = net.flits_in_fabric();
+            assert_eq!(
+                in_queues + in_fabric + ejected,
+                20 * 3,
+                "flits must be conserved at cycle {c}"
+            );
+            if net.is_drained() {
+                break;
+            }
+        }
+        assert_eq!(ejected, 60);
+    }
+
+    #[test]
+    fn self_addressed_packets_eject_locally() {
+        let mut net = mk_net();
+        net.enqueue_packet(mk_packet(1, 5, 5, 2));
+        let ejected = run_until_drained(&mut net, 100);
+        assert_eq!(ejected.len(), 2);
+        assert!(ejected.iter().all(|e| e.flit.hops == 0));
+    }
+
+    #[test]
+    fn heavy_random_exchange_drains() {
+        let mut net = mk_net();
+        let mut id = 0;
+        for src in 0..16 {
+            for dst in 0..16 {
+                if src != dst {
+                    id += 1;
+                    net.enqueue_packet(mk_packet(id, src, dst, 2));
+                }
+            }
+        }
+        let ejected = run_until_drained(&mut net, 20_000);
+        assert_eq!(ejected.len(), 16 * 15 * 2);
+    }
+}
+
+#[cfg(test)]
+mod pipeline_depth_network_tests {
+    use super::*;
+    use crate::config::{NetworkConfig, PipelineConfig, PipelineDepth};
+    use crate::flit::FlitData;
+    use crate::packet::{PacketClass, PacketId};
+    use crate::topology::Mesh2D;
+
+    fn zero_load_eject(depth: PipelineDepth, combined: bool) -> u64 {
+        let base =
+            if combined { PipelineConfig::combined_st_lt() } else { PipelineConfig::separate_lt() };
+        let mut cfg = NetworkConfig::default();
+        cfg.router.pipeline = base.with_depth(depth);
+        let mut net = Network::new(Box::new(Mesh2D::new(4, 4)), cfg);
+        net.enqueue_packet(Packet {
+            id: PacketId(1),
+            src: NodeId(0),
+            dst: NodeId(3), // 3 hops east
+            class: PacketClass::Ack,
+            payload: vec![FlitData::dense(4)],
+            created_at: 0,
+        });
+        for c in 0..200 {
+            net.step(c);
+            let ejected = net.take_ejected();
+            if let Some(e) = ejected.first() {
+                return e.cycle;
+            }
+        }
+        panic!("packet never delivered");
+    }
+
+    /// End-to-end zero-load latency = hops × cycles_per_hop + final
+    /// router pipeline, for all six pipeline organisations.
+    #[test]
+    fn zero_load_latency_all_pipelines() {
+        for depth in [
+            PipelineDepth::FourStage,
+            PipelineDepth::ThreeStageSpeculative,
+            PipelineDepth::TwoStageLookahead,
+        ] {
+            for combined in [false, true] {
+                let cfg = if combined {
+                    PipelineConfig::combined_st_lt().with_depth(depth)
+                } else {
+                    PipelineConfig::separate_lt().with_depth(depth)
+                };
+                let hops = 3;
+                let expected = hops * cfg.cycles_per_hop() + depth.stages() - 1 + 1;
+                // hops full hops + the final router's stages; the +1 is
+                // the NIC injection cycle (flit visible the cycle after
+                // enqueue).
+                let got = zero_load_eject(depth, combined);
+                assert_eq!(got, expected, "{depth:?} combined={combined}");
+            }
+        }
+    }
+
+    /// Shallower pipelines are strictly faster, per-hop, end to end.
+    #[test]
+    fn shallower_pipelines_strictly_faster() {
+        let four = zero_load_eject(PipelineDepth::FourStage, false);
+        let three = zero_load_eject(PipelineDepth::ThreeStageSpeculative, false);
+        let two = zero_load_eject(PipelineDepth::TwoStageLookahead, false);
+        assert!(four > three && three > two, "{four} {three} {two}");
+        // One cycle per hop+1 saved per removed stage over 3 hops + final.
+        assert_eq!(four - three, 4);
+        assert_eq!(three - two, 4);
+    }
+}

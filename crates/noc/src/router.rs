@@ -1,0 +1,605 @@
+//! The cycle-accurate virtual-channel wormhole router.
+//!
+//! Implements the canonical four-stage pipeline of the paper's Fig. 8(a):
+//!
+//! ```text
+//! RC  → VA  → SA  → ST [→ LT]
+//! ```
+//!
+//! * **RC** — route computation on the head flit (dimension-ordered,
+//!   delegated to the topology),
+//! * **VA** — two-stage virtual-channel allocation: VA1 picks the desired
+//!   output VC (one VC per traffic class, paper §3.2.4), VA2 arbitrates
+//!   among the input VCs contending for it (paper §3.2.5),
+//! * **SA** — two-stage separable switch allocation: SA1 picks one VC per
+//!   input port, SA2 one input port per output port (paper §3.2.6),
+//! * **ST** — switch traversal; with the multi-layered design's short
+//!   wires the link traversal **LT** merges into the same cycle
+//!   (paper §3.4.1, Table 3), otherwise it takes one more.
+//!
+//! Flow control is credit-based: credits are debited at SA grant (so a
+//! grant can never overflow the downstream buffer) and returned one cycle
+//! after the downstream buffer slot frees.
+//!
+//! Every energy-relevant event is reported to [`ActivityCounters`]; events
+//! on the separable datapath carry the flit's active-layer fraction when
+//! short-flit shutdown is enabled (paper §3.2.1).
+
+use crate::arbiter::RoundRobinArbiter;
+use crate::config::{NetworkConfig, PipelineConfig};
+use crate::flit::Flit;
+use crate::ids::{NodeId, PortId, VcId};
+use crate::link::Link;
+use crate::stats::{ActivityCounters, RouterActivity};
+use crate::topology::Topology;
+use crate::vc::{InputVc, OutputVc, VcState};
+
+/// A flit that reached its destination, with arrival metadata.
+#[derive(Debug, Clone)]
+pub struct EjectedFlit {
+    /// The flit (hop count and timestamps inside).
+    pub flit: Flit,
+    /// Node at which it ejected.
+    pub node: NodeId,
+    /// Cycle of ejection (its ST cycle at the destination router).
+    pub cycle: u64,
+}
+
+/// A granted crossbar traversal, scheduled at SA time and executed at ST.
+#[derive(Debug, Clone, Copy)]
+struct StGrant {
+    in_port: PortId,
+    in_vc: VcId,
+    out_port: PortId,
+    out_vc: VcId,
+}
+
+/// One router: input VCs, output VC state, allocators, and the pipeline.
+#[derive(Debug)]
+pub struct Router {
+    id: NodeId,
+    ports: usize,
+    vcs: usize,
+    pipeline: PipelineConfig,
+    layer_shutdown: bool,
+    inputs: Vec<Vec<InputVc>>,
+    outputs: Vec<Vec<OutputVc>>,
+    /// Link index carrying flits *out of* each output port (`None` for the
+    /// local port and edge ports).
+    out_links: Vec<Option<usize>>,
+    /// Link index feeding each input port (`None` for the local port),
+    /// used for upstream credit returns.
+    in_links: Vec<Option<usize>>,
+    va2_arbiters: Vec<Vec<RoundRobinArbiter>>,
+    sa1_arbiters: Vec<RoundRobinArbiter>,
+    sa2_arbiters: Vec<RoundRobinArbiter>,
+    st_grants: Vec<StGrant>,
+}
+
+impl Router {
+    /// Creates a router with `ports` ports (including local) configured
+    /// per `cfg`. Link wiring is attached afterwards by the network.
+    pub fn new(id: NodeId, ports: usize, cfg: &NetworkConfig) -> Self {
+        let vcs = cfg.router.vcs_per_port;
+        let depth = cfg.router.buffer_depth;
+        Router {
+            id,
+            ports,
+            vcs,
+            pipeline: cfg.router.pipeline,
+            layer_shutdown: cfg.layer_shutdown,
+            inputs: (0..ports).map(|_| (0..vcs).map(|_| InputVc::new(depth)).collect()).collect(),
+            outputs: (0..ports)
+                .map(|_| (0..vcs).map(|_| OutputVc::new(depth)).collect())
+                .collect(),
+            out_links: vec![None; ports],
+            in_links: vec![None; ports],
+            va2_arbiters: (0..ports)
+                .map(|_| (0..vcs).map(|_| RoundRobinArbiter::new(ports * vcs)).collect())
+                .collect(),
+            sa1_arbiters: (0..ports).map(|_| RoundRobinArbiter::new(vcs)).collect(),
+            sa2_arbiters: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
+            st_grants: Vec::new(),
+        }
+    }
+
+    /// This router's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of ports (including local).
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Attaches the outgoing link at `port` (wiring pass).
+    pub(crate) fn set_out_link(&mut self, port: PortId, link: usize) {
+        self.out_links[port.index()] = Some(link);
+    }
+
+    /// Attaches the incoming link at `port` (wiring pass).
+    pub(crate) fn set_in_link(&mut self, port: PortId, link: usize) {
+        self.in_links[port.index()] = Some(link);
+    }
+
+    fn layer_fraction(&self, flit: &Flit) -> f64 {
+        if self.layer_shutdown {
+            flit.data.active_fraction()
+        } else {
+            1.0
+        }
+    }
+
+    /// Accepts a flit into the input buffer at (`port`, `vc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (credit-accounting violation).
+    pub fn receive_flit(
+        &mut self,
+        port: PortId,
+        vc: VcId,
+        flit: Flit,
+        cycle: u64,
+        counters: &mut ActivityCounters,
+        activity: &mut RouterActivity,
+    ) {
+        let fraction = self.layer_fraction(&flit);
+        counters.record_buffer_write(fraction);
+        activity.buffer_events += fraction;
+        let ivc = &mut self.inputs[port.index()][vc.index()];
+        ivc.buffer.push(flit, cycle);
+        ivc.on_flit_buffered();
+    }
+
+    /// Accepts a returned credit for output VC (`port`, `vc`).
+    pub fn receive_credit(&mut self, port: PortId, vc: VcId) {
+        self.outputs[port.index()][vc.index()].credits += 1;
+    }
+
+    /// Free slots in the local input buffer for VC `vc` (used by the
+    /// network interface to pace injection).
+    pub fn local_free_slots(&self, vc: VcId) -> usize {
+        self.inputs[PortId::LOCAL.index()][vc.index()].buffer.free_slots()
+    }
+
+    /// Total flits currently buffered in this router (conservation
+    /// checks).
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs.iter().flatten().map(|vc| vc.buffer.len()).sum()
+    }
+
+    /// Returns `true` if the router holds no flits and has no pending
+    /// switch grants.
+    pub fn is_quiescent(&self) -> bool {
+        self.buffered_flits() == 0 && self.st_grants.is_empty()
+    }
+
+    /// Advances the router by one cycle.
+    ///
+    /// The phase order within the cycle realises the configured pipeline
+    /// depth (paper Fig. 8): running a later stage *after* an earlier one
+    /// lets a flit advance two stages in the same cycle, which is how the
+    /// speculative organisations shorten the pipeline:
+    ///
+    /// * **four-stage** — ST → SA → VA → RC: every grant takes effect the
+    ///   next cycle (one cycle per stage; 5 per hop with separate LT);
+    /// * **three-stage speculative** — ST → VA → SA → RC: a head flit
+    ///   that wins VA arbitrates for the switch in the same cycle
+    ///   (speculative SA; failure degenerates into a retry);
+    /// * **two-stage look-ahead** — ST → RC → VA → SA: the route is also
+    ///   available in the arrival cycle, modelling look-ahead routing.
+    pub fn step(
+        &mut self,
+        cycle: u64,
+        topo: &dyn Topology,
+        links: &mut [Link],
+        counters: &mut ActivityCounters,
+        activity: &mut RouterActivity,
+        ejected: &mut Vec<EjectedFlit>,
+    ) {
+        self.stage_st(cycle, links, counters, activity, ejected);
+        match self.pipeline.depth {
+            crate::config::PipelineDepth::FourStage => {
+                self.stage_sa(cycle, counters);
+                self.stage_va(cycle, counters);
+                self.stage_rc(cycle, topo, counters);
+            }
+            crate::config::PipelineDepth::ThreeStageSpeculative => {
+                self.stage_va(cycle, counters);
+                self.stage_sa(cycle, counters);
+                self.stage_rc(cycle, topo, counters);
+            }
+            crate::config::PipelineDepth::TwoStageLookahead => {
+                self.stage_rc(cycle, topo, counters);
+                self.stage_va(cycle, counters);
+                self.stage_sa(cycle, counters);
+            }
+        }
+    }
+
+    /// ST: execute last cycle's switch grants.
+    fn stage_st(
+        &mut self,
+        cycle: u64,
+        links: &mut [Link],
+        counters: &mut ActivityCounters,
+        activity: &mut RouterActivity,
+        ejected: &mut Vec<EjectedFlit>,
+    ) {
+        let grants = std::mem::take(&mut self.st_grants);
+        for g in grants {
+            let ivc = &mut self.inputs[g.in_port.index()][g.in_vc.index()];
+            let timed = ivc.buffer.pop().expect("SA granted an empty VC");
+            let mut flit = timed.flit;
+            let fraction = if self.layer_shutdown { flit.data.active_fraction() } else { 1.0 };
+            counters.record_buffer_read(fraction);
+            counters.record_xbar(fraction);
+            activity.buffer_events += fraction;
+            activity.xbar_events += fraction;
+            activity.xbar_events_raw += 1;
+
+            let is_tail = flit.is_tail();
+
+            // Return a credit upstream for the freed buffer slot.
+            if let Some(li) = self.in_links[g.in_port.index()] {
+                links[li].send_credit(g.in_vc, cycle + 1);
+            }
+
+            if g.out_port.is_local() {
+                counters.flits_ejected += 1;
+                if is_tail {
+                    counters.packets_ejected += 1;
+                }
+                ejected.push(EjectedFlit { flit, node: self.id, cycle });
+            } else {
+                flit.hops += 1;
+                let li = self.out_links[g.out_port.index()]
+                    .expect("route led through a port with no link");
+                counters.record_link(links[li].length_mm, fraction);
+                activity.link_flit_mm += links[li].length_mm * fraction;
+                let deliver = cycle + 1 + self.pipeline.link_extra_cycles();
+                links[li].send_flit(flit, g.out_vc, deliver);
+            }
+
+            if is_tail {
+                self.outputs[g.out_port.index()][g.out_vc.index()].owner = None;
+                ivc.on_tail_departed();
+            }
+        }
+    }
+
+    /// SA: separable two-stage switch allocation; winners traverse next
+    /// cycle. Credits are debited here so grants never overcommit.
+    fn stage_sa(&mut self, cycle: u64, counters: &mut ActivityCounters) {
+        // SA1: one candidate VC per input port.
+        let mut sa1: Vec<Option<(VcId, PortId, VcId)>> = vec![None; self.ports];
+        #[allow(clippy::needless_range_loop)] // ip indexes three parallel arrays
+        for ip in 0..self.ports {
+            let eligible: Vec<usize> = (0..self.vcs)
+                .filter(|&iv| {
+                    let ivc = &self.inputs[ip][iv];
+                    match ivc.state {
+                        VcState::Active { out_port, out_vc } => {
+                            ivc.buffer.front_ready(cycle)
+                                && (out_port.is_local()
+                                    || self.outputs[out_port.index()][out_vc.index()].credits > 0)
+                        }
+                        _ => false,
+                    }
+                })
+                .collect();
+            if eligible.is_empty() {
+                continue;
+            }
+            counters.sa1_arbitrations += 1;
+            if let Some(iv) = self.sa1_arbiters[ip].arbitrate_among(&eligible) {
+                if let VcState::Active { out_port, out_vc } = self.inputs[ip][iv].state {
+                    sa1[ip] = Some((VcId(iv), out_port, out_vc));
+                }
+            }
+        }
+
+        // SA2: one input port per output port.
+        for op in 0..self.ports {
+            let requesters: Vec<usize> = (0..self.ports)
+                .filter(|&ip| sa1[ip].is_some_and(|(_, p, _)| p.index() == op))
+                .collect();
+            if requesters.is_empty() {
+                continue;
+            }
+            counters.sa2_arbitrations += 1;
+            if let Some(ip) = self.sa2_arbiters[op].arbitrate_among(&requesters) {
+                let (iv, out_port, out_vc) = sa1[ip].expect("requester has an SA1 grant");
+                if !out_port.is_local() {
+                    let ovc = &mut self.outputs[out_port.index()][out_vc.index()];
+                    debug_assert!(ovc.credits > 0, "SA granted without credit");
+                    ovc.credits -= 1;
+                }
+                self.st_grants.push(StGrant {
+                    in_port: PortId(ip),
+                    in_vc: iv,
+                    out_port,
+                    out_vc,
+                });
+            }
+        }
+    }
+
+    /// VA: two-stage virtual-channel allocation for VCs holding a routed
+    /// head flit.
+    fn stage_va(&mut self, cycle: u64, counters: &mut ActivityCounters) {
+        // VA1: each waiting input VC selects its desired output VC — one
+        // VC per traffic class (control / data), clamped to the available
+        // VC count.
+        let mut requests: Vec<Vec<(PortId, VcId)>> = vec![Vec::new(); self.ports * self.vcs];
+        for ip in 0..self.ports {
+            for iv in 0..self.vcs {
+                let ivc = &self.inputs[ip][iv];
+                if let VcState::WaitingVc { out_port } = ivc.state {
+                    if !ivc.buffer.front_ready(cycle) {
+                        continue;
+                    }
+                    let class =
+                        ivc.buffer.front().expect("waiting VC holds a head flit").flit.class;
+                    let out_vc = class.vc_index().min(self.vcs - 1);
+                    counters.va1_arbitrations += 1;
+                    requests[out_port.index() * self.vcs + out_vc].push((PortId(ip), VcId(iv)));
+                }
+            }
+        }
+
+        // VA2: arbitrate per (output port, output VC) among requesters.
+        for op in 0..self.ports {
+            for ov in 0..self.vcs {
+                let reqs = &requests[op * self.vcs + ov];
+                if reqs.is_empty() {
+                    continue;
+                }
+                counters.va2_arbitrations += 1;
+                if !self.outputs[op][ov].is_free() {
+                    continue;
+                }
+                let lines: Vec<usize> =
+                    reqs.iter().map(|(ip, iv)| ip.index() * self.vcs + iv.index()).collect();
+                if let Some(line) = self.va2_arbiters[op][ov].arbitrate_among(&lines) {
+                    let (ip, iv) = (PortId(line / self.vcs), VcId(line % self.vcs));
+                    self.outputs[op][ov].owner = Some((ip, iv));
+                    self.inputs[ip.index()][iv.index()].state =
+                        VcState::Active { out_port: PortId(op), out_vc: VcId(ov) };
+                }
+            }
+        }
+    }
+
+    /// RC: route computation for VCs holding an unrouted head flit.
+    ///
+    /// With an adaptive topology ([`Topology::route_candidates`] returns
+    /// more than one port) the stage selects the candidate whose output
+    /// VCs hold the most credits — congestion-aware selection — with the
+    /// model's preference order breaking ties.
+    fn stage_rc(&mut self, cycle: u64, topo: &dyn Topology, counters: &mut ActivityCounters) {
+        for ip in 0..self.ports {
+            for iv in 0..self.vcs {
+                let ivc = &self.inputs[ip][iv];
+                if ivc.state != VcState::Routing || !ivc.buffer.front_ready(cycle) {
+                    continue;
+                }
+                let head = &ivc.buffer.front().expect("routing VC holds a head flit").flit;
+                debug_assert!(head.is_head(), "routing state without a head flit");
+                let candidates = topo.route_candidates(self.id, head.dst);
+                debug_assert!(!candidates.is_empty(), "routing produced no candidates");
+                let out_port = if candidates.len() == 1 {
+                    candidates[0]
+                } else {
+                    let credits_of = |p: PortId| -> usize {
+                        self.outputs[p.index()].iter().map(|ovc| ovc.credits).sum()
+                    };
+                    // max_by_key returns the *last* maximum; iterate in
+                    // reverse so ties resolve to the earliest (preferred)
+                    // candidate.
+                    candidates
+                        .iter()
+                        .rev()
+                        .copied()
+                        .max_by_key(|&p| credits_of(p))
+                        .expect("non-empty candidates")
+                };
+                counters.rc_computations += 1;
+                self.inputs[ip][iv].state = VcState::WaitingVc { out_port };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::flit::{FlitData, FlitKind};
+    use crate::packet::{PacketClass, PacketId};
+    use crate::topology::Mesh2D;
+
+    fn mk_cfg() -> NetworkConfig {
+        NetworkConfig::default()
+    }
+
+    fn mk_head(dst: NodeId, class: PacketClass) -> Flit {
+        Flit {
+            packet: PacketId(1),
+            seq: 0,
+            kind: FlitKind::HeadTail,
+            src: NodeId(0),
+            dst,
+            class,
+            data: FlitData::dense(4),
+            created_at: 0,
+            hops: 0,
+        }
+    }
+
+    /// A single-flit packet destined for the local node must traverse
+    /// RC → VA → SA → ST in four successive cycles and then eject.
+    #[test]
+    fn single_flit_ejects_after_four_stages() {
+        let topo = Mesh2D::new(2, 2);
+        let cfg = mk_cfg();
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut counters = ActivityCounters::new();
+        let mut activity = RouterActivity::default();
+        let mut ejected = Vec::new();
+        let mut links: Vec<Link> = Vec::new();
+
+        r.receive_flit(PortId::LOCAL, VcId(0), mk_head(NodeId(0), PacketClass::Ack), 0, &mut counters, &mut activity);
+
+        for cycle in 0..=3 {
+            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+        }
+        assert_eq!(ejected.len(), 1, "RC@0, VA@1, SA@2, ST@3");
+        assert_eq!(ejected[0].cycle, 3);
+        assert_eq!(ejected[0].flit.hops, 0);
+        assert!(r.is_quiescent());
+        assert_eq!(counters.flits_ejected, 1);
+        assert_eq!(counters.packets_ejected, 1);
+        assert_eq!(counters.rc_computations, 1);
+    }
+
+    /// Two head flits contending for the same output VC are granted in
+    /// successive cycles, not simultaneously.
+    #[test]
+    fn output_vc_is_exclusive() {
+        let topo = Mesh2D::new(2, 2);
+        let cfg = mk_cfg();
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut counters = ActivityCounters::new();
+        let mut activity = RouterActivity::default();
+        let mut ejected = Vec::new();
+        let mut links: Vec<Link> = Vec::new();
+
+        // Two packets on different input VCs, both local-bound, same class
+        // → same output VC.
+        let mut f0 = mk_head(NodeId(0), PacketClass::Ack);
+        f0.packet = PacketId(10);
+        let mut f1 = mk_head(NodeId(0), PacketClass::Ack);
+        f1.packet = PacketId(11);
+        r.receive_flit(PortId::LOCAL, VcId(0), f0, 0, &mut counters, &mut activity);
+        r.receive_flit(PortId(1), VcId(0), f1, 0, &mut counters, &mut activity);
+
+        for cycle in 0..=5 {
+            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+        }
+        assert_eq!(ejected.len(), 2);
+        // Ejections happen in different cycles (the single ejection VC
+        // serialises the packets).
+        assert_ne!(ejected[0].cycle, ejected[1].cycle);
+    }
+
+    /// Credits throttle forwarding: with a full downstream VC, nothing is
+    /// granted until a credit returns.
+    #[test]
+    fn credits_gate_switch_allocation() {
+        let topo = Mesh2D::new(2, 2);
+        let cfg = mk_cfg();
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut counters = ActivityCounters::new();
+        let mut activity = RouterActivity::default();
+        let mut ejected = Vec::new();
+        // One outgoing link east (to node 1).
+        let mut links = vec![Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1)];
+        r.set_out_link(PortId(1), 0);
+
+        // Exhaust all credits on (east, vc0).
+        r.outputs[1][0].credits = 0;
+
+        let f = mk_head(NodeId(1), PacketClass::Ack);
+        r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
+        for cycle in 0..10 {
+            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+        }
+        assert_eq!(links[0].flits_in_flight(), 0, "no credit, no traversal");
+
+        // Return one credit; the flit must now flow.
+        r.receive_credit(PortId(1), VcId(0));
+        for cycle in 10..15 {
+            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+        }
+        assert_eq!(links[0].flits_in_flight(), 1);
+        assert!(r.is_quiescent());
+    }
+
+    /// Layer shutdown scales the separable-module activity by the active
+    /// fraction of the flit.
+    #[test]
+    fn shutdown_weights_separable_activity() {
+        let topo = Mesh2D::new(2, 2);
+        let mut cfg = mk_cfg();
+        cfg.layer_shutdown = true;
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut counters = ActivityCounters::new();
+        let mut activity = RouterActivity::default();
+        let mut ejected = Vec::new();
+        let mut links: Vec<Link> = Vec::new();
+
+        let mut f = mk_head(NodeId(0), PacketClass::Ack);
+        f.data = FlitData::with_active_words(4, 1); // short flit
+        r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
+        for cycle in 0..=3 {
+            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+        }
+        assert_eq!(counters.buffer_writes_raw, 1);
+        assert!((counters.buffer_writes - 0.25).abs() < 1e-12);
+        assert!((counters.buffer_reads - 0.25).abs() < 1e-12);
+        assert!((counters.xbar_traversals - 0.25).abs() < 1e-12);
+        // Non-separable logic is not gated: RC ran at full weight.
+        assert_eq!(counters.rc_computations, 1);
+    }
+}
+
+#[cfg(test)]
+mod pipeline_depth_tests {
+    use super::*;
+    use crate::config::{NetworkConfig, PipelineConfig, PipelineDepth};
+    use crate::flit::{FlitData, FlitKind};
+    use crate::packet::{PacketClass, PacketId};
+    use crate::topology::Mesh2D;
+
+    fn eject_cycle(depth: PipelineDepth) -> u64 {
+        let topo = Mesh2D::new(2, 2);
+        let mut cfg = NetworkConfig::default();
+        cfg.router.pipeline = PipelineConfig::separate_lt().with_depth(depth);
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut counters = ActivityCounters::new();
+        let mut activity = RouterActivity::default();
+        let mut ejected = Vec::new();
+        let mut links: Vec<Link> = Vec::new();
+        let flit = Flit {
+            packet: PacketId(1),
+            seq: 0,
+            kind: FlitKind::HeadTail,
+            src: NodeId(0),
+            dst: NodeId(0),
+            class: PacketClass::Ack,
+            data: FlitData::dense(4),
+            created_at: 0,
+            hops: 0,
+        };
+        r.receive_flit(PortId::LOCAL, VcId(0), flit, 0, &mut counters, &mut activity);
+        for cycle in 0..10 {
+            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+            if let Some(e) = ejected.first() {
+                return e.cycle;
+            }
+        }
+        panic!("flit never ejected");
+    }
+
+    /// Uncontended head-flit pipeline occupancy matches Fig. 8: four,
+    /// three, and two cycles from visibility to switch traversal.
+    #[test]
+    fn stage_counts_match_fig8() {
+        assert_eq!(eject_cycle(PipelineDepth::FourStage), 3, "RC@0 VA@1 SA@2 ST@3");
+        assert_eq!(eject_cycle(PipelineDepth::ThreeStageSpeculative), 2, "RC@0 VA+SA@1 ST@2");
+        assert_eq!(eject_cycle(PipelineDepth::TwoStageLookahead), 1, "RC+VA+SA@0 ST@1");
+    }
+}

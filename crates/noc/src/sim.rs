@@ -1,0 +1,424 @@
+//! The simulation driver: warm-up, measurement, and drain phases.
+//!
+//! [`Simulator`] owns a [`Network`] and drives it against a [`Workload`]:
+//!
+//! 1. **warm-up** — traffic flows but nothing is recorded, letting the
+//!    network reach steady state;
+//! 2. **measurement** — packets created in this window are tracked; their
+//!    latency, hop counts and the datapath activity feed the report;
+//! 3. **drain** — generation stops and the simulator runs until every
+//!    measured packet has ejected or the drain budget is exhausted
+//!    (the latter indicates saturation).
+//!
+//! Latency is measured from packet creation (entering the source queue)
+//! to the tail flit's ejection, so source queueing delay is included —
+//! matching how latency-vs-injection curves in the paper blow up at
+//! saturation.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+
+use crate::config::NetworkConfig;
+use crate::network::Network;
+use crate::packet::{Packet, PacketClass, PacketId, PacketSpec};
+use crate::stats::{ActivityCounters, LatencyHistogram, LatencyStats, PerClassLatency, RouterActivity};
+use crate::topology::Topology;
+use crate::traffic::{EjectedPacket, Workload};
+
+/// Phase lengths for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Cycles before measurement starts.
+    pub warmup_cycles: u64,
+    /// Cycles during which created packets are measured.
+    pub measure_cycles: u64,
+    /// Maximum extra cycles to wait for measured packets to drain.
+    pub drain_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { warmup_cycles: 1_000, measure_cycles: 5_000, drain_cycles: 20_000 }
+    }
+}
+
+impl SimConfig {
+    /// A short configuration for unit tests.
+    pub fn short() -> Self {
+        SimConfig { warmup_cycles: 200, measure_cycles: 1_000, drain_cycles: 5_000 }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Mean packet latency in cycles over measured packets.
+    pub avg_latency: f64,
+    /// Mean hop count over measured packets.
+    pub avg_hops: f64,
+    /// Accepted throughput in flits/node/cycle during the measurement
+    /// window.
+    pub throughput: f64,
+    /// Measured packets created.
+    pub packets_created: u64,
+    /// Measured packets that fully ejected.
+    pub packets_ejected: u64,
+    /// `true` when the drain budget expired with measured packets still
+    /// in flight — the network is past saturation at this load.
+    pub saturated: bool,
+    /// Datapath activity during the measurement window only.
+    pub counters: ActivityCounters,
+    /// Latency statistics per packet class.
+    pub per_class: PerClassLatency,
+    /// Per-router datapath activity during the measurement window
+    /// (spatial power distribution).
+    pub per_router: Vec<RouterActivity>,
+    /// Full latency distribution of measured packets.
+    pub histogram: LatencyHistogram,
+    /// Total cycles simulated (all phases).
+    pub cycles_simulated: u64,
+}
+
+impl SimReport {
+    /// Latency statistics aggregated over all classes.
+    pub fn latency(&self) -> LatencyStats {
+        self.per_class.total()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PacketMeta {
+    class: PacketClass,
+    src: crate::ids::NodeId,
+    dst: crate::ids::NodeId,
+    created_at: u64,
+    len_flits: usize,
+    measured: bool,
+}
+
+/// Pending closed-loop reply, ordered by due cycle (min-heap via
+/// `Reverse`). The sequence number breaks ties deterministically.
+type PendingReply = Reverse<(u64, u64)>;
+
+/// The simulation driver.
+pub struct Simulator {
+    network: Network,
+    cfg: SimConfig,
+    next_packet: u64,
+    in_flight: HashMap<PacketId, PacketMeta>,
+    pending_heap: BinaryHeap<PendingReply>,
+    pending_specs: HashMap<(u64, u64), PacketSpec>,
+    next_reply_seq: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("network", &self.network)
+            .field("config", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator over `topo` with the given network and phase
+    /// configuration.
+    pub fn new(topo: Box<dyn Topology>, net_cfg: NetworkConfig, cfg: SimConfig) -> Self {
+        Simulator {
+            network: Network::new(topo, net_cfg),
+            cfg,
+            next_packet: 0,
+            in_flight: HashMap::new(),
+            pending_heap: BinaryHeap::new(),
+            pending_specs: HashMap::new(),
+            next_reply_seq: 0,
+        }
+    }
+
+    /// Access to the underlying network (e.g. for counters).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    fn inject(&mut self, spec: PacketSpec, cycle: u64, measured: bool) {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        self.in_flight.insert(
+            id,
+            PacketMeta {
+                class: spec.class,
+                src: spec.src,
+                dst: spec.dst,
+                created_at: cycle,
+                len_flits: spec.payload.len(),
+                measured,
+            },
+        );
+        self.network.enqueue_packet(Packet {
+            id,
+            src: spec.src,
+            dst: spec.dst,
+            class: spec.class,
+            payload: spec.payload,
+            created_at: cycle,
+        });
+    }
+
+    fn schedule_replies(&mut self, replies: Vec<(u64, PacketSpec)>, cycle: u64) {
+        for (delay, spec) in replies {
+            let due = cycle + delay.max(1);
+            let seq = self.next_reply_seq;
+            self.next_reply_seq += 1;
+            self.pending_heap.push(Reverse((due, seq)));
+            self.pending_specs.insert((due, seq), spec);
+        }
+    }
+
+    fn inject_due_replies(&mut self, cycle: u64, measuring: bool) {
+        while let Some(&Reverse((due, seq))) = self.pending_heap.peek() {
+            if due > cycle {
+                break;
+            }
+            self.pending_heap.pop();
+            let spec = self.pending_specs.remove(&(due, seq)).expect("spec for pending reply");
+            self.inject(spec, cycle, measuring);
+        }
+    }
+
+    /// Processes ejections for one cycle; returns how many *measured*
+    /// packets completed.
+    fn process_ejections(
+        &mut self,
+        cycle: u64,
+        workload: &mut dyn Workload,
+        per_class: &mut PerClassLatency,
+        histogram: &mut LatencyHistogram,
+    ) -> u64 {
+        let mut completed = 0;
+        for e in self.network.take_ejected() {
+            if !e.flit.is_tail() {
+                continue;
+            }
+            let meta = self
+                .in_flight
+                .remove(&e.flit.packet)
+                .expect("ejected packet was injected");
+            let latency = e.cycle - meta.created_at;
+            if meta.measured {
+                per_class.record(meta.class, latency, e.flit.hops);
+                histogram.record(latency);
+                completed += 1;
+            }
+            let ejected = EjectedPacket {
+                id: e.flit.packet,
+                src: meta.src,
+                dst: meta.dst,
+                class: meta.class,
+                created_at: meta.created_at,
+                ejected_at: e.cycle,
+                hops: e.flit.hops,
+                len_flits: meta.len_flits,
+            };
+            // Replies inherit measurement status from the window in
+            // which they are eventually *injected* (see `run`), not the
+            // window of this ejection.
+            let replies = workload.on_ejected(e.cycle, &ejected);
+            self.schedule_replies(replies, cycle);
+        }
+        completed
+    }
+
+    /// Runs the workload through warm-up, measurement, and drain, and
+    /// returns the report.
+    pub fn run(&mut self, mut workload: Box<dyn Workload>) -> SimReport {
+        workload.init(self.network.topology().num_nodes());
+
+        let warm_end = self.cfg.warmup_cycles;
+        let measure_end = warm_end + self.cfg.measure_cycles;
+        let hard_end = measure_end + self.cfg.drain_cycles;
+
+        let mut per_class = PerClassLatency::new();
+        let mut histogram = LatencyHistogram::new();
+        let mut counters_at_start = ActivityCounters::new();
+        let mut activity_at_start: Vec<RouterActivity> = Vec::new();
+        let mut counters_at_measure_end: Option<ActivityCounters> = None;
+        // warm_end == 0 means measurement starts immediately; the zeroed
+        // defaults above are then the correct snapshot.
+        let mut warm_snapshot_taken = warm_end == 0;
+        let mut measured_created = 0u64;
+        let mut measured_done = 0u64;
+        let mut cycle = 0u64;
+
+        while cycle < hard_end {
+            if !warm_snapshot_taken && cycle >= warm_end {
+                counters_at_start = self.network.counters().clone();
+                activity_at_start = self.network.router_activity().to_vec();
+                warm_snapshot_taken = true;
+            }
+            if counters_at_measure_end.is_none() && cycle >= measure_end {
+                counters_at_measure_end = Some(self.network.counters().clone());
+            }
+            let measuring = cycle >= warm_end && cycle < measure_end;
+
+            if cycle < measure_end {
+                for spec in workload.generate(cycle) {
+                    self.inject(spec, cycle, measuring);
+                    if measuring {
+                        measured_created += 1;
+                    }
+                }
+            }
+            // Replies due now are injected with the current window's
+            // measurement status.
+            self.inject_due_replies(cycle, measuring);
+
+            self.network.step(cycle);
+            measured_done +=
+                self.process_ejections(cycle, &mut *workload, &mut per_class, &mut histogram);
+
+            cycle += 1;
+
+            // Early exit once everything measured has drained and the
+            // measurement window is over.
+            if cycle >= measure_end && measured_done >= measured_created && self.network.is_drained()
+            {
+                break;
+            }
+        }
+
+        if !warm_snapshot_taken {
+            counters_at_start = self.network.counters().clone();
+            activity_at_start = self.network.router_activity().to_vec();
+        }
+        let counters = self.network.counters().delta_since(&counters_at_start);
+        let per_router: Vec<RouterActivity> = if activity_at_start.is_empty() {
+            self.network.router_activity().to_vec()
+        } else {
+            self.network
+                .router_activity()
+                .iter()
+                .zip(&activity_at_start)
+                .map(|(now, then)| now.delta_since(then))
+                .collect()
+        };
+        let total = per_class.total();
+        let nodes = self.network.topology().num_nodes() as f64;
+        // Accepted throughput: flits ejected during the *measurement
+        // window only* (warm-end snapshot to measure-end snapshot), per
+        // node per cycle — drain-phase activity is excluded so low-load
+        // throughput is not biased down by idle drain cycles.
+        let window = counters_at_measure_end
+            .unwrap_or_else(|| self.network.counters().clone())
+            .delta_since(&counters_at_start);
+        let throughput = window.flits_ejected as f64 / ((window.cycles.max(1)) as f64 * nodes);
+
+        SimReport {
+            avg_latency: total.mean(),
+            avg_hops: total.mean_hops(),
+            throughput,
+            packets_created: measured_created,
+            packets_ejected: measured_done,
+            saturated: measured_done < measured_created,
+            counters,
+            per_class,
+            per_router,
+            histogram,
+            cycles_simulated: cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::topology::{ExpressMesh2D, Mesh2D};
+    use crate::traffic::UniformRandom;
+
+    fn run_ur(rate: f64, combined: bool) -> SimReport {
+        let pipeline = if combined {
+            PipelineConfig::combined_st_lt()
+        } else {
+            PipelineConfig::separate_lt()
+        };
+        let cfg = NetworkConfig::builder().pipeline(pipeline).build();
+        let mut sim =
+            Simulator::new(Box::new(Mesh2D::new(4, 4)), cfg, SimConfig::short());
+        sim.run(Box::new(UniformRandom::new(rate, 5, 42)))
+    }
+
+    #[test]
+    fn low_load_run_completes_and_measures() {
+        let r = run_ur(0.02, false);
+        assert!(!r.saturated, "2% load on a 4x4 mesh must not saturate");
+        assert!(r.packets_created > 0);
+        assert_eq!(r.packets_created, r.packets_ejected);
+        assert!(r.avg_latency > 10.0, "got {}", r.avg_latency);
+        assert!(r.avg_hops > 1.0 && r.avg_hops < 4.0, "got {}", r.avg_hops);
+    }
+
+    #[test]
+    fn latency_monotone_in_load() {
+        let lat_low = run_ur(0.02, false).avg_latency;
+        let lat_mid = run_ur(0.15, false).avg_latency;
+        assert!(
+            lat_mid > lat_low,
+            "latency must grow with load: {lat_low} vs {lat_mid}"
+        );
+    }
+
+    #[test]
+    fn combined_pipeline_cuts_latency() {
+        let sep = run_ur(0.05, false).avg_latency;
+        let comb = run_ur(0.05, true).avg_latency;
+        assert!(comb < sep, "combined {comb} must beat separate {sep}");
+        // Roughly one cycle per hop: avg hops ≈ 2.5 on 4x4.
+        assert!(sep - comb > 1.5, "saving too small: {}", sep - comb);
+    }
+
+    #[test]
+    fn express_mesh_cuts_hops_and_latency() {
+        let cfg = NetworkConfig::default();
+        let mut mesh_sim =
+            Simulator::new(Box::new(Mesh2D::new(6, 6)), cfg, SimConfig::short());
+        let mesh = mesh_sim.run(Box::new(UniformRandom::new(0.05, 5, 42)));
+
+        let mut exp_sim =
+            Simulator::new(Box::new(ExpressMesh2D::new(6, 6)), cfg, SimConfig::short());
+        let exp = exp_sim.run(Box::new(UniformRandom::new(0.05, 5, 42)));
+
+        assert!(exp.avg_hops < mesh.avg_hops * 0.75, "{} vs {}", exp.avg_hops, mesh.avg_hops);
+        assert!(exp.avg_latency < mesh.avg_latency, "{} vs {}", exp.avg_latency, mesh.avg_latency);
+    }
+
+    #[test]
+    fn saturation_detected_at_overload() {
+        // Offered load far above mesh capacity must be flagged.
+        let mut sim = Simulator::new(
+            Box::new(Mesh2D::new(4, 4)),
+            NetworkConfig::default(),
+            SimConfig { warmup_cycles: 100, measure_cycles: 500, drain_cycles: 300 },
+        );
+        let r = sim.run(Box::new(UniformRandom::new(0.9, 5, 42)));
+        assert!(r.saturated);
+        assert!(r.packets_ejected < r.packets_created);
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let r = run_ur(0.1, false);
+        assert!(
+            (r.throughput - 0.1).abs() < 0.02,
+            "accepted {} vs offered 0.1",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let a = run_ur(0.1, false);
+        let b = run_ur(0.1, false);
+        assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
+        assert_eq!(a.counters, b.counters);
+    }
+}

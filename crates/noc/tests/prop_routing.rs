@@ -1,0 +1,86 @@
+//! Property tests: routing always delivers, minimally, on every
+//! topology and size.
+
+use proptest::prelude::*;
+
+use mira_noc::ids::NodeId;
+use mira_noc::topology::{ExpressMesh2D, Mesh2D, Mesh3D, Topology};
+
+/// Walks the deterministic route from src to dst, panicking on loops.
+fn walk(topo: &dyn Topology, src: NodeId, dst: NodeId) -> usize {
+    let mut cur = src;
+    let mut hops = 0;
+    while cur != dst {
+        let p = topo.route(cur, dst);
+        prop_assert_ne_ok(!p.is_local());
+        cur = topo.neighbor(cur, p).expect("route follows a link");
+        hops += 1;
+        assert!(hops <= 4 * topo.num_nodes(), "routing loop");
+    }
+    hops
+}
+
+fn prop_assert_ne_ok(cond: bool) {
+    assert!(cond, "router tried to eject early");
+}
+
+proptest! {
+    #[test]
+    fn mesh2d_routes_minimally(w in 2usize..8, h in 2usize..8, s in 0usize..64, d in 0usize..64) {
+        let topo = Mesh2D::new(w, h);
+        let n = topo.num_nodes();
+        let (src, dst) = (NodeId(s % n), NodeId(d % n));
+        prop_assume!(src != dst);
+        prop_assert_eq!(walk(&topo, src, dst), topo.min_hops(src, dst));
+    }
+
+    #[test]
+    fn mesh3d_routes_minimally(w in 2usize..5, h in 2usize..5, depth in 2usize..5,
+                               s in 0usize..128, d in 0usize..128) {
+        let topo = Mesh3D::new(w, h, depth);
+        let n = topo.num_nodes();
+        let (src, dst) = (NodeId(s % n), NodeId(d % n));
+        prop_assume!(src != dst);
+        prop_assert_eq!(walk(&topo, src, dst), topo.min_hops(src, dst));
+    }
+
+    #[test]
+    fn express_mesh_delivers(w in 4usize..9, h in 4usize..9, s in 0usize..81, d in 0usize..81) {
+        let topo = ExpressMesh2D::new(w, h);
+        let n = topo.num_nodes();
+        let (src, dst) = (NodeId(s % n), NodeId(d % n));
+        prop_assume!(src != dst);
+        let hops = walk(&topo, src, dst);
+        // Greedy express routing is minimal for span 2 away from edges
+        // and never worse than the plain-mesh distance.
+        let manhattan = {
+            let a = topo.coords(src);
+            let b = topo.coords(dst);
+            a.x.abs_diff(b.x) + a.y.abs_diff(b.y)
+        };
+        prop_assert!(hops >= topo.min_hops(src, dst));
+        prop_assert!(hops <= manhattan);
+    }
+
+    /// Dimension-ordered routing never turns back into a dimension it
+    /// has finished — the acyclicity that makes it deadlock-free.
+    #[test]
+    fn xy_routing_is_dimension_ordered(s in 0usize..36, d in 0usize..36) {
+        let topo = Mesh2D::new(6, 6);
+        let (src, dst) = (NodeId(s), NodeId(d));
+        prop_assume!(src != dst);
+        let mut cur = src;
+        let mut seen_y_move = false;
+        while cur != dst {
+            let p = topo.route(cur, dst);
+            let next = topo.neighbor(cur, p).unwrap();
+            let (a, b) = (topo.coords(cur), topo.coords(next));
+            if a.y != b.y {
+                seen_y_move = true;
+            } else {
+                prop_assert!(!seen_y_move, "x move after a y move breaks XY order");
+            }
+            cur = next;
+        }
+    }
+}

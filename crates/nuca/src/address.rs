@@ -1,0 +1,87 @@
+//! Cache-line addresses.
+//!
+//! The memory system works at line granularity (64-byte lines, paper
+//! Table 4); [`LineAddr`] is the line-aligned address with helpers to
+//! extract set indices for differently sized arrays.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per cache line (paper Table 4: 64-bit... the L1 row lists
+/// 64-byte lines via "64 bit-lines"; 64 B is also what makes a data
+/// packet 4 payload flits of 128 bits).
+pub const LINE_BYTES: u64 = 64;
+
+/// A line-aligned physical address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line *index* (address / 64).
+    pub const fn from_index(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// Creates a line address from a byte address (truncates to the
+    /// line).
+    pub const fn from_byte_addr(addr: u64) -> Self {
+        LineAddr(addr / LINE_BYTES)
+    }
+
+    /// The line index (byte address / 64).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of the line.
+    pub const fn byte_addr(self) -> u64 {
+        self.0 * LINE_BYTES
+    }
+
+    /// Set index within an array of `num_sets` sets (power of two not
+    /// required).
+    pub const fn set_index(self, num_sets: usize) -> usize {
+        (self.0 % num_sets as u64) as usize
+    }
+
+    /// Tag for an array of `num_sets` sets.
+    pub const fn tag(self, num_sets: usize) -> u64 {
+        self.0 / num_sets as u64
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:x}", self.byte_addr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_addr_roundtrip() {
+        let a = LineAddr::from_byte_addr(0x1234);
+        assert_eq!(a.byte_addr(), 0x1200);
+        assert_eq!(a.index(), 0x48);
+        assert_eq!(LineAddr::from_index(0x48), a);
+    }
+
+    #[test]
+    fn set_and_tag_reconstruct_index() {
+        let a = LineAddr::from_index(1000);
+        let sets = 128;
+        assert_eq!(a.tag(sets) * sets as u64 + a.set_index(sets) as u64, 1000);
+    }
+
+    #[test]
+    fn different_lines_same_set_have_different_tags() {
+        let sets = 128;
+        let a = LineAddr::from_index(5);
+        let b = LineAddr::from_index(5 + sets as u64);
+        assert_eq!(a.set_index(sets), b.set_index(sets));
+        assert_ne!(a.tag(sets), b.tag(sets));
+    }
+}

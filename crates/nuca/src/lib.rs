@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # mira-nuca — a NUCA CMP cache-coherence substrate
+//!
+//! The paper's "MP traces" come from Simics runs of commercial and
+//! scientific workloads through a two-level directory-MESI memory
+//! hierarchy (paper §4.1.2, Table 4): private 32 KB L1s, a shared
+//! 14 MB L2 split into 28 banks interconnected by the NoC, SNUCA static
+//! set placement, and a 400-cycle DRAM behind it.
+//!
+//! This crate rebuilds that memory system as an event-driven model and
+//! uses it to *synthesise* packet traces statistically equivalent to the
+//! paper's (the Simics traces themselves are not available — see
+//! DESIGN.md §4): per-application address streams (working-set size,
+//! read/write mix, sharing) flow through real L1 arrays and a real
+//! directory, and every protocol message becomes a timestamped
+//! [`TraceRecord`](mira_traffic::TraceRecord).
+//!
+//! Modules:
+//!
+//! * [`address`] — line addresses and field extraction;
+//! * [`snuca`] — static set→bank mapping ("the sets are statically
+//!   placed in the banks depending on the low order bits of the address
+//!   tags");
+//! * [`cache`] — set-associative MESI tag arrays with LRU;
+//! * [`directory`] — per-bank distributed directory;
+//! * [`protocol`] — coherence message vocabulary and its packet classes;
+//! * [`stream`] — synthetic per-CPU address streams;
+//! * [`data`] — cache-line payload synthesis and the short-flit
+//!   calibration;
+//! * [`cmp`] — the CMP system tying it together and emitting traces.
+
+pub mod address;
+pub mod cache;
+pub mod cmp;
+pub mod data;
+pub mod directory;
+pub mod protocol;
+pub mod snuca;
+pub mod stream;
+
+pub use address::LineAddr;
+pub use cmp::{CmpConfig, CmpSystem, TraceStats};
+pub use snuca::BankMap;

@@ -1,0 +1,106 @@
+//! Coherence message vocabulary.
+//!
+//! "The network timing model simulates all kinds of messages such as
+//! invalidates, requests, response, write backs, and acknowledgments"
+//! (paper §4.1.2). Each message type maps to a [`PacketClass`] (which in
+//! turn selects control vs data virtual channels) and a packet length.
+
+use serde::{Deserialize, Serialize};
+
+use mira_noc::packet::PacketClass;
+
+/// Coherence protocol messages exchanged between L1s and L2 banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoherenceMsg {
+    /// Read request (load miss): L1 → home bank.
+    GetS,
+    /// Write/ownership request (store miss or upgrade): L1 → home bank.
+    GetX,
+    /// Invalidate a sharer: home bank → L1.
+    Inv,
+    /// Invalidation acknowledgement: L1 → home bank.
+    InvAck,
+    /// Cache-line data: home bank → L1.
+    Data,
+    /// Dirty-line writeback: L1 → home bank.
+    WriteBack,
+    /// Clean-eviction notification: L1 → home bank. Required by the
+    /// inclusive L2 directory to keep its sharer sets exact (non-silent
+    /// clean evictions); rides the ack class.
+    PutS,
+}
+
+impl CoherenceMsg {
+    /// The packet class carrying this message.
+    pub fn packet_class(self) -> PacketClass {
+        match self {
+            CoherenceMsg::GetS => PacketClass::ReadRequest,
+            CoherenceMsg::GetX => PacketClass::WriteRequest,
+            CoherenceMsg::Inv => PacketClass::Invalidate,
+            CoherenceMsg::InvAck => PacketClass::Ack,
+            CoherenceMsg::Data => PacketClass::DataResponse,
+            CoherenceMsg::WriteBack => PacketClass::WriteBack,
+            CoherenceMsg::PutS => PacketClass::Ack,
+        }
+    }
+
+    /// Packet length in flits: control messages are single-flit; data
+    /// messages carry a 64 B line over four 128-bit payload flits plus
+    /// the header flit.
+    pub fn len_flits(self) -> usize {
+        if self.packet_class().is_data() {
+            5
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_messages_are_single_flit() {
+        for m in [
+            CoherenceMsg::GetS,
+            CoherenceMsg::GetX,
+            CoherenceMsg::Inv,
+            CoherenceMsg::InvAck,
+            CoherenceMsg::PutS,
+        ] {
+            assert_eq!(m.len_flits(), 1, "{m:?}");
+            assert!(m.packet_class().is_control());
+        }
+    }
+
+    #[test]
+    fn data_messages_are_five_flits() {
+        for m in [CoherenceMsg::Data, CoherenceMsg::WriteBack] {
+            assert_eq!(m.len_flits(), 5, "{m:?}");
+            assert!(m.packet_class().is_data());
+        }
+    }
+
+    #[test]
+    fn classes_are_distinct_except_puts() {
+        // PutS deliberately shares the ack class; the six primary
+        // messages map to six distinct classes.
+        let classes: Vec<_> = [
+            CoherenceMsg::GetS,
+            CoherenceMsg::GetX,
+            CoherenceMsg::Inv,
+            CoherenceMsg::InvAck,
+            CoherenceMsg::Data,
+            CoherenceMsg::WriteBack,
+        ]
+        .iter()
+        .map(|m| m.packet_class())
+        .collect();
+        let mut dedup = classes.clone();
+        dedup.sort_by_key(|c| c.table_index());
+        dedup.dedup();
+        assert_eq!(dedup.len(), classes.len());
+        assert_eq!(CoherenceMsg::PutS.packet_class(), PacketClass::Ack);
+    }
+}

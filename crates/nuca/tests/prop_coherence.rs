@@ -1,0 +1,135 @@
+//! Property tests on the coherence substrate: directory/L1 consistency
+//! under arbitrary access interleavings.
+
+use proptest::prelude::*;
+
+use mira_nuca::address::LineAddr;
+use mira_nuca::cache::{CacheArray, Mesi};
+use mira_nuca::directory::Directory;
+
+/// A reference harness that mirrors the CMP model's use of the
+/// directory + L1 arrays and checks the MESI invariants after every
+/// step.
+#[derive(Debug)]
+struct Harness {
+    l1s: Vec<CacheArray>,
+    dir: Directory,
+    addrs: Vec<LineAddr>,
+}
+
+impl Harness {
+    fn new(cpus: usize) -> Self {
+        Harness {
+            l1s: (0..cpus).map(|_| CacheArray::new(4, 2)).collect(),
+            dir: Directory::new(),
+            addrs: Vec::new(),
+        }
+    }
+
+    fn access(&mut self, cpu: usize, addr: LineAddr, write: bool) {
+        if !self.addrs.contains(&addr) {
+            self.addrs.push(addr);
+        }
+        match (self.l1s[cpu].touch(addr), write) {
+            (Some(Mesi::Modified), _) => {}
+            (Some(Mesi::Exclusive), true) => {
+                self.l1s[cpu].set_state(addr, Mesi::Modified);
+            }
+            (Some(Mesi::Exclusive), false) | (Some(Mesi::Shared), false) => {}
+            (Some(Mesi::Shared), true) => {
+                for other in self.dir.record_write(addr, cpu) {
+                    self.l1s[other].invalidate(addr);
+                }
+                self.l1s[cpu].set_state(addr, Mesi::Modified);
+            }
+            (None, true) => {
+                for other in self.dir.record_write(addr, cpu) {
+                    self.l1s[other].invalidate(addr);
+                }
+                self.fill(cpu, addr, Mesi::Modified);
+            }
+            (None, false) => {
+                if let Some(owner) = self.dir.record_read(addr, cpu) {
+                    self.l1s[owner].set_state(addr, Mesi::Shared);
+                }
+                let grant = if self.dir.entry(addr).sharers.is_empty() {
+                    Mesi::Exclusive
+                } else {
+                    Mesi::Shared
+                };
+                self.fill(cpu, addr, grant);
+            }
+        }
+    }
+
+    fn fill(&mut self, cpu: usize, addr: LineAddr, state: Mesi) {
+        if let Some(ev) = self.l1s[cpu].insert(addr, state) {
+            self.dir.record_drop(ev.addr, cpu);
+        }
+    }
+
+    /// The MESI single-writer / multi-reader invariant over all lines.
+    fn check_invariants(&self) -> Result<(), TestCaseError> {
+        for &addr in &self.addrs {
+            let holders: Vec<(usize, Mesi)> = self
+                .l1s
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l1)| l1.peek(addr).map(|s| (i, s)))
+                .collect();
+            let exclusive: Vec<_> = holders
+                .iter()
+                .filter(|(_, s)| matches!(s, Mesi::Modified | Mesi::Exclusive))
+                .collect();
+            prop_assert!(
+                exclusive.len() <= 1,
+                "two exclusive holders of {addr}: {holders:?}"
+            );
+            if exclusive.len() == 1 {
+                prop_assert_eq!(
+                    holders.len(), 1,
+                    "exclusive line {} also shared: {:?}", addr, &holders
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-writer invariant holds under any interleaving of reads,
+    /// writes and the evictions they trigger.
+    #[test]
+    fn mesi_single_writer(
+        ops in proptest::collection::vec((0usize..4, 0u64..12, any::<bool>()), 1..200),
+    ) {
+        let mut h = Harness::new(4);
+        for (cpu, line, write) in ops {
+            h.access(cpu, LineAddr::from_index(line), write);
+            h.check_invariants()?;
+        }
+    }
+
+    /// After a write by CPU `c`, no other CPU still holds the line.
+    #[test]
+    fn writes_invalidate_everywhere(
+        warm in proptest::collection::vec((0usize..4, 0u64..8), 0..50),
+        writer in 0usize..4,
+        line in 0u64..8,
+    ) {
+        let mut h = Harness::new(4);
+        for (cpu, l) in warm {
+            h.access(cpu, LineAddr::from_index(l), false);
+        }
+        let addr = LineAddr::from_index(line);
+        h.access(writer, addr, true);
+        for (i, l1) in h.l1s.iter().enumerate() {
+            if i != writer {
+                prop_assert_eq!(l1.peek(addr), None, "cpu {} still holds the line", i);
+            }
+        }
+        prop_assert_eq!(h.l1s[writer].peek(addr), Some(Mesi::Modified));
+    }
+}

@@ -1,0 +1,322 @@
+//! Router component areas (paper Table 1).
+//!
+//! The paper synthesised each module in a TSMC 90 nm standard-cell
+//! library; Table 1 reports the resulting areas. Two families of numbers
+//! are reproducible from first principles and match the table exactly:
+//!
+//! * **crossbar**: a matrix crossbar is wire-dominated; its per-layer
+//!   area is `(P·W·pitch / L)²` with a 0.75 µm per-bit track pitch —
+//!   giving 230 400 / 451 584 / 14 400 / 46 656 µm² for
+//!   2DB / 3DB / 3DM / 3DM-E, exactly the table;
+//! * **buffer**: register-file storage at 31.83 µm²/bit:
+//!   `P·V·k·W·31.83 / L` per layer reproduces
+//!   162 973 / 228 162 / 40 743 / 73 338 µm².
+//!
+//! RC, SA1 and VA1 scale linearly with port count from the 2DB
+//! synthesis; SA2 and VA2 arbiters scale super-linearly and are kept as
+//! synthesis constants (with a quadratic interpolation for non-paper
+//! geometries).
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{PaperArch, RouterGeometry};
+use crate::tech::TechParams;
+
+/// Areas of the six router components, µm². For multi-layered designs
+/// these are the **maximum single-layer** figures, matching Table 1's
+/// 3DM*/3DM-E* columns.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComponentAreas {
+    /// Routing-computation logic.
+    pub rc: f64,
+    /// Switch-allocator stage 1.
+    pub sa1: f64,
+    /// Switch-allocator stage 2.
+    pub sa2: f64,
+    /// VC-allocator stage 1.
+    pub va1: f64,
+    /// VC-allocator stage 2 (max per layer for 3DM: spread over the
+    /// bottom `L-1` layers).
+    pub va2: f64,
+    /// Crossbar (per layer for multi-layered designs).
+    pub crossbar: f64,
+    /// Input buffers (per layer for multi-layered designs).
+    pub buffer: f64,
+}
+
+impl ComponentAreas {
+    /// Total of all components, µm² (the table's "Total area" row).
+    pub fn total(&self) -> f64 {
+        self.rc + self.sa1 + self.sa2 + self.va1 + self.va2 + self.crossbar + self.buffer
+    }
+}
+
+/// Synthesis-derived per-architecture constants for the arbiter stages
+/// (2DB column of Table 1).
+const SA2_2DB_UM2: f64 = 6_201.0;
+const VA2_2DB_UM2: f64 = 29_312.0;
+const RC_2DB_UM2: f64 = 1_717.0;
+const SA1_2DB_UM2: f64 = 1_008.0;
+const VA1_2DB_UM2: f64 = 2_016.0;
+const PORTS_2DB: f64 = 5.0;
+
+/// The area model: parametric scaling laws anchored to the 2DB synthesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    tech: TechParams,
+}
+
+impl AreaModel {
+    /// Creates the model for a technology.
+    pub fn new(tech: TechParams) -> Self {
+        AreaModel { tech }
+    }
+
+    /// Crossbar area per layer, µm²: `(P·W·pitch / L)²`.
+    pub fn crossbar_per_layer_um2(&self, geo: &RouterGeometry) -> f64 {
+        let side = geo.xbar_side_um(self.tech.bit_pitch_um);
+        side * side
+    }
+
+    /// Buffer area per layer, µm²: `P·V·k·W·a_bit / L`.
+    pub fn buffer_per_layer_um2(&self, geo: &RouterGeometry) -> f64 {
+        geo.buffer_bits() as f64 * self.tech.buffer_area_um2_per_bit / geo.layers as f64
+    }
+
+    /// RC logic area, µm² (linear in ports, whole block on one layer).
+    pub fn rc_um2(&self, geo: &RouterGeometry) -> f64 {
+        RC_2DB_UM2 * geo.ports as f64 / PORTS_2DB
+    }
+
+    /// SA1 area, µm² (linear in ports).
+    pub fn sa1_um2(&self, geo: &RouterGeometry) -> f64 {
+        SA1_2DB_UM2 * geo.ports as f64 / PORTS_2DB
+    }
+
+    /// VA1 area, µm² (linear in ports).
+    pub fn va1_um2(&self, geo: &RouterGeometry) -> f64 {
+        VA1_2DB_UM2 * geo.ports as f64 / PORTS_2DB
+    }
+
+    /// SA2 area, µm² for a planar design: `P` arbiters of `P:1`, scaling
+    /// ≈ quadratically with the port count from the 2DB synthesis point.
+    pub fn sa2_um2(&self, geo: &RouterGeometry) -> f64 {
+        let scale = geo.ports as f64 / PORTS_2DB;
+        SA2_2DB_UM2 * scale * scale
+    }
+
+    /// VA2 area, µm² for a planar design: `P·V` arbiters of `PV:1`.
+    pub fn va2_um2(&self, geo: &RouterGeometry) -> f64 {
+        let scale = geo.ports as f64 / PORTS_2DB;
+        VA2_2DB_UM2 * scale * scale
+    }
+
+    /// VA2 area on the busiest layer when the arbiters are spread over
+    /// the `L-1` non-sink layers (paper §3.2.7).
+    pub fn va2_per_layer_um2(&self, geo: &RouterGeometry) -> f64 {
+        if geo.layers > 1 {
+            self.va2_um2(geo) / (geo.layers as f64 - 1.0)
+        } else {
+            self.va2_um2(geo)
+        }
+    }
+
+    /// The exact Table 1 column for one of the paper's architectures.
+    /// (The arbiter stages use the published synthesis constants rather
+    /// than the parametric interpolation.)
+    pub fn paper_areas(&self, arch: PaperArch) -> ComponentAreas {
+        match arch {
+            PaperArch::TwoDB => ComponentAreas {
+                rc: 1_717.0,
+                sa1: 1_008.0,
+                sa2: 6_201.0,
+                va1: 2_016.0,
+                va2: 29_312.0,
+                crossbar: 230_400.0,
+                buffer: 162_973.0,
+            },
+            PaperArch::ThreeDB => ComponentAreas {
+                rc: 2_404.0,
+                sa1: 1_411.0,
+                sa2: 11_306.0,
+                va1: 2_822.0,
+                va2: 62_725.0,
+                crossbar: 451_584.0,
+                buffer: 228_162.0,
+            },
+            PaperArch::ThreeDM => ComponentAreas {
+                rc: 1_717.0,
+                sa1: 1_008.0,
+                sa2: 6_201.0,
+                va1: 2_016.0,
+                va2: 9_770.0,
+                crossbar: 14_400.0,
+                buffer: 40_743.0,
+            },
+            PaperArch::ThreeDME => ComponentAreas {
+                rc: 3_092.0,
+                sa1: 1_814.0,
+                sa2: 25_024.0,
+                va1: 3_629.0,
+                va2: 41_842.0,
+                crossbar: 46_656.0,
+                buffer: 73_338.0,
+            },
+        }
+    }
+
+    /// Inter-layer via area per layer, µm², assuming 5×5 µm TSV pads
+    /// (paper §3.2.7, citing TSMC technology parameters).
+    pub fn via_area_um2(&self, geo: &RouterGeometry) -> f64 {
+        if geo.layers <= 1 {
+            return 0.0;
+        }
+        let vias =
+            mira_noc::layers::via_count(geo.ports, geo.vcs, geo.buffer_depth) as f64;
+        vias * 25.0
+    }
+
+    /// Via overhead as a fraction of the per-layer area (Table 1's "via
+    /// overhead per layer" row; < 2 % for 3DM).
+    pub fn via_overhead_fraction(&self, arch: PaperArch) -> f64 {
+        let geo = arch.geometry();
+        if geo.layers <= 1 {
+            return 0.0;
+        }
+        self.via_area_um2(&geo) / self.paper_areas(arch).total()
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::new(TechParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AreaModel {
+        AreaModel::default()
+    }
+
+    /// Table 1 totals (µm²).
+    #[test]
+    fn table1_totals() {
+        let m = model();
+        let expected = [
+            (PaperArch::TwoDB, 433_627.0),
+            (PaperArch::ThreeDB, 760_414.0),
+            (PaperArch::ThreeDM, 75_855.0),
+            (PaperArch::ThreeDME, 195_395.0),
+        ];
+        // The paper's totals row reads 433 628 / 760 416 / 260 829 /
+        // 639 063; the 2DB/3DB columns match component sums to rounding.
+        // For 3DM/3DM-E the published "total" is the sum over ALL layers
+        // of the separable parts (our per-layer column sums differ); we
+        // check component sums here and the published cross-layer totals
+        // in `table1_published_totals`.
+        for (arch, total) in expected {
+            let sum = m.paper_areas(arch).total();
+            assert!((sum - total).abs() < 3.0, "{arch}: {sum} vs {total}");
+        }
+    }
+
+    /// The published totals for the multi-layered designs count the
+    /// separable modules on every layer: per-layer × L for crossbar and
+    /// buffer, VA2 × (L−1) for the spread arbiters.
+    #[test]
+    fn table1_published_totals() {
+        let m = model();
+        let a = m.paper_areas(PaperArch::ThreeDM);
+        let all_layers =
+            a.rc + a.sa1 + a.sa2 + a.va1 + a.va2 * 3.0 + (a.crossbar + a.buffer) * 4.0;
+        assert!((all_layers - 260_829.0).abs() < 30.0, "3DM cross-layer total {all_layers}");
+
+        let e = m.paper_areas(PaperArch::ThreeDME);
+        let all_layers_e =
+            e.rc + e.sa1 + e.sa2 + e.va1 + e.va2 * 3.0 + (e.crossbar + e.buffer) * 4.0;
+        assert!((all_layers_e - 639_063.0).abs() < 30.0, "3DM-E cross-layer total {all_layers_e}");
+    }
+
+    /// The crossbar scaling law reproduces Table 1 exactly.
+    #[test]
+    fn crossbar_law_matches_table_exactly() {
+        let m = model();
+        for (arch, expect) in [
+            (PaperArch::TwoDB, 230_400.0),
+            (PaperArch::ThreeDB, 451_584.0),
+            (PaperArch::ThreeDM, 14_400.0),
+            (PaperArch::ThreeDME, 46_656.0),
+        ] {
+            let got = m.crossbar_per_layer_um2(&arch.geometry());
+            assert!((got - expect).abs() < 1e-6, "{arch}: {got} vs {expect}");
+        }
+    }
+
+    /// The buffer scaling law reproduces Table 1 to rounding (±1 µm²).
+    #[test]
+    fn buffer_law_matches_table() {
+        let m = model();
+        for (arch, expect) in [
+            (PaperArch::TwoDB, 162_973.0),
+            (PaperArch::ThreeDB, 228_162.0),
+            (PaperArch::ThreeDM, 40_743.0),
+            (PaperArch::ThreeDME, 73_338.0),
+        ] {
+            let got = m.buffer_per_layer_um2(&arch.geometry());
+            assert!((got - expect).abs() < expect * 0.002, "{arch}: {got} vs {expect}");
+        }
+    }
+
+    /// RC / SA1 / VA1 scale linearly in ports from the 2DB synthesis.
+    #[test]
+    fn linear_components_match_table() {
+        let m = model();
+        for arch in PaperArch::ALL {
+            let geo = arch.geometry();
+            let t = m.paper_areas(arch);
+            assert!((m.rc_um2(&geo) - t.rc).abs() < 2.0, "{arch} rc");
+            assert!((m.sa1_um2(&geo) - t.sa1).abs() < 2.0, "{arch} sa1");
+            assert!((m.va1_um2(&geo) - t.va1).abs() < 2.0, "{arch} va1");
+        }
+    }
+
+    /// 3DM VA2 per-layer figure is the full VA2 spread over 3 layers.
+    #[test]
+    fn va2_spreads_over_non_sink_layers() {
+        let m = model();
+        let geo = PaperArch::ThreeDM.geometry();
+        let per_layer = m.va2_per_layer_um2(&geo);
+        // Full VA2 (2DB-sized: same P, V) split three ways: 29312/3 ≈ 9771.
+        assert!((per_layer - 29_312.0 / 3.0).abs() < 1.0, "{per_layer}");
+        assert!((m.paper_areas(PaperArch::ThreeDM).va2 - 9_770.0).abs() < 1.0);
+    }
+
+    /// Via overhead stays below 2 % for 3DM and below 1 % for 3DM-E
+    /// (Table 1's bottom row: 1.6 % and 0.6 %).
+    #[test]
+    fn via_overhead_bounds() {
+        let m = model();
+        assert_eq!(m.via_overhead_fraction(PaperArch::TwoDB), 0.0);
+        let f3m = m.via_overhead_fraction(PaperArch::ThreeDM);
+        assert!(f3m > 0.0 && f3m < 0.02, "3DM via overhead {f3m}");
+        let f3me = m.via_overhead_fraction(PaperArch::ThreeDME);
+        assert!(f3me > 0.0 && f3me < 0.01, "3DM-E via overhead {f3me}");
+    }
+
+    /// Paper §3.3: the 3DM-E router is ≈2.4× the 3DM area and ≈0.7× the
+    /// 2DB area (per-layer comparison... the paper compares cross-layer
+    /// totals: 639 063 / 260 829 ≈ 2.45 and 639 063 / 433 628 ≈ 1.47 —
+    /// the 0.7× figure refers to footprint in a single layer).
+    #[test]
+    fn threedme_area_ratios() {
+        let ratio_cross: f64 = 639_063.0 / 260_829.0;
+        assert!((ratio_cross - 2.45).abs() < 0.1);
+        let m = model();
+        let footprint_ratio = m.paper_areas(PaperArch::ThreeDME).total()
+            / m.paper_areas(PaperArch::TwoDB).total();
+        assert!(footprint_ratio < 0.7, "single-layer footprint ratio {footprint_ratio}");
+    }
+}

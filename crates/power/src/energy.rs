@@ -1,0 +1,278 @@
+//! Orion-style dynamic-energy models for the router components.
+//!
+//! Follows the structure of Orion (Wang et al., MICRO 2002), which the
+//! paper uses for all its power numbers: each component's energy per
+//! event is `α·C·V²` with a component-specific effective capacitance
+//! built from geometry:
+//!
+//! * **input buffer** (register-file model): per-bit access capacitance =
+//!   cell + `k`·bit-line + word-line;
+//! * **matrix crossbar**: per-bit input + output line capacitance =
+//!   wire length (`P·W·pitch/L`) times wire cap, plus `P` crosspoint
+//!   drains per line (paper Fig. 5);
+//! * **matrix arbiter** `n:1`: `n²`-proportional switched capacitance;
+//! * **link**: wire cap times length (paper Table 2's repeated wires);
+//! * **control** (clock tree, pipeline registers, FSMs): per flit-hop
+//!   constant, not gated by layer shutdown.
+//!
+//! The constants in [`crate::tech::TECH_90NM`] are calibrated so that the
+//! relations the paper publishes hold (see the tests at the bottom):
+//! buffers ≈ 31 % of 2DB router energy, 3DM per-flit energy ≈ 0.65× 2DB,
+//! 3DB router energy above 2DB's.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{PaperArch, RouterGeometry};
+use crate::tech::TechParams;
+
+/// Per-event dynamic-energy model for one router geometry.
+///
+/// ```
+/// use mira_power::energy::EnergyModel;
+/// use mira_power::geometry::PaperArch;
+///
+/// let model = EnergyModel::for_arch(PaperArch::ThreeDM);
+/// let b = model.flit_hop_breakdown();
+/// // The multi-layered router spends ~35% less energy per flit-hop
+/// // than the 2D baseline (paper §3.4.2).
+/// let base = EnergyModel::for_arch(PaperArch::TwoDB).flit_hop_breakdown();
+/// assert!(b.total_j() < 0.70 * base.total_j());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    tech: TechParams,
+    geo: RouterGeometry,
+}
+
+impl EnergyModel {
+    /// Builds the model for a geometry under a technology.
+    pub fn new(geo: RouterGeometry, tech: TechParams) -> Self {
+        EnergyModel { tech, geo }
+    }
+
+    /// Convenience: the model for one of the paper's architectures at the
+    /// default 90 nm technology.
+    pub fn for_arch(arch: PaperArch) -> Self {
+        EnergyModel::new(arch.geometry(), TechParams::default())
+    }
+
+    /// The geometry this model describes.
+    pub fn geometry(&self) -> &RouterGeometry {
+        &self.geo
+    }
+
+    /// The technology parameters in use.
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// Energy of writing one full-width flit into an input buffer, J.
+    pub fn buffer_write_j(&self) -> f64 {
+        let t = &self.tech;
+        let per_bit = t.buffer_cell_cap_ff
+            + self.geo.buffer_depth as f64 * t.buffer_bitline_cap_ff_per_slot
+            + t.buffer_wordline_cap_ff_per_bit;
+        t.dynamic_energy_j(self.geo.flit_bits as f64 * per_bit)
+    }
+
+    /// Energy of reading one full-width flit from an input buffer, J.
+    ///
+    /// The register-file read and write paths switch nearly the same
+    /// capacitance in Orion's model; we use one figure for both.
+    pub fn buffer_read_j(&self) -> f64 {
+        self.buffer_write_j()
+    }
+
+    /// Energy of one full-width flit traversing the (per-layer) crossbar,
+    /// J. Covers all `L` layer slices together — the caller scales by the
+    /// active-layer fraction for gated flits.
+    pub fn xbar_traversal_j(&self) -> f64 {
+        let t = &self.tech;
+        let side_um = self.geo.xbar_side_um(t.bit_pitch_um);
+        let line_cap =
+            side_um * t.wire_cap_ff_per_um + self.geo.ports as f64 * t.xbar_drain_cap_ff;
+        // Input line + output line per bit.
+        t.dynamic_energy_j(self.geo.flit_bits as f64 * 2.0 * line_cap)
+    }
+
+    /// Energy of one `n:1` matrix arbitration, J.
+    pub fn arbitration_j(&self, n: usize) -> f64 {
+        self.tech.dynamic_energy_j((n * n) as f64 * self.tech.arbiter_cap_ff_per_req2)
+    }
+
+    /// Energy of one flit travelling one millimetre of link, J.
+    pub fn link_j_per_mm(&self) -> f64 {
+        self.tech
+            .dynamic_energy_j(self.geo.flit_bits as f64 * 1_000.0 * self.tech.wire_cap_ff_per_um)
+    }
+
+    /// Energy of one flit crossing one regular inter-router link, J.
+    pub fn link_traversal_j(&self) -> f64 {
+        self.link_j_per_mm() * self.geo.link_mm
+    }
+
+    /// Control overhead (clock tree, pipeline registers, allocator FSMs)
+    /// per flit per router, J. Not gated by layer shutdown.
+    pub fn control_j(&self) -> f64 {
+        self.tech
+            .dynamic_energy_j(self.geo.flit_bits as f64 * self.tech.control_cap_ff_per_bit)
+    }
+
+    /// The Fig. 9 quantity: energy of one full-width flit making one hop
+    /// (buffer write + read, crossbar, the typical allocations, control,
+    /// and the regular link).
+    pub fn flit_hop_breakdown(&self) -> FlitEnergyBreakdown {
+        // One VA (VA1+VA2) per packet amortised over ~5 flits plus one
+        // SA1+SA2 per flit: arbitration is a small term either way.
+        let arb = self.arbitration_j(self.geo.sa1_arbiter_size())
+            + self.arbitration_j(self.geo.sa2_arbiter_size())
+            + (self.arbitration_j(self.geo.va1_arbiter_size())
+                + self.arbitration_j(self.geo.va2_arbiter_size()))
+                / 5.0;
+        FlitEnergyBreakdown {
+            buffer_j: self.buffer_write_j() + self.buffer_read_j(),
+            xbar_j: self.xbar_traversal_j(),
+            arbitration_j: arb,
+            control_j: self.control_j(),
+            link_j: self.link_traversal_j(),
+        }
+    }
+}
+
+/// Energy of one flit-hop split by component (paper Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlitEnergyBreakdown {
+    /// Buffer write + read energy, J.
+    pub buffer_j: f64,
+    /// Crossbar traversal energy, J.
+    pub xbar_j: f64,
+    /// Allocator arbitration energy, J.
+    pub arbitration_j: f64,
+    /// Clock/control overhead, J.
+    pub control_j: f64,
+    /// Link traversal energy, J.
+    pub link_j: f64,
+}
+
+impl FlitEnergyBreakdown {
+    /// Total energy per flit-hop, J.
+    pub fn total_j(&self) -> f64 {
+        self.buffer_j + self.xbar_j + self.arbitration_j + self.control_j + self.link_j
+    }
+
+    /// Router-only energy (total minus link), J — the denominator of the
+    /// "buffers are 31 % of router power" statistic.
+    pub fn router_j(&self) -> f64 {
+        self.total_j() - self.link_j
+    }
+
+    /// Energy on the separable modules (buffer + crossbar + link), the
+    /// part layer shutdown can gate.
+    pub fn separable_j(&self) -> f64 {
+        self.buffer_j + self.xbar_j + self.link_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(arch: PaperArch) -> FlitEnergyBreakdown {
+        EnergyModel::for_arch(arch).flit_hop_breakdown()
+    }
+
+    /// Calibration: buffers draw ≈31 % of the 2DB *router* dynamic energy
+    /// (paper §3.2.1, citing Wang et al. [5]).
+    #[test]
+    fn calibration_buffer_share_of_router() {
+        let b = breakdown(PaperArch::TwoDB);
+        let share = b.buffer_j / b.router_j();
+        assert!((share - 0.31).abs() < 0.03, "buffer share {share:.3}");
+    }
+
+    /// Calibration: the 3DM flit energy is ≈65 % of 2DB (paper §3.4.2:
+    /// "We observe a 35 % reduction in energy for the 3DM case over
+    /// 2DB").
+    #[test]
+    fn calibration_3dm_energy_reduction() {
+        let r = breakdown(PaperArch::ThreeDM).total_j() / breakdown(PaperArch::TwoDB).total_j();
+        assert!((r - 0.65).abs() < 0.05, "3DM/2DB = {r:.3}");
+    }
+
+    /// Fig. 9: 3DB router energy exceeds 2DB's (more ports), and its
+    /// total with a horizontal link is the highest of all four.
+    #[test]
+    fn fig9_3db_is_most_expensive() {
+        let b2 = breakdown(PaperArch::TwoDB);
+        let b3b = breakdown(PaperArch::ThreeDB);
+        assert!(b3b.router_j() > b2.router_j());
+        assert!(b3b.total_j() > b2.total_j());
+        for arch in [PaperArch::TwoDB, PaperArch::ThreeDM, PaperArch::ThreeDME] {
+            assert!(b3b.total_j() >= breakdown(arch).total_j(), "{arch}");
+        }
+    }
+
+    /// Fig. 9: the biggest 3DM saving comes from the link, then the
+    /// crossbar (paper §3.4.2).
+    #[test]
+    fn fig9_link_is_biggest_3dm_saving() {
+        let b2 = breakdown(PaperArch::TwoDB);
+        let b3m = breakdown(PaperArch::ThreeDM);
+        let link_saving = b2.link_j - b3m.link_j;
+        let xbar_saving = b2.xbar_j - b3m.xbar_j;
+        let buffer_saving = b2.buffer_j - b3m.buffer_j;
+        assert!(link_saving > xbar_saving, "link {link_saving:e} vs xbar {xbar_saving:e}");
+        assert!(xbar_saving > buffer_saving);
+    }
+
+    /// The 3DM-E router sits between 3DM and 3DB: bigger radix than 3DM,
+    /// but still sliced across layers.
+    #[test]
+    fn threedme_router_between_3dm_and_3db() {
+        let m = breakdown(PaperArch::ThreeDM).router_j();
+        let me = breakdown(PaperArch::ThreeDME).router_j();
+        let b = breakdown(PaperArch::ThreeDB).router_j();
+        assert!(m < me && me < b, "{m:e} {me:e} {b:e}");
+    }
+
+    /// Link energy scales linearly with length; 3DM's 1.58 mm link costs
+    /// about half of 2DB's 3.1 mm link.
+    #[test]
+    fn link_energy_linear_in_length() {
+        let e2 = EnergyModel::for_arch(PaperArch::TwoDB);
+        let e3 = EnergyModel::for_arch(PaperArch::ThreeDM);
+        assert!((e2.link_j_per_mm() - e3.link_j_per_mm()).abs() < 1e-18);
+        let ratio = e3.link_traversal_j() / e2.link_traversal_j();
+        assert!((ratio - 1.58 / 3.1).abs() < 1e-9);
+    }
+
+    /// Crossbar energy ordering follows side length: 3DM < 3DM-E < 2DB <
+    /// 3DB.
+    #[test]
+    fn xbar_energy_ordering() {
+        let e = |a| EnergyModel::for_arch(a).xbar_traversal_j();
+        assert!(e(PaperArch::ThreeDM) < e(PaperArch::ThreeDME));
+        assert!(e(PaperArch::ThreeDME) < e(PaperArch::TwoDB));
+        assert!(e(PaperArch::TwoDB) < e(PaperArch::ThreeDB));
+    }
+
+    /// Arbitration energy grows with arbiter size but stays a small
+    /// fraction of the total (Orion: ~1-2 %).
+    #[test]
+    fn arbitration_is_minor() {
+        let b = breakdown(PaperArch::ThreeDME);
+        assert!(b.arbitration_j / b.total_j() < 0.02);
+        let e = EnergyModel::for_arch(PaperArch::ThreeDME);
+        assert!(e.arbitration_j(18) > e.arbitration_j(10));
+    }
+
+    /// Separable fraction: most of the 2DB flit energy (~75-85 %) sits on
+    /// the buffer/crossbar/link — that is what makes layer shutdown
+    /// worthwhile (Fig. 13(b)).
+    #[test]
+    fn separable_fraction_dominates() {
+        let b = breakdown(PaperArch::TwoDB);
+        let f = b.separable_j() / b.total_j();
+        assert!(f > 0.70 && f < 0.90, "separable fraction {f:.3}");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # mira-power — Orion-style power, area, and delay models
+//!
+//! This crate ports the modelling side of the MIRA evaluation
+//! (Park et al., ISCA 2008):
+//!
+//! * **[`energy`]** — Orion-style analytical dynamic-energy models for the
+//!   router components (register-file buffer, matrix crossbar, matrix
+//!   arbiters, repeated links) at 90 nm, calibrated so the published
+//!   relations hold: input buffers draw ≈31 % of router dynamic power
+//!   (paper §3.2.1, citing Wang et al.), and the 3DM router consumes
+//!   ≈65 % of the 2DB energy per flit (paper §3.4.2 / Fig. 9).
+//! * **[`area`]** — the component area model behind the paper's Table 1,
+//!   including the exact crossbar/buffer scaling laws (the table's
+//!   crossbar areas are reproduced *exactly* by `(P·W·pitch / L)²`).
+//! * **[`delay`]** — the wire/crossbar delay model of Tables 2–3 and the
+//!   ST+LT pipeline-combining feasibility rule (≤ 500 ps at 2 GHz).
+//! * **[`network_power`]** — converts the simulator's activity counters
+//!   into average network power and energy breakdowns.
+//! * **[`shutdown`]** — analytic expectations for the short-flit layer
+//!   shutdown savings (paper Fig. 13(b)).
+//!
+//! All energies are in joules, powers in watts, areas in µm², delays in
+//! picoseconds, lengths in millimetres unless a name says otherwise.
+
+pub mod area;
+pub mod delay;
+pub mod energy;
+pub mod geometry;
+pub mod leakage;
+pub mod network_power;
+pub mod shutdown;
+pub mod tech;
+
+pub use area::{AreaModel, ComponentAreas};
+pub use delay::DelayModel;
+pub use energy::{EnergyModel, FlitEnergyBreakdown};
+pub use geometry::{PaperArch, RouterGeometry};
+pub use leakage::LeakageModel;
+pub use network_power::{NetworkPower, PowerBreakdown};
+pub use tech::TechParams;

@@ -1,0 +1,192 @@
+//! Converting simulator activity into network power (paper Fig. 12).
+//!
+//! The paper feeds Orion's per-event energies into the cycle-accurate
+//! simulator to estimate overall power. We do the same in reverse order:
+//! the simulator counts events ([`ActivityCounters`]), this module prices
+//! them with the [`EnergyModel`] and divides by wall-clock time. Events
+//! on the separable datapath arrive already weighted by the active-layer
+//! fraction, so short-flit shutdown is priced automatically.
+
+use serde::{Deserialize, Serialize};
+
+use mira_noc::stats::ActivityCounters;
+
+use crate::energy::EnergyModel;
+
+/// Network energy/power split by component over a measurement interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Buffer write+read energy, J.
+    pub buffer_j: f64,
+    /// Crossbar energy, J.
+    pub xbar_j: f64,
+    /// Arbitration energy (VA + SA stages), J.
+    pub arbitration_j: f64,
+    /// Control/clock overhead energy, J.
+    pub control_j: f64,
+    /// Link energy, J.
+    pub link_j: f64,
+    /// Interval length in cycles.
+    pub cycles: u64,
+}
+
+impl PowerBreakdown {
+    /// Total energy over the interval, J.
+    pub fn total_j(&self) -> f64 {
+        self.buffer_j + self.xbar_j + self.arbitration_j + self.control_j + self.link_j
+    }
+}
+
+/// Prices activity counters into power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkPower {
+    model: EnergyModel,
+}
+
+impl NetworkPower {
+    /// Creates the pricing engine for a router energy model.
+    pub fn new(model: EnergyModel) -> Self {
+        NetworkPower { model }
+    }
+
+    /// The underlying energy model.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Prices an activity interval into a component energy breakdown.
+    pub fn breakdown(&self, counters: &ActivityCounters) -> PowerBreakdown {
+        let m = &self.model;
+        let geo = m.geometry();
+        PowerBreakdown {
+            buffer_j: counters.buffer_writes * m.buffer_write_j()
+                + counters.buffer_reads * m.buffer_read_j(),
+            xbar_j: counters.xbar_traversals * m.xbar_traversal_j(),
+            arbitration_j: counters.va1_arbitrations as f64
+                * m.arbitration_j(geo.va1_arbiter_size())
+                + counters.va2_arbitrations as f64 * m.arbitration_j(geo.va2_arbiter_size())
+                + counters.sa1_arbitrations as f64 * m.arbitration_j(geo.sa1_arbiter_size())
+                + counters.sa2_arbitrations as f64 * m.arbitration_j(geo.sa2_arbiter_size()),
+            // Control overhead: per flit per router traversal (gated
+            // neither by shutdown nor by radix).
+            control_j: counters.xbar_traversals_raw as f64 * m.control_j(),
+            link_j: counters.link_flit_mm * m.link_j_per_mm(),
+            cycles: counters.cycles,
+        }
+    }
+
+    /// Average network power over the interval, W.
+    pub fn average_power_w(&self, counters: &ActivityCounters) -> f64 {
+        let b = self.breakdown(counters);
+        if b.cycles == 0 {
+            return 0.0;
+        }
+        b.total_j() / (b.cycles as f64 * self.model.tech().clock_period_s())
+    }
+
+    /// Power–delay product, W·cycles (the paper's Fig. 12(d) normalises
+    /// it, so the unit cancels).
+    pub fn power_delay_product(&self, counters: &ActivityCounters, avg_latency_cycles: f64) -> f64 {
+        self.average_power_w(counters) * avg_latency_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PaperArch;
+
+    fn sample_counters(weight: f64) -> ActivityCounters {
+        let mut c = ActivityCounters::new();
+        c.cycles = 1_000;
+        for _ in 0..100 {
+            c.record_buffer_write(weight);
+            c.record_buffer_read(weight);
+            c.record_xbar(weight);
+            c.record_link(3.1, weight);
+        }
+        c.sa1_arbitrations = 100;
+        c.sa2_arbitrations = 100;
+        c.va1_arbitrations = 20;
+        c.va2_arbitrations = 20;
+        c
+    }
+
+    #[test]
+    fn power_is_positive_and_scales_with_activity() {
+        let np = NetworkPower::new(EnergyModel::for_arch(PaperArch::TwoDB));
+        let p1 = np.average_power_w(&sample_counters(1.0));
+        assert!(p1 > 0.0);
+
+        let mut double = sample_counters(1.0);
+        let more = sample_counters(1.0);
+        double.buffer_writes += more.buffer_writes;
+        double.buffer_reads += more.buffer_reads;
+        double.xbar_traversals += more.xbar_traversals;
+        double.xbar_traversals_raw += more.xbar_traversals_raw;
+        double.link_flit_mm += more.link_flit_mm;
+        let p2 = np.average_power_w(&double);
+        assert!(p2 > p1 * 1.5, "{p2} vs {p1}");
+    }
+
+    #[test]
+    fn layer_weighting_reduces_separable_power_only() {
+        let np = NetworkPower::new(EnergyModel::for_arch(PaperArch::ThreeDM));
+        let full = np.breakdown(&sample_counters(1.0));
+        let gated = np.breakdown(&sample_counters(0.25));
+        assert!((gated.buffer_j - full.buffer_j * 0.25).abs() < 1e-18);
+        assert!((gated.xbar_j - full.xbar_j * 0.25).abs() < 1e-18);
+        assert!((gated.link_j - full.link_j * 0.25).abs() < 1e-18);
+        // Non-separable parts unchanged.
+        assert!((gated.control_j - full.control_j).abs() < 1e-18);
+        assert!((gated.arbitration_j - full.arbitration_j).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_power() {
+        let np = NetworkPower::new(EnergyModel::for_arch(PaperArch::TwoDB));
+        let c = ActivityCounters::new();
+        assert_eq!(np.average_power_w(&c), 0.0);
+    }
+
+    #[test]
+    fn pdp_multiplies_power_and_latency() {
+        let np = NetworkPower::new(EnergyModel::for_arch(PaperArch::TwoDB));
+        let c = sample_counters(1.0);
+        let p = np.average_power_w(&c);
+        assert!((np.power_delay_product(&c, 20.0) - p * 20.0).abs() < 1e-15);
+    }
+}
+
+impl NetworkPower {
+    /// Relative power weights per router from the simulator's spatial
+    /// activity (sums to 1; uniform when the network was idle). Feeds
+    /// the thermal floorplan so hot routers heat their own tile.
+    pub fn router_power_weights(
+        &self,
+        per_router: &[mira_noc::stats::RouterActivity],
+    ) -> Vec<f64> {
+        let m = &self.model;
+        mira_noc::stats::activity_weights(
+            per_router,
+            (m.buffer_write_j(), m.xbar_traversal_j(), m.control_j(), m.link_j_per_mm()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod weight_tests {
+    use super::*;
+    use crate::geometry::PaperArch;
+    use mira_noc::stats::RouterActivity;
+
+    #[test]
+    fn busier_router_gets_more_weight() {
+        let np = NetworkPower::new(EnergyModel::for_arch(PaperArch::ThreeDM));
+        let a = RouterActivity { xbar_events: 10.0, xbar_events_raw: 10, ..Default::default() };
+        let b = RouterActivity { xbar_events: 30.0, xbar_events_raw: 30, ..Default::default() };
+        let w = np.router_power_weights(&[a, b]);
+        assert!((w[0] + w[1] - 1.0).abs() < 1e-12);
+        assert!((w[1] / w[0] - 3.0).abs() < 1e-9);
+    }
+}

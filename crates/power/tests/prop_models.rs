@@ -1,0 +1,111 @@
+//! Property tests on the power/area/delay models: monotonicity and
+//! positivity over the geometry space.
+
+use proptest::prelude::*;
+
+use mira_power::area::AreaModel;
+use mira_power::delay::DelayModel;
+use mira_power::energy::EnergyModel;
+use mira_power::geometry::RouterGeometry;
+use mira_power::shutdown::shutdown_scale;
+use mira_power::tech::TechParams;
+
+fn geometry_strategy() -> impl Strategy<Value = RouterGeometry> {
+    (3usize..12, 1usize..5, 1usize..5, 1usize..9, 0.5f64..5.0).prop_map(
+        |(ports, vcs, layers, depth, link)| RouterGeometry {
+            ports,
+            vcs,
+            flit_bits: 128,
+            layers,
+            buffer_depth: depth,
+            link_mm: link,
+            express_link_mm: 0.0,
+        },
+    )
+}
+
+proptest! {
+    /// Every energy figure is strictly positive.
+    #[test]
+    fn energies_positive(geo in geometry_strategy()) {
+        let m = EnergyModel::new(geo, TechParams::default());
+        let b = m.flit_hop_breakdown();
+        prop_assert!(b.buffer_j > 0.0);
+        prop_assert!(b.xbar_j > 0.0);
+        prop_assert!(b.arbitration_j > 0.0);
+        prop_assert!(b.link_j > 0.0);
+        prop_assert!(b.total_j() > b.separable_j());
+    }
+
+    /// More ports never shrink the crossbar energy or area; more layers
+    /// never grow the per-layer figures.
+    #[test]
+    fn xbar_monotone_in_ports_and_layers(geo in geometry_strategy()) {
+        let t = TechParams::default();
+        let m1 = EnergyModel::new(geo, t);
+        let bigger = RouterGeometry { ports: geo.ports + 1, ..geo };
+        let m2 = EnergyModel::new(bigger, t);
+        prop_assert!(m2.xbar_traversal_j() > m1.xbar_traversal_j());
+
+        let sliced = RouterGeometry { layers: geo.layers * 2, ..geo };
+        let m3 = EnergyModel::new(sliced, t);
+        prop_assert!(m3.xbar_traversal_j() < m1.xbar_traversal_j());
+
+        let area = AreaModel::default();
+        prop_assert!(area.crossbar_per_layer_um2(&bigger) > area.crossbar_per_layer_um2(&geo));
+        prop_assert!(area.crossbar_per_layer_um2(&sliced) < area.crossbar_per_layer_um2(&geo));
+    }
+
+    /// Link energy and delay are linear in length.
+    #[test]
+    fn link_linear(geo in geometry_strategy(), k in 1.1f64..4.0) {
+        let t = TechParams::default();
+        let m = EnergyModel::new(geo, t);
+        let longer = RouterGeometry { link_mm: geo.link_mm * k, ..geo };
+        let m2 = EnergyModel::new(longer, t);
+        prop_assert!((m2.link_traversal_j() - k * m.link_traversal_j()).abs()
+            < m.link_traversal_j() * 1e-9);
+
+        let d = DelayModel::default();
+        prop_assert!((d.link_delay_ps(geo.link_mm * k) - k * d.link_delay_ps(geo.link_mm)).abs() < 1e-6);
+    }
+
+    /// The shutdown scale factor is a proper fraction, decreasing in the
+    /// short-flit share.
+    #[test]
+    fn shutdown_scale_bounds(s in 0.0f64..1.0, layers in 1usize..8, sep in 0.0f64..1.0) {
+        let scale = shutdown_scale(s, layers, sep);
+        prop_assert!((0.0..=1.0).contains(&scale));
+        if s > 0.01 && layers > 1 && sep > 0.01 {
+            prop_assert!(scale < 1.0);
+            let scale2 = shutdown_scale((s * 0.5).min(1.0), layers, sep);
+            prop_assert!(scale2 >= scale);
+        }
+    }
+
+    /// Buffer energy grows with depth (longer bit-lines).
+    #[test]
+    fn buffer_energy_monotone_in_depth(geo in geometry_strategy()) {
+        let t = TechParams::default();
+        let deeper = RouterGeometry { buffer_depth: geo.buffer_depth + 2, ..geo };
+        prop_assert!(
+            EnergyModel::new(deeper, t).buffer_write_j()
+                > EnergyModel::new(geo, t).buffer_write_j()
+        );
+    }
+
+    /// Pipeline combining feasibility is monotone: shrinking every wire
+    /// can only keep it feasible.
+    #[test]
+    fn combining_monotone(geo in geometry_strategy()) {
+        let d = DelayModel::default();
+        if d.can_combine_st_lt(d.stage_delays(&geo)) {
+            let smaller = RouterGeometry {
+                link_mm: geo.link_mm * 0.5,
+                layers: geo.layers * 2,
+                ..geo
+            };
+            prop_assert!(d.can_combine_st_lt(d.stage_delays(&smaller)));
+        }
+    }
+}

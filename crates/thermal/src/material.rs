@@ -1,0 +1,83 @@
+//! Material properties and package constants.
+//!
+//! Values follow HotSpot 4.0's defaults for a silicon die, a bonded 3D
+//! stack, and a copper spreader/sink package; the ambient is HotSpot's
+//! 45 °C.
+
+use serde::{Deserialize, Serialize};
+
+/// Ambient temperature, K (HotSpot default: 45 °C).
+pub const AMBIENT_K: f64 = 318.15;
+
+/// A thermally conductive material.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// Thermal conductivity, W/(m·K).
+    pub conductivity_w_mk: f64,
+}
+
+impl Material {
+    /// Bulk silicon (HotSpot: 100 W/(m·K) at operating temperature).
+    pub const SILICON: Material = Material { conductivity_w_mk: 100.0 };
+
+    /// Inter-layer bond / back-end-of-line dielectric for a 3D stack
+    /// (face-to-back bonding with TSVs; effective conductivity dominated
+    /// by the oxide/underfill).
+    pub const BOND: Material = Material { conductivity_w_mk: 4.0 };
+
+    /// Copper (spreader and sink base).
+    pub const COPPER: Material = Material { conductivity_w_mk: 400.0 };
+
+    /// Thermal interface material under the sink.
+    pub const TIM: Material = Material { conductivity_w_mk: 4.0 };
+
+    /// Conduction resistance of a slab of this material, K/W:
+    /// `t / (k · A)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is not positive.
+    pub fn slab_resistance_k_per_w(&self, thickness_m: f64, area_m2: f64) -> f64 {
+        assert!(area_m2 > 0.0, "area must be positive");
+        thickness_m / (self.conductivity_w_mk * area_m2)
+    }
+}
+
+/// Package thicknesses (metres), HotSpot-like defaults.
+pub mod thickness {
+    /// Active silicon die (thinned for stacking).
+    pub const DIE_M: f64 = 150e-6;
+    /// Inter-layer bond in a 3D stack.
+    pub const BOND_M: f64 = 20e-6;
+    /// Thermal interface material under the sink.
+    pub const TIM_M: f64 = 50e-6;
+}
+
+/// Convection resistance of the heat sink to ambient, K/W (lumped;
+/// HotSpot 4.0's default package).
+pub const SINK_CONVECTION_K_PER_W: f64 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_resistance() {
+        // 150 µm silicon over 1 cm²: 150e-6 / (100 · 1e-4) = 0.015 K/W.
+        let r = Material::SILICON.slab_resistance_k_per_w(150e-6, 1e-4);
+        assert!((r - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn conductivity_ordering() {
+        assert!(Material::COPPER.conductivity_w_mk > Material::SILICON.conductivity_w_mk);
+        assert!(Material::SILICON.conductivity_w_mk > Material::BOND.conductivity_w_mk);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_panics() {
+        let _ = Material::SILICON.slab_resistance_k_per_w(1e-4, 0.0);
+    }
+}

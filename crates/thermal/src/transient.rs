@@ -1,0 +1,229 @@
+//! Transient thermal simulation (HotSpot's time-domain mode).
+//!
+//! Adds heat capacities to the RC network and integrates
+//! `C·dT/dt = P − G·T` with backward Euler, which is unconditionally
+//! stable — each step solves `(G + C/Δt)·T₁ = P + (C/Δt)·T₀` with the
+//! same Gauss–Seidel sweep the steady-state solver uses. As `t → ∞`
+//! under constant power the trajectory converges to the steady-state
+//! solution (asserted by tests).
+
+use crate::solver::SolveOptions;
+use crate::stack::ChipModel;
+
+/// Volumetric heat capacity of silicon, J/(m³·K).
+pub const SILICON_CV_J_PER_M3K: f64 = 1.75e6;
+
+/// Lumped heat capacity of the spreader + sink, J/K (a modest copper
+/// sink; larger sinks slow the global time constant).
+pub const SINK_CAPACITY_J_PER_K: f64 = 40.0;
+
+/// A time-stepping thermal simulation over a chip model.
+///
+/// ```
+/// use mira_thermal::{ChipModel, StackConfig, TransientSim};
+///
+/// let mut chip = ChipModel::new(StackConfig::planar(2, 2, 0.003, 0.003));
+/// chip.set_cell_power(0, 0, 0, 5.0);
+/// let mut sim = TransientSim::new(chip, 1e-3);
+/// let before = sim.mean_k();
+/// sim.run(100);
+/// assert!(sim.mean_k() > before, "constant power heats the chip");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientSim {
+    chip: ChipModel,
+    /// Temperatures of every node (cells then sink), K.
+    state: Vec<f64>,
+    /// Heat capacity per node, J/K.
+    capacity: Vec<f64>,
+    dt_s: f64,
+    time_s: f64,
+    opts: SolveOptions,
+}
+
+impl TransientSim {
+    /// Creates a simulation starting at ambient with time step `dt_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time step is not positive.
+    pub fn new(chip: ChipModel, dt_s: f64) -> Self {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let cfg = *chip.config();
+        let n = cfg.nodes();
+        let cell_volume = cfg.cell_area_m2() * cfg.die_thickness_m;
+        let mut capacity = vec![SILICON_CV_J_PER_M3K * cell_volume; n];
+        capacity[n - 1] = SINK_CAPACITY_J_PER_K;
+        TransientSim {
+            state: vec![cfg.ambient_k; n],
+            capacity,
+            chip,
+            dt_s,
+            time_s: 0.0,
+            opts: SolveOptions::default(),
+        }
+    }
+
+    /// Mutable access to the chip (to change the power map between
+    /// steps).
+    pub fn chip_mut(&mut self) -> &mut ChipModel {
+        &mut self.chip
+    }
+
+    /// The chip under simulation.
+    pub fn chip(&self) -> &ChipModel {
+        &self.chip
+    }
+
+    /// Simulated time so far, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Temperature of a cell right now, K.
+    pub fn cell_k(&self, layer: usize, row: usize, col: usize) -> f64 {
+        let cfg = self.chip.config();
+        assert!(layer < cfg.layers && row < cfg.rows && col < cfg.cols, "cell out of range");
+        self.state[(layer * cfg.rows + row) * cfg.cols + col]
+    }
+
+    /// Mean cell temperature right now, K.
+    pub fn mean_k(&self) -> f64 {
+        let cells = self.state.len() - 1;
+        self.state[..cells].iter().sum::<f64>() / cells as f64
+    }
+
+    /// Hottest cell right now, K.
+    pub fn max_k(&self) -> f64 {
+        let cells = self.state.len() - 1;
+        self.state[..cells].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Advances one backward-Euler step with the chip's current power
+    /// map and returns the new mean temperature.
+    pub fn step(&mut self) -> f64 {
+        let cfg = *self.chip.config();
+        let adj = self.chip.conductances();
+        let power = self.chip.power_map().to_vec();
+        let sink = cfg.nodes() - 1;
+        let sink_g = 1.0 / cfg.sink_resistance_k_per_w;
+        let old = self.state.clone();
+
+        let mut residual = f64::INFINITY;
+        let mut iters = 0;
+        while residual > self.opts.tolerance_k && iters < self.opts.max_iterations {
+            residual = 0.0;
+            for i in 0..self.state.len() {
+                let c_dt = self.capacity[i] / self.dt_s;
+                let mut g_sum = c_dt;
+                let mut flow = power[i] + c_dt * old[i];
+                for &(j, g) in &adj[i] {
+                    g_sum += g;
+                    flow += g * self.state[j];
+                }
+                if i == sink {
+                    g_sum += sink_g;
+                    flow += sink_g * cfg.ambient_k;
+                }
+                let new_t = flow / g_sum;
+                residual = residual.max((new_t - self.state[i]).abs());
+                self.state[i] = new_t;
+            }
+            iters += 1;
+        }
+        self.time_s += self.dt_s;
+        self.mean_k()
+    }
+
+    /// Runs `steps` steps and returns the mean-temperature trace.
+    pub fn run(&mut self, steps: usize) -> Vec<f64> {
+        (0..steps).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::AMBIENT_K;
+    use crate::stack::{ChipModel, StackConfig};
+
+    fn hot_chip() -> ChipModel {
+        let mut chip = ChipModel::new(StackConfig::planar(2, 2, 0.003, 0.003));
+        chip.set_cell_power(0, 0, 0, 10.0);
+        chip
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let sim = TransientSim::new(hot_chip(), 1e-3);
+        assert!((sim.mean_k() - AMBIENT_K).abs() < 1e-12);
+        assert_eq!(sim.time_s(), 0.0);
+    }
+
+    #[test]
+    fn heating_is_monotone_under_constant_power() {
+        let mut sim = TransientSim::new(hot_chip(), 1e-3);
+        let trace = sim.run(50);
+        for w in trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "cooling under constant power: {w:?}");
+        }
+        assert!(sim.time_s() > 0.049);
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let chip = hot_chip();
+        let steady = chip.solve();
+        let mut sim = TransientSim::new(chip, 0.05);
+        sim.run(4_000);
+        assert!(
+            (sim.mean_k() - steady.mean_k()).abs() < 0.05,
+            "transient {} vs steady {}",
+            sim.mean_k(),
+            steady.mean_k()
+        );
+        assert!((sim.max_k() - steady.max_k()).abs() < 0.05);
+    }
+
+    #[test]
+    fn never_overshoots_steady_state() {
+        let chip = hot_chip();
+        let steady = chip.solve();
+        let mut sim = TransientSim::new(chip, 1e-2);
+        for _ in 0..500 {
+            sim.step();
+            assert!(sim.max_k() <= steady.max_k() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn cooling_after_power_off() {
+        let mut sim = TransientSim::new(hot_chip(), 0.05);
+        sim.run(2_000);
+        let hot = sim.mean_k();
+        sim.chip_mut().reset_power();
+        sim.run(2_000);
+        assert!(sim.mean_k() < hot - 1.0, "chip must cool after power-off");
+        assert!((sim.mean_k() - AMBIENT_K).abs() < 0.5, "…towards ambient");
+    }
+
+    #[test]
+    fn smaller_steps_track_the_same_trajectory() {
+        // Backward Euler is first-order: halving dt should land close to
+        // the same temperature at the same simulated time.
+        let run = |dt: f64, steps: usize| {
+            let mut sim = TransientSim::new(hot_chip(), dt);
+            sim.run(steps);
+            sim.mean_k()
+        };
+        let coarse = run(0.02, 50);
+        let fine = run(0.01, 100);
+        assert!((coarse - fine).abs() < 0.5, "{coarse} vs {fine}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_panics() {
+        let _ = TransientSim::new(hot_chip(), 0.0);
+    }
+}

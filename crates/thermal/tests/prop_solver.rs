@@ -1,0 +1,79 @@
+//! Property tests on the thermal solver: physical invariants over random
+//! power maps and stacks.
+
+use proptest::prelude::*;
+
+use mira_thermal::{ChipModel, StackConfig, AMBIENT_K};
+
+fn chip_strategy() -> impl Strategy<Value = (StackConfig, Vec<f64>)> {
+    (1usize..4, 2usize..5, 2usize..5).prop_flat_map(|(layers, rows, cols)| {
+        let cells = layers * rows * cols;
+        (
+            Just(StackConfig::stacked(layers, rows, cols, 0.002, 0.002)),
+            proptest::collection::vec(0.0f64..5.0, cells),
+        )
+    })
+}
+
+fn build(cfg: StackConfig, powers: &[f64]) -> ChipModel {
+    let mut chip = ChipModel::new(cfg);
+    let mut i = 0;
+    for l in 0..cfg.layers {
+        for r in 0..cfg.rows {
+            for c in 0..cfg.cols {
+                chip.set_cell_power(l, r, c, powers[i]);
+                i += 1;
+            }
+        }
+    }
+    chip
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No cell can be cooler than ambient (passive network, positive
+    /// sources only).
+    #[test]
+    fn temperatures_never_below_ambient((cfg, powers) in chip_strategy()) {
+        let t = build(cfg, &powers).solve();
+        prop_assert!(t.min_k() >= AMBIENT_K - 1e-6);
+        prop_assert!(t.sink_k() >= AMBIENT_K - 1e-6);
+    }
+
+    /// Energy conservation: the sink-to-ambient flow equals the total
+    /// injected power.
+    #[test]
+    fn sink_flow_equals_total_power((cfg, powers) in chip_strategy()) {
+        let chip = build(cfg, &powers);
+        let total = chip.total_power_w();
+        let t = chip.solve();
+        let flow = (t.sink_k() - AMBIENT_K) / cfg.sink_resistance_k_per_w;
+        prop_assert!((flow - total).abs() < 1e-3 + total * 1e-3, "{flow} vs {total}");
+    }
+
+    /// Linearity: scaling the power map scales every temperature rise.
+    #[test]
+    fn rises_are_linear_in_power((cfg, powers) in chip_strategy(), k in 1.5f64..4.0) {
+        let t1 = build(cfg, &powers).solve();
+        let scaled: Vec<f64> = powers.iter().map(|p| p * k).collect();
+        let t2 = build(cfg, &scaled).solve();
+        for (a, b) in t1.cells().iter().zip(t2.cells()) {
+            let r1 = a - AMBIENT_K;
+            let r2 = b - AMBIENT_K;
+            prop_assert!((r2 - k * r1).abs() < 1e-3 + r1.abs() * 1e-3);
+        }
+    }
+
+    /// Monotonicity: adding power anywhere cannot cool any cell.
+    #[test]
+    fn extra_power_never_cools((cfg, powers) in chip_strategy(), extra in 0.5f64..5.0) {
+        let t1 = build(cfg, &powers).solve();
+        let mut chip = build(cfg, &powers);
+        chip.add_cell_power(0, 0, 0, extra);
+        let t2 = chip.solve();
+        for (a, b) in t1.cells().iter().zip(t2.cells()) {
+            prop_assert!(b + 1e-6 >= *a);
+        }
+    }
+}

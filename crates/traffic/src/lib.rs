@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # mira-traffic — workloads for the MIRA evaluation
+//!
+//! Traffic models driving the cycle-accurate simulator (`mira-noc`):
+//!
+//! * **[`nuca_ur`]** — the paper's NUCA-constrained bimodal traffic
+//!   (Fig. 11(b)): CPUs issue single-flit requests to uniformly chosen
+//!   cache banks, every request is answered with a five-flit data
+//!   response after the bank access latency.
+//! * **[`workloads`]** — statistical profiles of the paper's application
+//!   traces (TPC-W, SPECjbb, Apache, Zeus, SPEComp, SPLASH-2,
+//!   MediaBench). The real Simics traces are not available; the profiles
+//!   are calibrated to the distributions the paper publishes (Fig. 1
+//!   data patterns, Fig. 2 packet mix, Fig. 13(a) short-flit
+//!   percentages) so the downstream experiments see statistically
+//!   equivalent traffic. See DESIGN.md §4 for the substitution argument.
+//! * **[`patterns`]** — frequent-pattern payload synthesis and the
+//!   classifier used to regenerate Fig. 1.
+//! * **[`trace`]** — a JSON-lines packet trace format with a recorder and
+//!   a replay workload, the interchange between `mira-nuca` and the
+//!   simulator.
+//! * **[`synthetic`]** — classic permutation workloads (transpose,
+//!   bit-complement, hotspot) as extensions beyond the paper.
+
+pub mod nuca_ur;
+pub mod patterns;
+pub mod synthetic;
+pub mod trace;
+pub mod workloads;
+
+pub use nuca_ur::NucaBimodal;
+pub use patterns::PatternMix;
+pub use trace::{TraceRecord, TraceReplay, TraceWriter};
+pub use workloads::{AppProfile, Application};

@@ -1,0 +1,281 @@
+//! Packet-trace recording and replay.
+//!
+//! Traces are the interchange format between the `mira-nuca` CMP model
+//! and the network simulator: one JSON object per line, each describing
+//! a packet injection with its cycle, endpoints, class, and payload
+//! words. Replay is open-loop and timestamp-faithful, the standard
+//! methodology for trace-driven NoC evaluation (and what the paper does
+//! with its Simics-derived "MP traces").
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use mira_noc::flit::FlitData;
+use mira_noc::ids::NodeId;
+use mira_noc::packet::{PacketClass, PacketSpec};
+use mira_noc::traffic::Workload;
+
+/// One packet injection event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Injection cycle.
+    pub cycle: u64,
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Message class.
+    pub class: PacketClass,
+    /// Payload words, one inner vector per flit.
+    pub payload: Vec<Vec<u32>>,
+}
+
+impl TraceRecord {
+    /// Builds a record from a packet spec.
+    pub fn from_spec(cycle: u64, spec: &PacketSpec) -> Self {
+        TraceRecord {
+            cycle,
+            src: spec.src.index(),
+            dst: spec.dst.index(),
+            class: spec.class,
+            payload: spec.payload.iter().map(|f| f.words().to_vec()).collect(),
+        }
+    }
+
+    /// Converts back to a packet spec.
+    pub fn to_spec(&self) -> PacketSpec {
+        PacketSpec {
+            src: NodeId(self.src),
+            dst: NodeId(self.dst),
+            class: self.class,
+            payload: self.payload.iter().map(|w| FlitData::new(w.clone())).collect(),
+        }
+    }
+
+    /// Packet length in flits.
+    pub fn len_flits(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// Writes trace records as JSON lines.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer over any `Write` sink (pass `&mut buf` for an
+    /// in-memory trace).
+    pub fn new(out: W) -> Self {
+        TraceWriter { out, records: 0 }
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and I/O failures.
+    pub fn write(&mut self, record: &TraceRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        writeln!(self.out, "{line}")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Reads a JSON-lines trace.
+///
+/// # Errors
+///
+/// Returns an error if a line fails to parse.
+pub fn read_trace<R: BufRead>(input: R) -> std::io::Result<Vec<TraceRecord>> {
+    let mut records = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord = serde_json::from_str(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Open-loop trace replay: injects each record at its original cycle.
+#[derive(Debug)]
+pub struct TraceReplay {
+    /// Records sorted by cycle.
+    records: Vec<TraceRecord>,
+    next: usize,
+    /// Repeat the trace with this period (0 = play once).
+    loop_period: u64,
+    offset: u64,
+}
+
+impl TraceReplay {
+    /// Creates a replay over `records` (sorted by cycle internally).
+    pub fn new(mut records: Vec<TraceRecord>) -> Self {
+        records.sort_by_key(|r| r.cycle);
+        TraceReplay { records, next: 0, loop_period: 0, offset: 0 }
+    }
+
+    /// Loops the trace: after the last record, restart shifted by
+    /// `period` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or smaller than the trace span.
+    #[must_use]
+    pub fn looped(mut self, period: u64) -> Self {
+        let span = self.records.last().map_or(0, |r| r.cycle);
+        assert!(period > span, "loop period must exceed the trace span {span}");
+        self.loop_period = period;
+        self
+    }
+
+    /// Total records in one pass.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl Workload for TraceReplay {
+    fn generate(&mut self, cycle: u64) -> Vec<PacketSpec> {
+        let mut specs = Vec::new();
+        if self.records.is_empty() {
+            return specs;
+        }
+        loop {
+            if self.next >= self.records.len() {
+                if self.loop_period == 0 {
+                    break;
+                }
+                self.next = 0;
+                self.offset += self.loop_period;
+            }
+            let due = self.records[self.next].cycle + self.offset;
+            if due > cycle {
+                break;
+            }
+            specs.push(self.records[self.next].to_spec());
+            self.next += 1;
+        }
+        specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                cycle: 0,
+                src: 0,
+                dst: 5,
+                class: PacketClass::ReadRequest,
+                payload: vec![vec![7, 0, 0, 0]],
+            },
+            TraceRecord {
+                cycle: 3,
+                src: 5,
+                dst: 0,
+                class: PacketClass::DataResponse,
+                payload: vec![vec![1, 2, 3, 4]; 5],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_json_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut buf);
+            for r in sample_records() {
+                w.write(&r).unwrap();
+            }
+            assert_eq!(w.records_written(), 2);
+            w.finish().unwrap();
+        }
+        let back = read_trace(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, sample_records());
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let rec = &sample_records()[1];
+        let spec = rec.to_spec();
+        assert_eq!(spec.payload.len(), 5);
+        let again = TraceRecord::from_spec(rec.cycle, &spec);
+        assert_eq!(&again, rec);
+    }
+
+    #[test]
+    fn replay_respects_timestamps() {
+        let mut replay = TraceReplay::new(sample_records());
+        assert_eq!(replay.generate(0).len(), 1);
+        assert_eq!(replay.generate(1).len(), 0);
+        assert_eq!(replay.generate(2).len(), 0);
+        assert_eq!(replay.generate(3).len(), 1);
+        assert_eq!(replay.generate(4).len(), 0);
+    }
+
+    #[test]
+    fn replay_handles_skipped_cycles() {
+        // A generate() call at a later cycle delivers everything due.
+        let mut replay = TraceReplay::new(sample_records());
+        assert_eq!(replay.generate(10).len(), 2);
+    }
+
+    #[test]
+    fn looped_replay_repeats() {
+        let mut replay = TraceReplay::new(sample_records()).looped(10);
+        assert_eq!(replay.generate(5).len(), 2); // first pass
+        assert_eq!(replay.generate(10).len(), 1); // cycle 0 + 10
+        assert_eq!(replay.generate(13).len(), 1); // cycle 3 + 10
+        assert_eq!(replay.generate(20).len(), 1); // next lap
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        let text = b"{not json}\n";
+        assert!(read_trace(BufReader::new(&text[..])).is_err());
+    }
+
+    #[test]
+    fn unsorted_records_are_sorted() {
+        let mut recs = sample_records();
+        recs.reverse();
+        let mut replay = TraceReplay::new(recs);
+        let first = replay.generate(0);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].class, PacketClass::ReadRequest);
+    }
+}

@@ -1,0 +1,35 @@
+//! Design-space ablation beyond the paper: how buffer depth and VC count
+//! move the latency/power point of the 3DM router.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use mira::arch::Arch;
+use mira::experiments::{quick_sim_config, EXPERIMENT_SEED};
+use mira::noc::config::{NetworkConfig, PipelineConfig};
+use mira::noc::sim::Simulator;
+use mira::noc::traffic::UniformRandom;
+
+fn main() {
+    let rate = 0.15;
+    println!("3DM router at {rate} flits/node/cycle, varying (VCs, buffer depth)\n");
+    println!("{:>6} {:>7} {:>12} {:>12}", "VCs", "depth", "latency(cy)", "saturated");
+    for vcs in [1usize, 2, 4] {
+        for depth in [2usize, 4, 8] {
+            let cfg = NetworkConfig::builder()
+                .vcs_per_port(vcs)
+                .buffer_depth(depth)
+                .layers(4)
+                .pipeline(PipelineConfig::combined_st_lt())
+                .build();
+            let mut sim =
+                Simulator::new(Arch::ThreeDM.topology(), cfg, quick_sim_config());
+            let report = sim.run(Box::new(UniformRandom::new(rate, 5, EXPERIMENT_SEED)));
+            println!(
+                "{vcs:>6} {depth:>7} {:>12.1} {:>12}",
+                report.avg_latency,
+                if report.saturated { "yes" } else { "no" }
+            );
+        }
+    }
+    println!("\n(the paper fixes V=2, k=4 — §3.2.4's design decisions)");
+}

@@ -1,0 +1,29 @@
+//! Saturation study: sweep the injection rate on the plain 6×6 mesh and
+//! the express mesh and watch where each saturates (the reason 3DM-E is
+//! "more robust even in the saturation region", paper §4.2.1).
+//!
+//! Run with: `cargo run --release --example express_saturation`
+
+use mira::arch::Arch;
+use mira::experiments::{quick_sim_config, run_arch, EXPERIMENT_SEED};
+use mira::noc::traffic::UniformRandom;
+
+fn main() {
+    let rates = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45];
+    println!("{:>8} {:>16} {:>16}", "rate", "3DM lat (cy)", "3DM-E lat (cy)");
+    for rate in rates {
+        let lat = |arch: Arch| {
+            let w = UniformRandom::new(rate, 5, EXPERIMENT_SEED);
+            let r = run_arch(arch, false, Box::new(w), quick_sim_config());
+            (r.report.avg_latency, r.report.saturated)
+        };
+        let (l_m, s_m) = lat(Arch::ThreeDM);
+        let (l_e, s_e) = lat(Arch::ThreeDME);
+        println!(
+            "{rate:>8.2} {l_m:>14.1}{} {l_e:>14.1}{}",
+            if s_m { " *" } else { "  " },
+            if s_e { " *" } else { "  " },
+        );
+    }
+    println!("(* = saturated: measured packets could not drain)");
+}

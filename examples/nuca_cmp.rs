@@ -1,0 +1,51 @@
+//! Drive the NUCA CMP coherence model: synthesise a TPC-W-like trace
+//! through the MESI directory protocol, characterise it (the paper's
+//! Figs. 1/2/13(a) statistics), and replay it on the 3DM router.
+//!
+//! Run with: `cargo run --release --example nuca_cmp`
+
+use mira::arch::Arch;
+use mira::experiments::{quick_sim_config, run_arch, EXPERIMENT_SEED};
+use mira::noc::packet::PacketClass;
+use mira::nuca::cmp::{CmpConfig, CmpSystem, TraceStats};
+use mira::traffic::trace::TraceReplay;
+use mira::traffic::workloads::Application;
+
+fn main() {
+    let app = Application::Tpcw;
+    let arch = Arch::ThreeDM;
+    let cycles = 20_000;
+
+    let mut sys = CmpSystem::new(CmpConfig::for_app(
+        app,
+        arch.cpu_nodes(),
+        arch.cache_nodes(),
+        EXPERIMENT_SEED,
+    ));
+    sys.calibrate_rate(app.profile().offered_load, 36, 10_000);
+    let trace = sys.generate_trace(cycles);
+    let stats = TraceStats::from_trace(&trace, cycles);
+
+    println!("{app} trace: {} packets, {} flits over {cycles} cycles", stats.packets, stats.flits);
+    println!("  control fraction : {:>5.1}%", stats.control_fraction() * 100.0);
+    println!("  short payload    : {:>5.1}%", stats.short_payload_fraction() * 100.0);
+    let (z, o, other) = stats.patterns.fractions();
+    println!("  word patterns    : {:.1}% all-0, {:.1}% all-1, {:.1}% other", z * 100.0, o * 100.0, other * 100.0);
+    println!("  packets by class :");
+    for class in PacketClass::ALL {
+        println!(
+            "    {:>10}: {}",
+            class.name(),
+            stats.packets_per_class[class.table_index()]
+        );
+    }
+
+    let run = run_arch(arch, true, Box::new(TraceReplay::new(trace)), quick_sim_config());
+    println!(
+        "\nreplayed on {}: {:.1} cycles avg latency, {:.2} W ({} packets measured)",
+        arch.name(),
+        run.report.avg_latency,
+        run.avg_power_w,
+        run.report.packets_ejected
+    );
+}

@@ -1,0 +1,35 @@
+//! Quickstart: simulate the 2DB baseline and the 3DM-E multi-layered
+//! router under identical uniform-random traffic and compare latency,
+//! power, and power-delay product.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mira::arch::Arch;
+use mira::experiments::{quick_sim_config, run_arch, EXPERIMENT_SEED};
+use mira::noc::traffic::UniformRandom;
+
+fn main() {
+    let rate = 0.10; // flits/node/cycle
+    println!("uniform random traffic at {rate} flits/node/cycle, 36 nodes\n");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>12}",
+        "arch", "latency(cy)", "hops", "power(W)", "PDP(W*cy)"
+    );
+    let mut base_pdp = None;
+    for arch in Arch::ALL {
+        let workload = UniformRandom::new(rate, 5, EXPERIMENT_SEED);
+        let run = run_arch(arch, false, Box::new(workload), quick_sim_config());
+        let pdp = run.pdp;
+        let base = *base_pdp.get_or_insert(pdp);
+        println!(
+            "{:>10} {:>12.1} {:>10.2} {:>10.2} {:>9.0} ({:>4.0}%)",
+            arch.name(),
+            run.report.avg_latency,
+            run.report.avg_hops,
+            run.avg_power_w,
+            pdp,
+            pdp / base * 100.0
+        );
+    }
+    println!("\n(3DM-E should win on every column — paper Figs. 11(a), 12(a), 12(d))");
+}

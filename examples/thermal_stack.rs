@@ -1,0 +1,45 @@
+//! Thermal exploration: the 3DM stacked chip under load, with and
+//! without short-flit layer shutdown, per-layer temperature profile.
+//!
+//! Run with: `cargo run --release --example thermal_stack`
+
+use mira::arch::Arch;
+use mira::experiments::quick_sim_config;
+use mira::experiments::thermal::{chip_model, network_power_at};
+
+fn main() {
+    let arch = Arch::ThreeDM;
+    let rate = 0.20;
+    let p_dense = network_power_at(arch, rate, 0.0, quick_sim_config());
+    let p_short = network_power_at(arch, rate, 0.5, quick_sim_config());
+    println!(
+        "network power at {rate} flits/node/cycle: {:.2} W dense, {:.2} W with 50% short flits + shutdown",
+        p_dense, p_short
+    );
+
+    let hot = chip_model(arch, p_dense).solve();
+    let cool = chip_model(arch, p_short).solve();
+    println!("\nlayer means (K), top (sink side) to bottom:");
+    for layer in 0..4 {
+        let mean = |t: &mira::thermal::Temperatures| {
+            let mut sum = 0.0;
+            for r in 0..6 {
+                for c in 0..6 {
+                    sum += t.cell_k(layer, r, c);
+                }
+            }
+            sum / 36.0
+        };
+        println!(
+            "  layer {layer}: {:>7.2} dense | {:>7.2} shutdown",
+            mean(&hot),
+            mean(&cool)
+        );
+    }
+    println!(
+        "\nmean reduction {:.2} K, hottest cell {:.2} K -> {:.2} K",
+        hot.mean_k() - cool.mean_k(),
+        hot.max_k(),
+        cool.max_k()
+    );
+}

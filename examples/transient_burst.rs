@@ -1,0 +1,48 @@
+//! Transient thermal response to bursty traffic: drive the 3DM chip with
+//! an on/off workload, sample the network power in windows, and step the
+//! transient thermal solver through the resulting power trace — the
+//! time-domain view behind the paper's steady-state Fig. 13(c).
+//!
+//! Run with: `cargo run --release --example transient_burst`
+
+use mira::arch::Arch;
+use mira::experiments::thermal::chip_model;
+use mira::experiments::{run_arch, EXPERIMENT_SEED};
+use mira::noc::sim::SimConfig;
+use mira::thermal::transient::TransientSim;
+use mira::traffic::synthetic::BurstyUniform;
+
+fn main() {
+    let arch = Arch::ThreeDM;
+
+    // Measure network power in ON-ish and OFF-ish phases by running the
+    // bursty workload at two duty cycles.
+    let power_at = |p_on: f64, p_off: f64| {
+        let w = BurstyUniform::new(0.5, 5, p_on, p_off, EXPERIMENT_SEED);
+        let cfg = SimConfig { warmup_cycles: 300, measure_cycles: 2_000, drain_cycles: 8_000 };
+        run_arch(arch, false, Box::new(w), cfg).avg_power_w
+    };
+    let p_busy = power_at(0.05, 0.005); // ~91% duty
+    let p_idle = power_at(0.005, 0.05); // ~9% duty
+    println!("network power: busy phase {p_busy:.2} W, idle phase {p_idle:.2} W");
+
+    // 200 ms of alternating 25 ms busy / 25 ms idle phases at 1 ms steps.
+    let mut sim = TransientSim::new(chip_model(arch, p_idle), 1e-3);
+    println!("\n   t(ms)   phase   mean(K)    max(K)");
+    for step in 0..200 {
+        let busy = (step / 25) % 2 == 1;
+        let chip = chip_model(arch, if busy { p_busy } else { p_idle });
+        *sim.chip_mut() = chip;
+        sim.step();
+        if step % 10 == 9 {
+            println!(
+                "{:>8.0} {:>7} {:>9.2} {:>9.2}",
+                sim.time_s() * 1e3,
+                if busy { "busy" } else { "idle" },
+                sim.mean_k(),
+                sim.max_k()
+            );
+        }
+    }
+    println!("\n(the chip breathes with the bursts — the transient view of Fig. 13(c))");
+}

@@ -1,0 +1,120 @@
+//! Shared experiment plumbing: running one architecture against one
+//! workload and pricing the result.
+
+use mira_noc::sim::{SimConfig, SimReport, Simulator};
+use mira_noc::traffic::{PayloadProfile, UniformRandom, Workload};
+
+use crate::arch::Arch;
+
+/// The seed used by every experiment (results are deterministic).
+pub const EXPERIMENT_SEED: u64 = 20080621; // ISCA 2008 week
+
+/// Result of one (architecture, workload) run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Which architecture ran.
+    pub arch: Arch,
+    /// The simulator's report.
+    pub report: SimReport,
+    /// Average network power over the measurement window, W.
+    pub avg_power_w: f64,
+    /// Power–delay product (power × mean latency).
+    pub pdp: f64,
+}
+
+/// Runs one architecture against a workload.
+pub fn run_arch(
+    arch: Arch,
+    layer_shutdown: bool,
+    workload: Box<dyn Workload>,
+    sim_cfg: SimConfig,
+) -> RunResult {
+    let mut sim = Simulator::new(arch.topology(), arch.network_config(layer_shutdown), sim_cfg);
+    let report = sim.run(workload);
+    let pricing = arch.network_power();
+    let avg_power_w = pricing.average_power_w(&report.counters);
+    let pdp = pricing.power_delay_product(&report.counters, report.avg_latency);
+    RunResult { arch, report, avg_power_w, pdp }
+}
+
+/// The default measurement windows for the full experiments.
+pub fn default_sim_config() -> SimConfig {
+    SimConfig { warmup_cycles: 2_000, measure_cycles: 10_000, drain_cycles: 30_000 }
+}
+
+/// A fast configuration for tests and micro-benches.
+pub fn quick_sim_config() -> SimConfig {
+    SimConfig { warmup_cycles: 300, measure_cycles: 1_500, drain_cycles: 6_000 }
+}
+
+/// One sample of a uniform-random sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Architecture.
+    pub arch: Arch,
+    /// Offered load, flits/node/cycle.
+    pub rate: f64,
+    /// The run.
+    pub result: RunResult,
+}
+
+/// Sweeps uniform-random traffic over `rates` for every architecture
+/// (the shared substrate of Figs. 11(a), 12(a) and 12(d)).
+///
+/// `short_fraction` sets the short-flit share of the payloads (0.0 for
+/// the paper's baseline figures); shutdown is enabled iff it is
+/// non-zero.
+pub fn sweep_ur(rates: &[f64], short_fraction: f64, sim_cfg: SimConfig) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &rate in rates {
+        for arch in Arch::ALL {
+            let payload = PayloadProfile::with_short_fraction(4, short_fraction);
+            let workload =
+                UniformRandom::new(rate, 5, EXPERIMENT_SEED).with_payload(payload);
+            let result =
+                run_arch(arch, short_fraction > 0.0, Box::new(workload), sim_cfg);
+            out.push(SweepPoint { arch, rate, result });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_arch_produces_power() {
+        let w = UniformRandom::new(0.05, 5, EXPERIMENT_SEED);
+        let r = run_arch(Arch::TwoDB, false, Box::new(w), quick_sim_config());
+        assert!(!r.report.saturated);
+        assert!(r.avg_power_w > 0.0);
+        assert!(r.pdp > 0.0);
+        assert!((r.pdp - r.avg_power_w * r.report.avg_latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_covers_all_archs_and_rates() {
+        let pts = sweep_ur(&[0.02, 0.05], 0.0, quick_sim_config());
+        assert_eq!(pts.len(), 2 * Arch::ALL.len());
+        for p in &pts {
+            assert!(p.result.report.packets_ejected > 0, "{} @ {}", p.arch, p.rate);
+        }
+    }
+
+    /// The headline zero-load ordering: 3DM-E < 3DM < 2DB in latency;
+    /// 3DB sits between 3DM-E and 2DB for UR (fewer hops than 2DB).
+    #[test]
+    fn low_load_latency_ordering() {
+        let pts = sweep_ur(&[0.05], 0.0, quick_sim_config());
+        let lat = |a: Arch| {
+            pts.iter().find(|p| p.arch == a).expect("arch present").result.report.avg_latency
+        };
+        assert!(lat(Arch::ThreeDME) < lat(Arch::ThreeDM));
+        assert!(lat(Arch::ThreeDM) < lat(Arch::TwoDB));
+        assert!(lat(Arch::ThreeDB) < lat(Arch::TwoDB));
+        // NC ablations are slower than their parents.
+        assert!(lat(Arch::ThreeDM) < lat(Arch::ThreeDMNc));
+        assert!(lat(Arch::ThreeDME) < lat(Arch::ThreeDMENc));
+    }
+}

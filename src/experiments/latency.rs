@@ -1,0 +1,262 @@
+//! Latency experiments (paper Fig. 11).
+
+use mira_noc::sim::SimConfig;
+use mira_traffic::nuca_ur::NucaBimodal;
+use mira_traffic::trace::TraceReplay;
+use mira_traffic::workloads::Application;
+use mira_nuca::cmp::{CmpConfig, CmpSystem};
+
+use crate::arch::Arch;
+use crate::experiments::common::{run_arch, RunResult, SweepPoint, EXPERIMENT_SEED};
+use crate::report::{BarFigure, CurvePoint, Figure, Series};
+
+/// Fig. 11(a): average latency vs injection rate, uniform random.
+///
+/// Takes the shared UR sweep (see
+/// [`sweep_ur`](crate::experiments::common::sweep_ur)) so the same runs
+/// also feed Figs. 12(a) and 12(d).
+pub fn fig11a(sweep: &[SweepPoint]) -> Figure {
+    Figure {
+        id: "fig11a".into(),
+        title: "Average latency, uniform random traffic".into(),
+        x_label: "inj-rate".into(),
+        y_label: "cycles".into(),
+        series: Arch::ALL
+            .iter()
+            .map(|&arch| {
+                Series::new(
+                    arch.name(),
+                    sweep
+                        .iter()
+                        .filter(|p| p.arch == arch)
+                        .map(|p| CurvePoint { x: p.rate, y: p.result.report.avg_latency })
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Runs the NUCA-UR bimodal workload for one architecture at a per-CPU
+/// request rate.
+pub fn run_nuca_ur(arch: Arch, request_rate: f64, sim_cfg: SimConfig) -> RunResult {
+    let workload = NucaBimodal::new(
+        arch.cpu_nodes(),
+        arch.cache_nodes(),
+        request_rate,
+        EXPERIMENT_SEED,
+    );
+    run_arch(arch, false, Box::new(workload), sim_cfg)
+}
+
+/// Fig. 11(b): average latency under NUCA-UR request/response traffic,
+/// swept over per-CPU request rates.
+pub fn fig11b(request_rates: &[f64], sim_cfg: SimConfig) -> Figure {
+    let mut series: Vec<Series> = Vec::new();
+    for arch in Arch::ALL {
+        let points = request_rates
+            .iter()
+            .map(|&r| CurvePoint {
+                x: r,
+                y: run_nuca_ur(arch, r, sim_cfg).report.avg_latency,
+            })
+            .collect();
+        series.push(Series::new(arch.name(), points));
+    }
+    Figure {
+        id: "fig11b".into(),
+        title: "Average latency, NUCA-UR bimodal traffic".into(),
+        x_label: "req-rate".into(),
+        y_label: "cycles".into(),
+        series,
+    }
+}
+
+/// Generates (and rate-calibrates) an application trace mapped onto one
+/// architecture's node layout. The protocol event sequence is
+/// seed-deterministic, so every architecture replays the *same logical
+/// trace* on its own placement — the paper's methodology.
+pub fn app_trace(app: Application, arch: Arch, cycles: u64) -> Vec<mira_traffic::trace::TraceRecord> {
+    let mut sys = CmpSystem::new(CmpConfig::for_app(
+        app,
+        arch.cpu_nodes(),
+        arch.cache_nodes(),
+        EXPERIMENT_SEED,
+    ));
+    sys.calibrate_rate(app.profile().offered_load, 36, cycles.min(10_000));
+    sys.generate_trace(cycles)
+}
+
+/// Runs one application trace on one architecture.
+pub fn run_trace(app: Application, arch: Arch, shutdown: bool, cycles: u64, sim_cfg: SimConfig) -> RunResult {
+    let trace = app_trace(app, arch, cycles);
+    run_arch(arch, shutdown, Box::new(TraceReplay::new(trace)), sim_cfg)
+}
+
+/// Fig. 11(c): latency on the MP traces, normalised to 2DB.
+pub fn fig11c(apps: &[Application], cycles: u64, sim_cfg: SimConfig) -> BarFigure {
+    let archs = Arch::ALL;
+    let mut groups = Vec::new();
+    for &app in apps {
+        // One run per architecture; 2DB doubles as the normalisation
+        // base (no duplicate baseline run).
+        let latencies: Vec<f64> = archs
+            .iter()
+            .map(|&a| run_trace(app, a, false, cycles, sim_cfg).report.avg_latency)
+            .collect();
+        let base = latencies[archs.iter().position(|&a| a == Arch::TwoDB).expect("2DB listed")];
+        groups.push((app.name().to_string(), latencies.iter().map(|l| l / base).collect()));
+    }
+    BarFigure {
+        id: "fig11c".into(),
+        title: "MP-trace latency normalised to 2DB".into(),
+        group_label: "application".into(),
+        bar_labels: archs.iter().map(|a| a.name().to_string()).collect(),
+        groups,
+        unit: "normalised latency".into(),
+    }
+}
+
+/// Fig. 11(d): average hop count per architecture for the three traffic
+/// kinds (UR, NUCA-UR, MP traces).
+pub fn fig11d(sweep: &[SweepPoint], nuca_rate: f64, trace_app: Application, cycles: u64, sim_cfg: SimConfig) -> BarFigure {
+    let archs = Arch::HARDWARE;
+    let mut groups = Vec::new();
+
+    // UR at the lowest sampled rate.
+    let min_rate = sweep.iter().map(|p| p.rate).fold(f64::INFINITY, f64::min);
+    let ur: Vec<f64> = archs
+        .iter()
+        .map(|&a| {
+            sweep
+                .iter()
+                .find(|p| p.arch == a && (p.rate - min_rate).abs() < 1e-9)
+                .map(|p| p.result.report.avg_hops)
+                .unwrap_or(f64::NAN)
+        })
+        .collect();
+    groups.push(("UR".to_string(), ur));
+
+    let nuca: Vec<f64> =
+        archs.iter().map(|&a| run_nuca_ur(a, nuca_rate, sim_cfg).report.avg_hops).collect();
+    groups.push(("NUCA-UR".to_string(), nuca));
+
+    let traces: Vec<f64> = archs
+        .iter()
+        .map(|&a| run_trace(trace_app, a, false, cycles, sim_cfg).report.avg_hops)
+        .collect();
+    groups.push(("MP-trace".to_string(), traces));
+
+    BarFigure {
+        id: "fig11d".into(),
+        title: "Average hop count".into(),
+        group_label: "traffic".into(),
+        bar_labels: archs.iter().map(|a| a.name().to_string()).collect(),
+        groups,
+        unit: "hops".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::common::{quick_sim_config, sweep_ur};
+
+    #[test]
+    fn fig11a_has_six_series() {
+        let sweep = sweep_ur(&[0.05], 0.0, quick_sim_config());
+        let fig = fig11a(&sweep);
+        assert_eq!(fig.series.len(), 6);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 1);
+            assert!(s.points[0].y > 5.0);
+        }
+    }
+
+    #[test]
+    fn nuca_ur_penalises_3db() {
+        // Fig. 11(b)/(d): under NUCA-constrained traffic the 3DB layout
+        // (CPUs on the top layer) raises the hop count above its UR
+        // value, while the 6×6 layouts stay put.
+        let cfg = quick_sim_config();
+        let r3db = run_nuca_ur(Arch::ThreeDB, 0.05, cfg);
+        let r2db = run_nuca_ur(Arch::TwoDB, 0.05, cfg);
+        assert!(
+            r3db.report.avg_hops > 3.0,
+            "3DB NUCA hops {} must exceed its UR average ≈3.1",
+            r3db.report.avg_hops
+        );
+        // 2DB's central CPU placement keeps NUCA hops close to 4.
+        assert!(r2db.report.avg_hops < 4.2, "{}", r2db.report.avg_hops);
+    }
+
+    #[test]
+    fn trace_replay_runs_on_all_archs() {
+        let cfg = quick_sim_config();
+        for arch in [Arch::TwoDB, Arch::ThreeDB, Arch::ThreeDME] {
+            let r = run_trace(Application::Multimedia, arch, false, 3_000, cfg);
+            assert!(r.report.packets_ejected > 0, "{arch}");
+        }
+    }
+
+    #[test]
+    fn fig11d_hop_ordering() {
+        let sweep = sweep_ur(&[0.03], 0.0, quick_sim_config());
+        let fig = fig11d(&sweep, 0.04, Application::Multimedia, 3_000, quick_sim_config());
+        // UR hop counts: 3DM-E < 3DB < 2DB ≈ 3DM (paper Fig. 11(d)).
+        let ur = |a: &str| fig.value("UR", a).expect("bar exists");
+        assert!(ur("3DM-E") < ur("3DB"));
+        assert!(ur("3DB") < ur("2DB"));
+        assert!((ur("2DB") - ur("3DM")).abs() < 0.2);
+    }
+}
+
+/// Tail-latency extension: p50/p95/p99 per architecture under UR
+/// traffic at one load (the mean the paper plots hides the tail the
+/// express channels flatten).
+pub fn tail_latency(rate: f64, sim_cfg: SimConfig) -> crate::report::BarFigure {
+    use mira_noc::traffic::UniformRandom;
+    let mut groups = Vec::new();
+    for arch in Arch::ALL {
+        let w = UniformRandom::new(rate, 5, EXPERIMENT_SEED);
+        let run = run_arch(arch, false, Box::new(w), sim_cfg);
+        let h = &run.report.histogram;
+        groups.push((
+            arch.name().to_string(),
+            vec![
+                h.p50().unwrap_or(0) as f64,
+                h.p95().unwrap_or(0) as f64,
+                h.p99().unwrap_or(0) as f64,
+            ],
+        ));
+    }
+    crate::report::BarFigure {
+        id: "ext-tail-latency".into(),
+        title: format!("Tail latency, uniform random at {rate} flits/node/cycle"),
+        group_label: "architecture".into(),
+        bar_labels: vec!["p50".into(), "p95".into(), "p99".into()],
+        groups,
+        unit: "cycles".into(),
+    }
+}
+
+#[cfg(test)]
+mod tail_tests {
+    use super::*;
+    use crate::experiments::common::quick_sim_config;
+
+    #[test]
+    fn tails_are_ordered_and_sane() {
+        let fig = tail_latency(0.10, quick_sim_config());
+        for arch in Arch::ALL {
+            let p50 = fig.value(arch.name(), "p50").unwrap();
+            let p95 = fig.value(arch.name(), "p95").unwrap();
+            let p99 = fig.value(arch.name(), "p99").unwrap();
+            assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99, "{arch}: {p50} {p95} {p99}");
+        }
+        // The express design flattens the tail relative to 2DB.
+        let e99 = fig.value("3DM-E", "p99").unwrap();
+        let b99 = fig.value("2DB", "p99").unwrap();
+        assert!(e99 < b99, "3DM-E p99 {e99} vs 2DB {b99}");
+    }
+}

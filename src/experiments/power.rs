@@ -1,0 +1,198 @@
+//! Power experiments (paper Figs. 12 and 13(a)-(b)).
+
+use mira_noc::sim::SimConfig;
+use mira_noc::traffic::{PayloadProfile, UniformRandom};
+use mira_traffic::workloads::Application;
+
+use crate::arch::Arch;
+use crate::experiments::common::{run_arch, SweepPoint, EXPERIMENT_SEED};
+use crate::experiments::latency::{run_nuca_ur, run_trace};
+use crate::report::{BarFigure, CurvePoint, Figure, Series};
+
+/// Fig. 12(a): average network power vs injection rate, uniform random,
+/// 0 % short flits (pure structural comparison).
+pub fn fig12a(sweep: &[SweepPoint]) -> Figure {
+    Figure {
+        id: "fig12a".into(),
+        title: "Average power, uniform random traffic (0% short flits)".into(),
+        x_label: "inj-rate".into(),
+        y_label: "watts".into(),
+        series: Arch::ALL
+            .iter()
+            .map(|&arch| {
+                Series::new(
+                    arch.name(),
+                    sweep
+                        .iter()
+                        .filter(|p| p.arch == arch)
+                        .map(|p| CurvePoint { x: p.rate, y: p.result.avg_power_w })
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 12(b): average network power under NUCA-UR traffic.
+pub fn fig12b(request_rates: &[f64], sim_cfg: SimConfig) -> Figure {
+    let mut series = Vec::new();
+    for arch in Arch::ALL {
+        let points = request_rates
+            .iter()
+            .map(|&r| CurvePoint { x: r, y: run_nuca_ur(arch, r, sim_cfg).avg_power_w })
+            .collect();
+        series.push(Series::new(arch.name(), points));
+    }
+    Figure {
+        id: "fig12b".into(),
+        title: "Average power, NUCA-UR bimodal traffic".into(),
+        x_label: "req-rate".into(),
+        y_label: "watts".into(),
+        series,
+    }
+}
+
+/// Fig. 12(c): network power on the MP traces normalised to 2DB.
+///
+/// Layer shutdown is enabled for the multi-layered designs and **off for
+/// the 2DB/3DB base cases**, matching the paper ("with no layer shut
+/// down in the base cases").
+pub fn fig12c(apps: &[Application], cycles: u64, sim_cfg: SimConfig) -> BarFigure {
+    let archs = Arch::ALL;
+    let mut groups = Vec::new();
+    for &app in apps {
+        // One run per architecture; the 2DB run (shutdown off) is the
+        // normalisation base.
+        let powers: Vec<f64> = archs
+            .iter()
+            .map(|&a| {
+                let shutdown = a.paper_arch().is_multilayer();
+                run_trace(app, a, shutdown, cycles, sim_cfg).avg_power_w
+            })
+            .collect();
+        let base = powers[archs.iter().position(|&a| a == Arch::TwoDB).expect("2DB listed")];
+        groups.push((app.name().to_string(), powers.iter().map(|p| p / base).collect()));
+    }
+    BarFigure {
+        id: "fig12c".into(),
+        title: "MP-trace power normalised to 2DB (shutdown on 3DM/3DM-E)".into(),
+        group_label: "application".into(),
+        bar_labels: archs.iter().map(|a| a.name().to_string()).collect(),
+        groups,
+        unit: "normalised power".into(),
+    }
+}
+
+/// Fig. 12(d): power–delay product vs injection rate, normalised to 2DB
+/// at each rate.
+pub fn fig12d(sweep: &[SweepPoint]) -> Figure {
+    let base: Vec<(f64, f64)> = sweep
+        .iter()
+        .filter(|p| p.arch == Arch::TwoDB)
+        .map(|p| (p.rate, p.result.pdp))
+        .collect();
+    let base_at = |x: f64| {
+        base.iter().find(|(r, _)| (r - x).abs() < 1e-9).map(|(_, v)| *v).unwrap_or(f64::NAN)
+    };
+    Figure {
+        id: "fig12d".into(),
+        title: "Power-delay product normalised to 2DB (uniform random)".into(),
+        x_label: "inj-rate".into(),
+        y_label: "normalised PDP".into(),
+        series: Arch::ALL
+            .iter()
+            .map(|&arch| {
+                Series::new(
+                    arch.name(),
+                    sweep
+                        .iter()
+                        .filter(|p| p.arch == arch)
+                        .map(|p| CurvePoint { x: p.rate, y: p.result.pdp / base_at(p.rate) })
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 13(b): power saving from the layer-shutdown technique at 25 %
+/// and 50 % short flits, uniform random, for the shutdown-capable
+/// designs.
+pub fn fig13b(rate: f64, sim_cfg: SimConfig) -> BarFigure {
+    let archs = [Arch::TwoDB, Arch::ThreeDM, Arch::ThreeDME];
+    let fractions = [0.25, 0.50];
+    let mut groups = Vec::new();
+    for &frac in &fractions {
+        let mut values = Vec::new();
+        for &arch in &archs {
+            let base = {
+                let w = UniformRandom::new(rate, 5, EXPERIMENT_SEED)
+                    .with_payload(PayloadProfile::dense(4));
+                run_arch(arch, false, Box::new(w), sim_cfg).avg_power_w
+            };
+            let gated = {
+                let w = UniformRandom::new(rate, 5, EXPERIMENT_SEED)
+                    .with_payload(PayloadProfile::with_short_fraction(4, frac));
+                run_arch(arch, true, Box::new(w), sim_cfg).avg_power_w
+            };
+            values.push((1.0 - gated / base) * 100.0);
+        }
+        groups.push((format!("{:.0}% short", frac * 100.0), values));
+    }
+    BarFigure {
+        id: "fig13b".into(),
+        title: "Power saving from layer shutdown (uniform random)".into(),
+        group_label: "short flits".into(),
+        bar_labels: archs.iter().map(|a| a.name().to_string()).collect(),
+        groups,
+        unit: "% saving".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::common::{quick_sim_config, sweep_ur};
+
+    /// Headline power ordering at UR (paper §4.2.2): 3DM-E and 3DM are
+    /// the cheapest; 3DB is cheaper than 2DB per network (fewer hops)
+    /// but worse per flit.
+    #[test]
+    fn fig12a_power_ordering() {
+        let sweep = sweep_ur(&[0.10], 0.0, quick_sim_config());
+        let fig = fig12a(&sweep);
+        let p = |a: &str| fig.series.iter().find(|s| s.label == a).unwrap().points[0].y;
+        assert!(p("3DM") < p("2DB"), "3DM {} vs 2DB {}", p("3DM"), p("2DB"));
+        assert!(p("3DM-E") < p("2DB"));
+        assert!(p("3DM") < p("3DB"));
+        // 2DB is the most power-hungry of the four (paper: 3DM saves 22%
+        // over 2DB and 15% over 3DB ⇒ 3DB below 2DB).
+        assert!(p("3DB") < p("2DB"));
+    }
+
+    /// Fig. 12(d): 3DM-E has the best PDP, 2DB the worst.
+    #[test]
+    fn fig12d_pdp_extremes() {
+        let sweep = sweep_ur(&[0.10], 0.0, quick_sim_config());
+        let fig = fig12d(&sweep);
+        let v = |a: &str| fig.series.iter().find(|s| s.label == a).unwrap().points[0].y;
+        assert!((v("2DB") - 1.0).abs() < 1e-9, "2DB is the normalisation base");
+        for arch in ["3DB", "3DM", "3DM-E"] {
+            assert!(v(arch) < 1.0, "{arch}: {}", v(arch));
+        }
+        assert!(v("3DM-E") <= v("3DM"));
+    }
+
+    /// Fig. 13(b): ~36 % saving at 50 % short flits, about half that at
+    /// 25 % (paper §4.2.2).
+    #[test]
+    fn fig13b_shutdown_savings() {
+        let fig = fig13b(0.10, quick_sim_config());
+        for arch in ["2DB", "3DM", "3DM-E"] {
+            let s50 = fig.value("50% short", arch).unwrap();
+            let s25 = fig.value("25% short", arch).unwrap();
+            assert!((25.0..=45.0).contains(&s50), "{arch} @50%: {s50:.1}%");
+            assert!(s25 > 0.4 * s50 && s25 < 0.65 * s50, "{arch}: 25% {s25:.1} vs 50% {s50:.1}");
+        }
+    }
+}

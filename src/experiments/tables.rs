@@ -1,0 +1,133 @@
+//! Tables 1–3 (component areas, design parameters, delay validation).
+
+use mira_noc::layers::via_count;
+use mira_power::area::AreaModel;
+use mira_power::delay::{DelayModel, INVERTER_DELAY_PS, UNBUFFERED_WIRE_PS_PER_MM};
+use mira_power::geometry::PaperArch;
+
+use crate::report::TextTable;
+
+/// Table 1: router component areas (µm²) for the four architectures,
+/// plus the via accounting.
+pub fn table1() -> TextTable {
+    let model = AreaModel::default();
+    let archs = PaperArch::ALL;
+    let headers: Vec<String> = std::iter::once("Area (um^2)".to_string())
+        .chain(archs.iter().map(|a| a.name().to_string()))
+        .collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let component =
+        |name: &str, f: &dyn Fn(PaperArch) -> f64| -> Vec<String> {
+            std::iter::once(name.to_string())
+                .chain(archs.iter().map(|&a| format!("{:.0}", f(a))))
+                .collect()
+        };
+    rows.push(component("RC", &|a| model.paper_areas(a).rc));
+    rows.push(component("SA1", &|a| model.paper_areas(a).sa1));
+    rows.push(component("SA2", &|a| model.paper_areas(a).sa2));
+    rows.push(component("VA1", &|a| model.paper_areas(a).va1));
+    rows.push(component("VA2", &|a| model.paper_areas(a).va2));
+    rows.push(component("Crossbar", &|a| model.paper_areas(a).crossbar));
+    rows.push(component("Buffer", &|a| model.paper_areas(a).buffer));
+    rows.push(component("Total (per layer)", &|a| model.paper_areas(a).total()));
+
+    let vias: Vec<String> = std::iter::once("Vias (2P+PV+Vk)".to_string())
+        .chain(archs.iter().map(|&a| {
+            let g = a.geometry();
+            if g.layers > 1 {
+                format!("{}", via_count(g.ports, g.vcs, g.buffer_depth))
+            } else {
+                "0".to_string()
+            }
+        }))
+        .collect();
+    rows.push(vias);
+
+    let overhead: Vec<String> = std::iter::once("Via overhead/layer".to_string())
+        .chain(archs.iter().map(|&a| format!("{:.1}%", model.via_overhead_fraction(a) * 100.0)))
+        .collect();
+    rows.push(overhead);
+
+    TextTable { id: "table1".into(), title: "Router component area".into(), headers, rows }
+}
+
+/// Table 2: design parameters (delay constants and link lengths).
+pub fn table2() -> TextTable {
+    TextTable {
+        id: "table2".into(),
+        title: "Design parameters".into(),
+        headers: vec!["parameter".into(), "value".into()],
+        rows: vec![
+            vec!["Link delay per mm (unbuffered)".into(), format!("{UNBUFFERED_WIRE_PS_PER_MM} ps")],
+            vec!["Inverter delay (HSPICE)".into(), format!("{INVERTER_DELAY_PS} ps")],
+            vec!["Inter-router link, 2DB".into(), "3.1 mm".into()],
+            vec!["Inter-router link, 3DM".into(), "1.58 mm".into()],
+        ],
+    }
+}
+
+/// Table 3: delay validation for ST+LT pipeline combining at 2 GHz.
+pub fn table3() -> TextTable {
+    let model = DelayModel::default();
+    let mut rows = Vec::new();
+    for arch in [PaperArch::TwoDB, PaperArch::ThreeDM, PaperArch::ThreeDME] {
+        let d = model.paper_stage_delays(arch);
+        rows.push(vec![
+            arch.name().to_string(),
+            format!("{:.2}", d.xbar_ps),
+            format!("{:.2}", d.link_ps),
+            format!("{:.2}", d.combined_ps()),
+            if model.can_combine_st_lt(d) { "Yes".to_string() } else { "No".to_string() },
+        ]);
+    }
+    TextTable {
+        id: "table3".into(),
+        title: "Delay validation for pipeline combination (budget 500 ps)".into(),
+        headers: vec![
+            "arch".into(),
+            "XBAR (ps)".into(),
+            "Link (ps)".into(),
+            "Combined (ps)".into(),
+            "ST+LT combined".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_published_numbers() {
+        let t = table1().to_text();
+        for v in ["230400", "451584", "14400", "46656", "162973", "228162", "40743", "73338"] {
+            assert!(t.contains(v), "missing {v} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table3_verdicts() {
+        let t = table3();
+        assert_eq!(t.rows[0][4], "No", "2DB cannot combine");
+        assert_eq!(t.rows[1][4], "Yes", "3DM combines");
+        assert_eq!(t.rows[2][4], "Yes", "3DM-E combines");
+    }
+
+    #[test]
+    fn table3_combined_values() {
+        let t = table3();
+        assert_eq!(t.rows[0][3], "688.05");
+        assert_eq!(t.rows[1][3], "297.60");
+        assert_eq!(t.rows[2][3], "492.33");
+    }
+
+    #[test]
+    fn table2_renders() {
+        let t = table2().to_text();
+        assert!(t.contains("254"));
+        assert!(t.contains("9.81"));
+        assert!(t.contains("3.1 mm"));
+    }
+}

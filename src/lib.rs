@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # mira — reproduction of "MIRA: A Multi-Layered On-Chip Interconnect
+//! Router Architecture" (Park et al., ISCA 2008)
+//!
+//! This facade crate ties the subsystem crates together:
+//!
+//! * [`mira_noc`] — the cycle-accurate NoC simulator,
+//! * [`mira_power`] — Orion-style power/area/delay models,
+//! * [`mira_thermal`] — the HotSpot-style thermal solver,
+//! * [`mira_traffic`] — synthetic workloads and trace handling,
+//! * [`mira_nuca`] — the CMP cache-coherence trace generator,
+//!
+//! and adds the paper-specific layer:
+//!
+//! * [`arch`] — the six evaluated architectures (2DB, 3DB, 3DM,
+//!   3DM(NC), 3DM-E, 3DM-E(NC)) with their topologies, layouts, pipeline
+//!   decisions and power models;
+//! * [`experiments`] — one runner per table/figure of the paper;
+//! * [`report`] — text rendering of figures and tables.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mira::arch::Arch;
+//! use mira::experiments::{quick_sim_config, run_arch, EXPERIMENT_SEED};
+//! use mira::noc::traffic::UniformRandom;
+//!
+//! let workload = UniformRandom::new(0.05, 5, EXPERIMENT_SEED);
+//! let run = run_arch(Arch::ThreeDME, false, Box::new(workload), quick_sim_config());
+//! println!("3DM-E: {:.1} cycles, {:.2} W", run.report.avg_latency, run.avg_power_w);
+//! ```
+
+pub mod arch;
+pub mod experiments;
+pub mod report;
+
+pub use mira_noc as noc;
+pub use mira_nuca as nuca;
+pub use mira_power as power;
+pub use mira_thermal as thermal;
+pub use mira_traffic as traffic;
+
+pub use arch::Arch;

@@ -1,0 +1,101 @@
+//! Integration tests for the extension features (adaptive routing,
+//! pipeline depths, histograms, co-simulation, trace portability).
+
+use mira::arch::Arch;
+use mira::experiments::common::{quick_sim_config, run_arch, EXPERIMENT_SEED};
+use mira::experiments::latency::app_trace;
+use mira::noc::adaptive::{AdaptiveMesh2D, TurnModel};
+use mira::noc::config::PipelineDepth;
+use mira::noc::sim::Simulator;
+use mira::noc::topology::Mesh2D;
+use mira::noc::traffic::UniformRandom;
+use mira::traffic::workloads::Application;
+
+/// The same logical protocol event stream maps onto every layout: the
+/// per-class packet counts of an application trace are identical across
+/// architectures (only node ids differ) — the property that makes the
+/// normalised trace figures an apples-to-apples comparison.
+#[test]
+fn traces_are_logically_identical_across_layouts() {
+    let count_classes = |arch: Arch| {
+        let trace = app_trace(Application::Zeus, arch, 4_000);
+        let mut counts = vec![0usize; 6];
+        for r in &trace {
+            counts[r.class.table_index()] += 1;
+        }
+        (trace.len(), counts)
+    };
+    let (n_2db, c_2db) = count_classes(Arch::TwoDB);
+    let (n_3db, c_3db) = count_classes(Arch::ThreeDB);
+    let (n_3me, c_3me) = count_classes(Arch::ThreeDME);
+    assert_eq!(n_2db, n_3db);
+    assert_eq!(n_2db, n_3me);
+    assert_eq!(c_2db, c_3db);
+    assert_eq!(c_2db, c_3me);
+}
+
+/// Adaptive routing delivers the same traffic as X-Y with identical
+/// packet counts and no deadlock, across all three turn models.
+#[test]
+fn adaptive_routing_end_to_end() {
+    let base = {
+        let mut sim = Simulator::new(
+            Box::new(Mesh2D::new(6, 6)),
+            Arch::ThreeDM.network_config(false),
+            quick_sim_config(),
+        );
+        sim.run(Box::new(UniformRandom::new(0.10, 5, EXPERIMENT_SEED)))
+    };
+    assert!(!base.saturated);
+
+    for model in TurnModel::ALL {
+        let mut sim = Simulator::new(
+            Box::new(AdaptiveMesh2D::new(Mesh2D::new(6, 6), model)),
+            Arch::ThreeDM.network_config(false),
+            quick_sim_config(),
+        );
+        let report = sim.run(Box::new(UniformRandom::new(0.10, 5, EXPERIMENT_SEED)));
+        assert!(!report.saturated, "{model}");
+        assert_eq!(report.packets_created, base.packets_created, "{model}: same workload");
+        assert_eq!(report.packets_ejected, report.packets_created, "{model}: all delivered");
+        // Minimal routing: hop counts match the deterministic router's.
+        assert!((report.avg_hops - base.avg_hops).abs() < 0.05, "{model}");
+    }
+}
+
+/// Pipeline-depth modes preserve correctness under load: same packets,
+/// all delivered, strictly decreasing latency with depth.
+#[test]
+fn pipeline_depths_deliver_under_load() {
+    let mut latencies = Vec::new();
+    for depth in [
+        PipelineDepth::FourStage,
+        PipelineDepth::ThreeStageSpeculative,
+        PipelineDepth::TwoStageLookahead,
+    ] {
+        let mut cfg = Arch::ThreeDM.network_config(false);
+        cfg.router.pipeline = cfg.router.pipeline.with_depth(depth);
+        let mut sim =
+            Simulator::new(Arch::ThreeDM.topology(), cfg, quick_sim_config());
+        let report = sim.run(Box::new(UniformRandom::new(0.12, 5, EXPERIMENT_SEED)));
+        assert!(!report.saturated, "{depth:?}");
+        assert_eq!(report.packets_created, report.packets_ejected, "{depth:?}");
+        latencies.push(report.avg_latency);
+    }
+    assert!(latencies[0] > latencies[1] && latencies[1] > latencies[2], "{latencies:?}");
+}
+
+/// The histogram is consistent with the scalar statistics the report
+/// carries.
+#[test]
+fn histogram_consistent_with_mean() {
+    let w = UniformRandom::new(0.08, 5, EXPERIMENT_SEED);
+    let r = run_arch(Arch::TwoDB, false, Box::new(w), quick_sim_config());
+    let h = &r.report.histogram;
+    assert_eq!(h.count(), r.report.packets_ejected);
+    assert!((h.mean() - r.report.avg_latency).abs() < 1e-9);
+    let p50 = h.p50().unwrap() as f64;
+    let p99 = h.p99().unwrap() as f64;
+    assert!(p50 <= r.report.avg_latency * 1.5);
+    assert!(p99 >= r.report.avg_latency);
+}

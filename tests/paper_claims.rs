@@ -1,0 +1,118 @@
+//! End-to-end checks of the paper's headline claims at a reduced scale.
+//!
+//! These are the "shape" assertions of DESIGN.md §5: who wins, in which
+//! direction, by roughly what factor. Absolute cycle counts differ from
+//! the paper (different testbed), but every ordering it reports must
+//! hold here.
+
+use mira::arch::Arch;
+use mira::experiments::common::{quick_sim_config, run_arch, sweep_ur, EXPERIMENT_SEED};
+use mira::experiments::latency::{run_nuca_ur, run_trace};
+use mira::noc::traffic::UniformRandom;
+use mira::traffic::workloads::Application;
+
+fn latency_of(arch: Arch, rate: f64) -> f64 {
+    let w = UniformRandom::new(rate, 5, EXPERIMENT_SEED);
+    run_arch(arch, false, Box::new(w), quick_sim_config()).report.avg_latency
+}
+
+/// §4.2.1 / Fig. 11(a): 3DM-E has the lowest UR latency at every load;
+/// at a pre-saturation load its saving over 2DB is large (paper: up to
+/// 51 % at 30 % injection) and over 3DB substantial (paper: ~26 %).
+#[test]
+fn ur_latency_orderings() {
+    for rate in [0.05, 0.15] {
+        let l2 = latency_of(Arch::TwoDB, rate);
+        let l3b = latency_of(Arch::ThreeDB, rate);
+        let l3m = latency_of(Arch::ThreeDM, rate);
+        let l3me = latency_of(Arch::ThreeDME, rate);
+        assert!(l3me < l3m && l3me < l3b && l3me < l2, "rate {rate}");
+        assert!(l3m < l2, "rate {rate}");
+    }
+    // Saving factors at a moderate load.
+    let saving_2db = 1.0 - latency_of(Arch::ThreeDME, 0.15) / latency_of(Arch::TwoDB, 0.15);
+    assert!(saving_2db > 0.35, "3DM-E saves {:.0}% over 2DB", saving_2db * 100.0);
+    let saving_3db = 1.0 - latency_of(Arch::ThreeDME, 0.15) / latency_of(Arch::ThreeDB, 0.15);
+    assert!(saving_3db > 0.15, "3DM-E saves {:.0}% over 3DB", saving_3db * 100.0);
+}
+
+/// §4.2.1: pipeline combining buys 3DM up to ~14 % and 3DM-E ~23 % —
+/// here: the (NC) ablations must be measurably slower.
+#[test]
+fn pipeline_combining_gains() {
+    let gain_m = 1.0 - latency_of(Arch::ThreeDM, 0.05) / latency_of(Arch::ThreeDMNc, 0.05);
+    let gain_e = 1.0 - latency_of(Arch::ThreeDME, 0.05) / latency_of(Arch::ThreeDMENc, 0.05);
+    assert!((0.05..0.35).contains(&gain_m), "3DM gain {gain_m:.3}");
+    assert!((0.05..0.35).contains(&gain_e), "3DM-E gain {gain_e:.3}");
+}
+
+/// §4.2.1: 2DB and 3DM(NC) have the same logical network — identical
+/// latency under the identical seeded workload.
+#[test]
+fn threedm_nc_equals_2db_logically() {
+    let a = latency_of(Arch::TwoDB, 0.10);
+    let b = latency_of(Arch::ThreeDMNc, 0.10);
+    assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+}
+
+/// Fig. 11(d): hop counts — 3DM-E minimal, 2DB = 3DM, 3DB in between
+/// for UR; 3DB degrades under NUCA-constrained traffic.
+#[test]
+fn hop_count_shapes() {
+    let sweep = sweep_ur(&[0.05], 0.0, quick_sim_config());
+    let hops = |arch: Arch| {
+        sweep.iter().find(|p| p.arch == arch).unwrap().result.report.avg_hops
+    };
+    assert!((hops(Arch::TwoDB) - 4.0).abs() < 0.25, "2DB UR ≈ 4 hops, got {}", hops(Arch::TwoDB));
+    assert!((hops(Arch::ThreeDM) - hops(Arch::TwoDB)).abs() < 0.1, "2DB and 3DM share the layout");
+    assert!((hops(Arch::ThreeDME) - 2.51).abs() < 0.25, "express ≈ 2.5 hops, got {}", hops(Arch::ThreeDME));
+    assert!(hops(Arch::ThreeDB) < hops(Arch::TwoDB));
+
+    // NUCA-UR penalises the 3DB layout.
+    let n3db = run_nuca_ur(Arch::ThreeDB, 0.05, quick_sim_config()).report.avg_hops;
+    assert!(n3db > hops(Arch::ThreeDB), "NUCA raises 3DB hops: {n3db}");
+}
+
+/// §4.2.2 / Fig. 12(a): power ordering at UR — the multi-layered designs
+/// beat both baselines; 2DB is the hungriest.
+#[test]
+fn ur_power_orderings() {
+    let sweep = sweep_ur(&[0.10], 0.0, quick_sim_config());
+    let p = |arch: Arch| sweep.iter().find(|x| x.arch == arch).unwrap().result.avg_power_w;
+    assert!(p(Arch::ThreeDME) < p(Arch::TwoDB));
+    assert!(p(Arch::ThreeDM) < p(Arch::ThreeDB));
+    assert!(p(Arch::ThreeDB) < p(Arch::TwoDB));
+    // 3DM-E saves on the order of the paper's 42 % over 2DB.
+    let saving = 1.0 - p(Arch::ThreeDME) / p(Arch::TwoDB);
+    assert!((0.30..0.55).contains(&saving), "3DM-E power saving {saving:.3}");
+}
+
+/// §4.2.2 / Fig. 12(c): on the traces with shutdown, 3DM-E lands far
+/// below 2DB (paper: ~67 % less power), and 3DB is the worst performer.
+#[test]
+fn trace_power_shapes() {
+    let app = Application::Tpcw;
+    let cfg = quick_sim_config();
+    let cycles = 4_000;
+    let base = run_trace(app, Arch::TwoDB, false, cycles, cfg).avg_power_w;
+    let p3db = run_trace(app, Arch::ThreeDB, false, cycles, cfg).avg_power_w;
+    let p3m = run_trace(app, Arch::ThreeDM, true, cycles, cfg).avg_power_w;
+    let p3me = run_trace(app, Arch::ThreeDME, true, cycles, cfg).avg_power_w;
+    assert!(p3me < 0.55 * base, "3DM-E with shutdown: {:.2} vs 2DB {:.2}", p3me, base);
+    assert!(p3m < 0.75 * base, "3DM with shutdown: {:.2} vs 2DB {:.2}", p3m, base);
+    assert!(p3db > p3m && p3db > p3me, "3DB is the worst of the 3D designs");
+}
+
+/// §4.2.1 / Fig. 11(c): trace latency normalised to 2DB — 3DM-E ≈ 0.6,
+/// 3DM ≈ 0.8, 3DB ≈ 1.0.
+#[test]
+fn trace_latency_bands() {
+    let app = Application::Apache;
+    let cfg = quick_sim_config();
+    let cycles = 4_000;
+    let base = run_trace(app, Arch::TwoDB, false, cycles, cfg).report.avg_latency;
+    let r = |a: Arch| run_trace(app, a, false, cycles, cfg).report.avg_latency / base;
+    assert!((0.5..0.75).contains(&r(Arch::ThreeDME)), "3DM-E {:.3}", r(Arch::ThreeDME));
+    assert!((0.7..0.95).contains(&r(Arch::ThreeDM)), "3DM {:.3}", r(Arch::ThreeDM));
+    assert!((0.85..1.25).contains(&r(Arch::ThreeDB)), "3DB {:.3}", r(Arch::ThreeDB));
+}
