@@ -1,0 +1,306 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the vendored value-tree `serde` by hand-parsing the item's token
+//! stream (no `syn`/`quote` available offline). Supported shapes — the
+//! only ones this workspace uses:
+//!
+//! - structs with named fields → JSON object keyed by field name;
+//! - tuple structs: one field → transparent newtype, several → array;
+//! - C-like enums (unit variants only) → variant-name string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the parser extracted from the item definition.
+enum Shape {
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    Enum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::Named { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{}])\n}}\n}}",
+                pairs.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n}}\n}}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(::std::vec![{}])\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Str(::std::string::String::from(match self {{ {} }}))\n}}\n}}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::Named { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n}}\n}}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let items = v.as_array()?;\n\
+                 if items.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"wrong tuple-struct arity\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v.as_str()? {{\n{}\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+/// Parses a struct/enum definition into a [`Shape`].
+fn parse_item(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (type {name})");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit { name },
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_unit_variants(g.stream()) }
+            }
+            other => panic!("serde_derive stub: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: unsupported item kind {other}"),
+    }
+}
+
+/// Skips leading attributes (`#[...]`, including doc comments) and a
+/// visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive stub: malformed attribute {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected ':', got {other:?}"),
+        }
+        // Consume the type up to a top-level comma. Generic angle
+        // brackets never nest a bare comma at depth 0 because `<`/`>`
+        // are tracked below.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
+
+/// Variant names of a C-like enum body; payload variants are rejected.
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => variants.push(i.to_string()),
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stub: enum variants with payloads are not supported \
+                 (variant {})",
+                variants.last().unwrap()
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: consume the expression up to the comma.
+                for t in tokens.by_ref() {
+                    if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            other => panic!("serde_derive stub: unexpected token {other:?}"),
+        }
+    }
+    variants
+}
