@@ -54,5 +54,10 @@ fn bench_simulation_exhibits(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_static_exhibits, bench_workload_exhibits, bench_simulation_exhibits);
+criterion_group!(
+    benches,
+    bench_static_exhibits,
+    bench_workload_exhibits,
+    bench_simulation_exhibits
+);
 criterion_main!(benches);

@@ -29,18 +29,14 @@ fn bench_architectures(c: &mut Criterion) {
 fn bench_load_levels(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_load_levels");
     for rate in [0.02_f64, 0.10, 0.30] {
-        group.bench_with_input(
-            BenchmarkId::new("2db", format!("{rate:.2}")),
-            &rate,
-            |b, &rate| {
-                b.iter(|| {
-                    let arch = Arch::TwoDB;
-                    let mut sim =
-                        Simulator::new(arch.topology(), arch.network_config(false), tiny_sim());
-                    sim.run(Box::new(UniformRandom::new(rate, 5, EXPERIMENT_SEED)))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("2db", format!("{rate:.2}")), &rate, |b, &rate| {
+            b.iter(|| {
+                let arch = Arch::TwoDB;
+                let mut sim =
+                    Simulator::new(arch.topology(), arch.network_config(false), tiny_sim());
+                sim.run(Box::new(UniformRandom::new(rate, 5, EXPERIMENT_SEED)))
+            });
+        });
     }
     group.finish();
 }

@@ -37,10 +37,7 @@ fn main() {
     eprintln!("[NUCA-UR done at {:.1?}; starting traces]", t0.elapsed());
     println!("{}", latency::fig11c(&Application::PRESENTED, trace_cycles, sim).to_text());
     println!("{}", power::fig12c(&Application::PRESENTED, trace_cycles, sim).to_text());
-    println!(
-        "{}",
-        latency::fig11d(&sweep, 0.05, Application::Apache, trace_cycles, sim).to_text()
-    );
+    println!("{}", latency::fig11d(&sweep, 0.05, Application::Apache, trace_cycles, sim).to_text());
 
     eprintln!("[traces done at {:.1?}; starting shutdown/thermal]", t0.elapsed());
     println!("{}", power::fig13b(0.10, sim).to_text());

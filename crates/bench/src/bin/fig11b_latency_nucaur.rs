@@ -1,12 +1,12 @@
 //! Fig. 11(b): average latency vs request rate, NUCA-UR bimodal.
 use std::time::Instant;
 
-use mira::experiments::latency::fig11b;
-use mira_bench::{emit, rates_nuca, Cli};
+use mira::experiments::latency::fig11b_on;
+use mira_bench::{emit_with_runner, rates_nuca, Cli};
 
 fn main() {
     let cli = Cli::parse();
     let t0 = Instant::now();
-    let fig = fig11b(&rates_nuca(cli), cli.sim_config());
-    emit(cli, &fig.to_text(), &fig, t0);
+    let (fig, summary) = fig11b_on(&cli.runner(), &rates_nuca(cli), cli.sim_config());
+    emit_with_runner(cli, &fig.to_text(), &fig, &summary, t0);
 }

@@ -1,13 +1,14 @@
 //! Fig. 11(c): MP-trace latency normalised to 2DB.
 use std::time::Instant;
 
-use mira::experiments::latency::fig11c;
+use mira::experiments::latency::fig11c_on;
 use mira::traffic::workloads::Application;
-use mira_bench::{emit, Cli};
+use mira_bench::{emit_with_runner, Cli};
 
 fn main() {
     let cli = Cli::parse();
     let t0 = Instant::now();
-    let fig = fig11c(&Application::PRESENTED, cli.trace_cycles(), cli.sim_config());
-    emit(cli, &fig.to_text(), &fig, t0);
+    let (fig, summary) =
+        fig11c_on(&cli.runner(), &Application::PRESENTED, cli.trace_cycles(), cli.sim_config());
+    emit_with_runner(cli, &fig.to_text(), &fig, &summary, t0);
 }

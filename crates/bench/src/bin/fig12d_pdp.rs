@@ -1,14 +1,14 @@
 //! Fig. 12(d): power-delay product normalised to 2DB, uniform random.
 use std::time::Instant;
 
-use mira::experiments::common::sweep_ur;
+use mira::experiments::common::sweep_ur_on;
 use mira::experiments::power::fig12d;
-use mira_bench::{emit, rates_ur, Cli};
+use mira_bench::{emit_with_runner, rates_ur, Cli};
 
 fn main() {
     let cli = Cli::parse();
     let t0 = Instant::now();
-    let sweep = sweep_ur(&rates_ur(cli), 0.0, cli.sim_config());
+    let (sweep, summary) = sweep_ur_on(&cli.runner(), &rates_ur(cli), 0.0, cli.sim_config());
     let fig = fig12d(&sweep);
-    emit(cli, &fig.to_text(), &fig, t0);
+    emit_with_runner(cli, &fig.to_text(), &fig, &summary, t0);
 }

@@ -11,6 +11,10 @@
 
 use std::time::Instant;
 
+use serde::Serialize;
+
+pub use mira::experiments::runner::{RunSummary, Runner};
+
 /// Shared CLI handling for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Cli {
@@ -62,6 +66,13 @@ impl Cli {
             30_000
         }
     }
+
+    /// The worker pool for this invocation: sized by
+    /// `available_parallelism`, overridable with `MIRA_JOBS`; the
+    /// progress line shows whenever stderr is a terminal.
+    pub fn runner(&self) -> Runner {
+        Runner::from_env()
+    }
 }
 
 /// Prints an exhibit in the requested format, with a timing footer.
@@ -70,6 +81,30 @@ pub fn emit<T: serde::Serialize>(cli: Cli, text: &str, value: &T, started: Insta
         println!("{}", serde_json::to_string_pretty(value).expect("serialisable exhibit"));
     } else {
         println!("{text}");
+    }
+    eprintln!("[done in {:.1?}]", started.elapsed());
+}
+
+/// Like [`emit`], but includes the runner's machine-readable batch
+/// summary: in JSON mode the output becomes
+/// `{"exhibit": ..., "runner": ...}`; in text mode the summary is one
+/// stderr line.
+pub fn emit_with_runner<T: serde::Serialize>(
+    cli: Cli,
+    text: &str,
+    value: &T,
+    summary: &RunSummary,
+    started: Instant,
+) {
+    if cli.json {
+        let wrapped = serde::Value::Object(vec![
+            ("exhibit".to_string(), value.to_value()),
+            ("runner".to_string(), summary.to_value()),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&wrapped).expect("serialisable exhibit"));
+    } else {
+        println!("{text}");
+        eprintln!("[runner] {}", summary.one_line());
     }
     eprintln!("[done in {:.1?}]", started.elapsed());
 }

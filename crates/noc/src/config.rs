@@ -108,11 +108,7 @@ pub struct RouterConfig {
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig {
-            vcs_per_port: 2,
-            buffer_depth: 4,
-            pipeline: PipelineConfig::default(),
-        }
+        RouterConfig { vcs_per_port: 2, buffer_depth: 4, pipeline: PipelineConfig::default() }
     }
 }
 

@@ -65,11 +65,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = NocError::BufferOverflow {
-            node: NodeId(3),
-            port: PortId(1),
-            vc: VcId(0),
-        };
+        let e = NocError::BufferOverflow { node: NodeId(3), port: PortId(1), vc: VcId(0) };
         let s = e.to_string();
         assert!(s.contains("n3"));
         assert!(s.contains("p1"));

@@ -59,6 +59,7 @@ pub mod topology;
 pub mod traffic;
 pub mod vc;
 
+pub use adaptive::{AdaptiveMesh2D, TurnModel};
 pub use config::{NetworkConfig, PipelineConfig, RouterConfig};
 pub use error::NocError;
 pub use flit::{Flit, FlitData, FlitKind};
@@ -66,5 +67,4 @@ pub use ids::{NodeId, PortId, VcId};
 pub use packet::{Packet, PacketClass, PacketId};
 pub use sim::{SimConfig, SimReport, Simulator};
 pub use stats::{ActivityCounters, LatencyStats};
-pub use adaptive::{AdaptiveMesh2D, TurnModel};
 pub use topology::{ExpressMesh2D, Mesh2D, Mesh3D, Topology};

@@ -284,10 +284,7 @@ mod tests {
             assert!(w[1] > w[0], "flits eject in order");
             assert!(w[1] - w[0] <= 2, "at most one bubble between flits: {cycles:?}");
         }
-        assert!(
-            cycles[4] - cycles[0] <= 5,
-            "5 flits must eject within 6 cycles: {cycles:?}"
-        );
+        assert!(cycles[4] - cycles[0] <= 5, "5 flits must eject within 6 cycles: {cycles:?}");
     }
 
     #[test]

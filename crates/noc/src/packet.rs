@@ -84,10 +84,7 @@ impl PacketClass {
 
     /// Stable index into [`PacketClass::ALL`] for stats tables.
     pub fn table_index(self) -> usize {
-        PacketClass::ALL
-            .iter()
-            .position(|&c| c == self)
-            .expect("class listed in ALL")
+        PacketClass::ALL.iter().position(|&c| c == self).expect("class listed in ALL")
     }
 
     /// Short lowercase name for reports.
@@ -192,12 +189,7 @@ pub struct PacketSpec {
 impl PacketSpec {
     /// Convenience constructor for a single-flit control packet.
     pub fn control(src: NodeId, dst: NodeId, class: PacketClass, num_words: usize) -> Self {
-        PacketSpec {
-            src,
-            dst,
-            class,
-            payload: vec![FlitData::with_active_words(num_words, 1)],
-        }
+        PacketSpec { src, dst, class, payload: vec![FlitData::with_active_words(num_words, 1)] }
     }
 
     /// Convenience constructor for a data packet of `len_flits` flits whose

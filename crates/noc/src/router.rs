@@ -89,9 +89,7 @@ impl Router {
             pipeline: cfg.router.pipeline,
             layer_shutdown: cfg.layer_shutdown,
             inputs: (0..ports).map(|_| (0..vcs).map(|_| InputVc::new(depth)).collect()).collect(),
-            outputs: (0..ports)
-                .map(|_| (0..vcs).map(|_| OutputVc::new(depth)).collect())
-                .collect(),
+            outputs: (0..ports).map(|_| (0..vcs).map(|_| OutputVc::new(depth)).collect()).collect(),
             out_links: vec![None; ports],
             in_links: vec![None; ports],
             va2_arbiters: (0..ports)
@@ -317,12 +315,7 @@ impl Router {
                     debug_assert!(ovc.credits > 0, "SA granted without credit");
                     ovc.credits -= 1;
                 }
-                self.st_grants.push(StGrant {
-                    in_port: PortId(ip),
-                    in_vc: iv,
-                    out_port,
-                    out_vc,
-                });
+                self.st_grants.push(StGrant { in_port: PortId(ip), in_vc: iv, out_port, out_vc });
             }
         }
     }
@@ -451,7 +444,14 @@ mod tests {
         let mut ejected = Vec::new();
         let mut links: Vec<Link> = Vec::new();
 
-        r.receive_flit(PortId::LOCAL, VcId(0), mk_head(NodeId(0), PacketClass::Ack), 0, &mut counters, &mut activity);
+        r.receive_flit(
+            PortId::LOCAL,
+            VcId(0),
+            mk_head(NodeId(0), PacketClass::Ack),
+            0,
+            &mut counters,
+            &mut activity,
+        );
 
         for cycle in 0..=3 {
             r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);

@@ -15,13 +15,15 @@
 //! matching how latency-vs-injection curves in the paper blow up at
 //! saturation.
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::config::NetworkConfig;
 use crate::network::Network;
 use crate::packet::{Packet, PacketClass, PacketId, PacketSpec};
-use crate::stats::{ActivityCounters, LatencyHistogram, LatencyStats, PerClassLatency, RouterActivity};
+use crate::stats::{
+    ActivityCounters, LatencyHistogram, LatencyStats, PerClassLatency, RouterActivity,
+};
 use crate::topology::Topology;
 use crate::traffic::{EjectedPacket, Workload};
 
@@ -140,6 +142,18 @@ impl Simulator {
         &self.network
     }
 
+    /// Packets injected but not yet fully ejected.
+    pub fn in_flight_packets(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// In-flight packets that belong to the measurement window. After
+    /// [`Simulator::run`] this is non-zero exactly when the report says
+    /// `saturated` — the drain failed to empty the measured population.
+    pub fn in_flight_measured(&self) -> usize {
+        self.in_flight.values().filter(|m| m.measured).count()
+    }
+
     fn inject(&mut self, spec: PacketSpec, cycle: u64, measured: bool) {
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
@@ -199,10 +213,7 @@ impl Simulator {
             if !e.flit.is_tail() {
                 continue;
             }
-            let meta = self
-                .in_flight
-                .remove(&e.flit.packet)
-                .expect("ejected packet was injected");
+            let meta = self.in_flight.remove(&e.flit.packet).expect("ejected packet was injected");
             let latency = e.cycle - meta.created_at;
             if meta.measured {
                 per_class.record(meta.class, latency, e.flit.hops);
@@ -280,7 +291,9 @@ impl Simulator {
 
             // Early exit once everything measured has drained and the
             // measurement window is over.
-            if cycle >= measure_end && measured_done >= measured_created && self.network.is_drained()
+            if cycle >= measure_end
+                && measured_done >= measured_created
+                && self.network.is_drained()
             {
                 break;
             }
@@ -336,14 +349,10 @@ mod tests {
     use crate::traffic::UniformRandom;
 
     fn run_ur(rate: f64, combined: bool) -> SimReport {
-        let pipeline = if combined {
-            PipelineConfig::combined_st_lt()
-        } else {
-            PipelineConfig::separate_lt()
-        };
+        let pipeline =
+            if combined { PipelineConfig::combined_st_lt() } else { PipelineConfig::separate_lt() };
         let cfg = NetworkConfig::builder().pipeline(pipeline).build();
-        let mut sim =
-            Simulator::new(Box::new(Mesh2D::new(4, 4)), cfg, SimConfig::short());
+        let mut sim = Simulator::new(Box::new(Mesh2D::new(4, 4)), cfg, SimConfig::short());
         sim.run(Box::new(UniformRandom::new(rate, 5, 42)))
     }
 
@@ -361,10 +370,7 @@ mod tests {
     fn latency_monotone_in_load() {
         let lat_low = run_ur(0.02, false).avg_latency;
         let lat_mid = run_ur(0.15, false).avg_latency;
-        assert!(
-            lat_mid > lat_low,
-            "latency must grow with load: {lat_low} vs {lat_mid}"
-        );
+        assert!(lat_mid > lat_low, "latency must grow with load: {lat_low} vs {lat_mid}");
     }
 
     #[test]
@@ -379,8 +385,7 @@ mod tests {
     #[test]
     fn express_mesh_cuts_hops_and_latency() {
         let cfg = NetworkConfig::default();
-        let mut mesh_sim =
-            Simulator::new(Box::new(Mesh2D::new(6, 6)), cfg, SimConfig::short());
+        let mut mesh_sim = Simulator::new(Box::new(Mesh2D::new(6, 6)), cfg, SimConfig::short());
         let mesh = mesh_sim.run(Box::new(UniformRandom::new(0.05, 5, 42)));
 
         let mut exp_sim =
@@ -407,11 +412,7 @@ mod tests {
     #[test]
     fn throughput_tracks_offered_load_below_saturation() {
         let r = run_ur(0.1, false);
-        assert!(
-            (r.throughput - 0.1).abs() < 0.02,
-            "accepted {} vs offered 0.1",
-            r.throughput
-        );
+        assert!((r.throughput - 0.1).abs() < 0.02, "accepted {} vs offered 0.1", r.throughput);
     }
 
     #[test]

@@ -245,6 +245,14 @@ impl PerClassLatency {
         }
         t
     }
+
+    /// Merges another per-class accumulator into this one, class by
+    /// class (aggregating parallel measurement windows).
+    pub fn merge(&mut self, other: &PerClassLatency) {
+        for (mine, theirs) in self.stats.iter_mut().zip(&other.stats) {
+            mine.merge(theirs);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -385,8 +393,7 @@ impl RouterActivity {
 /// (uniform if the network saw no activity).
 pub fn activity_weights(per_router: &[RouterActivity], energies: (f64, f64, f64, f64)) -> Vec<f64> {
     let (b, x, c, l) = energies;
-    let proxies: Vec<f64> =
-        per_router.iter().map(|a| a.energy_proxy_j(b, x, c, l)).collect();
+    let proxies: Vec<f64> = per_router.iter().map(|a| a.energy_proxy_j(b, x, c, l)).collect();
     let total: f64 = proxies.iter().sum();
     if total <= 0.0 {
         vec![1.0 / per_router.len().max(1) as f64; per_router.len()]
@@ -505,6 +512,16 @@ impl LatencyHistogram {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts.iter().map(|(&l, &n)| (l, n))
     }
+
+    /// Merges another histogram into this one (exact: bucket counts
+    /// add, so quantiles over the merge equal quantiles over the
+    /// concatenated samples).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (&latency, &n) in &other.counts {
+            *self.counts.entry(latency).or_insert(0) += n;
+        }
+        self.total += other.total;
+    }
 }
 
 #[cfg(test)]
@@ -561,5 +578,105 @@ mod histogram_tests {
     fn invalid_quantile_panics() {
         let h = LatencyHistogram::new();
         let _ = h.quantile(1.5);
+    }
+}
+
+/// Edge cases of the merge operations the parallel runner aggregates
+/// with: empty inputs, single samples, and split-vs-serial windows.
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_single_sample() {
+        let mut s = LatencyStats::new();
+        s.record(42, 3);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min(), Some(42));
+        assert_eq!(s.max(), Some(42));
+        assert!((s.mean() - 42.0).abs() < 1e-12);
+        assert!((s.mean_hops() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_into_empty_equals_source() {
+        let mut src = LatencyStats::new();
+        src.record(7, 1);
+        src.record(11, 2);
+        let mut dst = LatencyStats::new();
+        dst.merge(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn split_windows_merge_to_serial_stats() {
+        // Record the same sample stream once serially and once split in
+        // two windows; the merge must be exact, not approximate.
+        let samples = [(3u64, 1u32), (9, 2), (27, 3), (81, 4), (5, 1)];
+        let mut serial = LatencyStats::new();
+        let (mut a, mut b) = (LatencyStats::new(), LatencyStats::new());
+        for (i, &(lat, hops)) in samples.iter().enumerate() {
+            serial.record(lat, hops);
+            if i % 2 == 0 {
+                a.record(lat, hops)
+            } else {
+                b.record(lat, hops)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, serial);
+    }
+
+    #[test]
+    fn per_class_merge_empty_and_split() {
+        let mut serial = PerClassLatency::new();
+        let (mut a, mut b) = (PerClassLatency::new(), PerClassLatency::new());
+        serial.record(PacketClass::ReadRequest, 10, 2);
+        a.record(PacketClass::ReadRequest, 10, 2);
+        serial.record(PacketClass::DataResponse, 30, 4);
+        b.record(PacketClass::DataResponse, 30, 4);
+        // Merging an empty accumulator is a no-op.
+        a.merge(&PerClassLatency::new());
+        a.merge(&b);
+        assert_eq!(a, serial);
+        assert_eq!(a.total().count(), 2);
+        assert_eq!(a.class(PacketClass::Ack).count(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_empty_single_and_split() {
+        // Empty ⊕ empty stays empty.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&LatencyHistogram::new());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.p50(), None);
+
+        // Empty ⊕ single-sample adopts the sample.
+        let mut single = LatencyHistogram::new();
+        single.record(17);
+        empty.merge(&single);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.p50(), Some(17));
+        assert_eq!(empty.quantile(1.0), Some(17));
+
+        // Split windows merge to the serial histogram: same quantiles,
+        // same buckets.
+        let mut serial = LatencyHistogram::new();
+        let (mut a, mut b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for v in [10u64, 10, 20, 30, 30, 30, 90] {
+            serial.record(v);
+            if v < 25 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, serial);
+        assert_eq!(a.p50(), serial.p50());
+        assert_eq!(a.quantile(0.99), serial.quantile(0.99));
+        assert!((a.mean() - serial.mean()).abs() < 1e-12);
+        let buckets: Vec<_> = a.iter().collect();
+        assert_eq!(buckets, vec![(10, 2), (20, 1), (30, 3), (90, 1)]);
     }
 }

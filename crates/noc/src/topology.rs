@@ -520,8 +520,9 @@ impl Topology for ExpressMesh2D {
             return 0.0;
         }
         match out_port {
-            port::EAST_EXPRESS | port::WEST_EXPRESS | port::NORTH_EXPRESS
-            | port::SOUTH_EXPRESS => self.pitch_mm * self.span as f64,
+            port::EAST_EXPRESS | port::WEST_EXPRESS | port::NORTH_EXPRESS | port::SOUTH_EXPRESS => {
+                self.pitch_mm * self.span as f64
+            }
             _ => self.pitch_mm,
         }
     }

@@ -222,8 +222,8 @@ mod tests {
 
     #[test]
     fn short_fraction_reflected_in_payloads() {
-        let mut w = UniformRandom::new(1.0, 1, 5)
-            .with_payload(PayloadProfile::with_short_fraction(4, 0.5));
+        let mut w =
+            UniformRandom::new(1.0, 1, 5).with_payload(PayloadProfile::with_short_fraction(4, 0.5));
         w.init(4);
         let mut short = 0usize;
         let mut total = 0usize;

@@ -64,7 +64,12 @@ pub struct CmpConfig {
 impl CmpConfig {
     /// Builds the configuration for one application on the given node
     /// partition, deriving the stream shape from the profile.
-    pub fn for_app(app: Application, cpu_nodes: Vec<NodeId>, bank_nodes: Vec<NodeId>, seed: u64) -> Self {
+    pub fn for_app(
+        app: Application,
+        cpu_nodes: Vec<NodeId>,
+        bank_nodes: Vec<NodeId>,
+        seed: u64,
+    ) -> Self {
         let profile = app.profile();
         let stream = StreamConfig {
             shared_prob: profile.shared_line_fraction,
@@ -188,8 +193,7 @@ impl CmpSystem {
         }
         if let Some(ev) = self.l2_banks[bank].insert(addr, Mesi::Exclusive) {
             let entry = self.directories[bank].entry(ev.addr);
-            let holders: Vec<usize> =
-                entry.sharers.iter().copied().chain(entry.owner).collect();
+            let holders: Vec<usize> = entry.sharers.iter().copied().chain(entry.owner).collect();
             if !holders.is_empty() {
                 let home = self.cfg.bank_nodes[bank];
                 self.invalidate_holders(out, cycle, home, ev.addr, &holders);
@@ -259,11 +263,8 @@ impl CmpSystem {
                     remote_flush = true;
                 }
 
-                let data_at = cycle
-                    + net
-                    + bank_lat
-                    + memory_extra
-                    + if remote_flush { 2 * net } else { 0 };
+                let data_at =
+                    cycle + net + bank_lat + memory_extra + if remote_flush { 2 * net } else { 0 };
                 self.push(out, data_at, home, cpu_node, CoherenceMsg::Data);
 
                 // Fill the L1; grant depends on the directory outcome.
@@ -590,8 +591,10 @@ mod l2_tests {
         let trace = sys.generate_trace(50);
         // The first data response to a cold miss arrives after
         // net + bank + memory latency.
-        let first_req =
-            trace.iter().find(|r| r.class == PacketClass::ReadRequest || r.class == PacketClass::WriteRequest).expect("a miss");
+        let first_req = trace
+            .iter()
+            .find(|r| r.class == PacketClass::ReadRequest || r.class == PacketClass::WriteRequest)
+            .expect("a miss");
         let first_data = trace
             .iter()
             .find(|r| r.class == PacketClass::DataResponse && r.cycle >= first_req.cycle)

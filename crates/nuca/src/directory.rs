@@ -76,8 +76,7 @@ impl Directory {
     /// other CPU that must be invalidated.
     pub fn record_write(&mut self, addr: LineAddr, cpu: usize) -> Vec<usize> {
         let e = self.entries.entry(addr).or_default();
-        let mut invalidate: Vec<usize> =
-            e.sharers.iter().copied().filter(|&c| c != cpu).collect();
+        let mut invalidate: Vec<usize> = e.sharers.iter().copied().filter(|&c| c != cpu).collect();
         if let Some(o) = e.owner {
             if o != cpu {
                 invalidate.push(o);

@@ -170,9 +170,8 @@ mod tests {
         let cfg = StreamConfig { hot_prob: 0.8, shared_prob: 0.0, ..StreamConfig::default() };
         let mut s = AddressStream::new(0, cfg, 7);
         let base = cfg.shared_lines;
-        let hot_hits = (0..10_000)
-            .filter(|_| s.next_access().addr.index() < base + cfg.hot_lines)
-            .count();
+        let hot_hits =
+            (0..10_000).filter(|_| s.next_access().addr.index() < base + cfg.hot_lines).count();
         // 80% forced hot + uniform draws that land there by chance.
         assert!(hot_hits as f64 / 10_000.0 > 0.8, "hot hits {hot_hits}");
     }

@@ -81,14 +81,14 @@ impl Harness {
                 .iter()
                 .filter(|(_, s)| matches!(s, Mesi::Modified | Mesi::Exclusive))
                 .collect();
-            prop_assert!(
-                exclusive.len() <= 1,
-                "two exclusive holders of {addr}: {holders:?}"
-            );
+            prop_assert!(exclusive.len() <= 1, "two exclusive holders of {addr}: {holders:?}");
             if exclusive.len() == 1 {
                 prop_assert_eq!(
-                    holders.len(), 1,
-                    "exclusive line {} also shared: {:?}", addr, &holders
+                    holders.len(),
+                    1,
+                    "exclusive line {} also shared: {:?}",
+                    addr,
+                    &holders
                 );
             }
         }

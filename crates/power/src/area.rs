@@ -171,8 +171,7 @@ impl AreaModel {
         if geo.layers <= 1 {
             return 0.0;
         }
-        let vias =
-            mira_noc::layers::via_count(geo.ports, geo.vcs, geo.buffer_depth) as f64;
+        let vias = mira_noc::layers::via_count(geo.ports, geo.vcs, geo.buffer_depth) as f64;
         vias * 25.0
     }
 
@@ -230,8 +229,7 @@ mod tests {
     fn table1_published_totals() {
         let m = model();
         let a = m.paper_areas(PaperArch::ThreeDM);
-        let all_layers =
-            a.rc + a.sa1 + a.sa2 + a.va1 + a.va2 * 3.0 + (a.crossbar + a.buffer) * 4.0;
+        let all_layers = a.rc + a.sa1 + a.sa2 + a.va1 + a.va2 * 3.0 + (a.crossbar + a.buffer) * 4.0;
         assert!((all_layers - 260_829.0).abs() < 30.0, "3DM cross-layer total {all_layers}");
 
         let e = m.paper_areas(PaperArch::ThreeDME);
@@ -315,8 +313,8 @@ mod tests {
         let ratio_cross: f64 = 639_063.0 / 260_829.0;
         assert!((ratio_cross - 2.45).abs() < 0.1);
         let m = model();
-        let footprint_ratio = m.paper_areas(PaperArch::ThreeDME).total()
-            / m.paper_areas(PaperArch::TwoDB).total();
+        let footprint_ratio =
+            m.paper_areas(PaperArch::ThreeDME).total() / m.paper_areas(PaperArch::TwoDB).total();
         assert!(footprint_ratio < 0.7, "single-layer footprint ratio {footprint_ratio}");
     }
 }

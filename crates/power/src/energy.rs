@@ -89,8 +89,7 @@ impl EnergyModel {
     pub fn xbar_traversal_j(&self) -> f64 {
         let t = &self.tech;
         let side_um = self.geo.xbar_side_um(t.bit_pitch_um);
-        let line_cap =
-            side_um * t.wire_cap_ff_per_um + self.geo.ports as f64 * t.xbar_drain_cap_ff;
+        let line_cap = side_um * t.wire_cap_ff_per_um + self.geo.ports as f64 * t.xbar_drain_cap_ff;
         // Input line + output line per bit.
         t.dynamic_energy_j(self.geo.flit_bits as f64 * 2.0 * line_cap)
     }
@@ -114,8 +113,7 @@ impl EnergyModel {
     /// Control overhead (clock tree, pipeline registers, allocator FSMs)
     /// per flit per router, J. Not gated by layer shutdown.
     pub fn control_j(&self) -> f64 {
-        self.tech
-            .dynamic_energy_j(self.geo.flit_bits as f64 * self.tech.control_cap_ff_per_bit)
+        self.tech.dynamic_energy_j(self.geo.flit_bits as f64 * self.tech.control_cap_ff_per_bit)
     }
 
     /// The Fig. 9 quantity: energy of one full-width flit making one hop

@@ -110,13 +110,9 @@ impl PaperArch {
             PaperArch::TwoDB => base,
             PaperArch::ThreeDB => RouterGeometry { ports: 7, ..base },
             PaperArch::ThreeDM => RouterGeometry { layers: 4, link_mm: 1.58, ..base },
-            PaperArch::ThreeDME => RouterGeometry {
-                ports: 9,
-                layers: 4,
-                link_mm: 1.58,
-                express_link_mm: 3.16,
-                ..base
-            },
+            PaperArch::ThreeDME => {
+                RouterGeometry { ports: 9, layers: 4, link_mm: 1.58, express_link_mm: 3.16, ..base }
+            }
         }
     }
 

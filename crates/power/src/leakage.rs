@@ -31,11 +31,8 @@ pub struct LeakageModel {
 impl LeakageModel {
     /// 90 nm defaults: ≈50 nW/µm² of active logic/SRAM at 345 K
     /// (a 0.43 mm² router leaks ≈22 mW), doubling every 25 K.
-    pub const NM90: LeakageModel = LeakageModel {
-        density_w_per_um2: 50e-9,
-        reference_k: 345.0,
-        doubling_k: 25.0,
-    };
+    pub const NM90: LeakageModel =
+        LeakageModel { density_w_per_um2: 50e-9, reference_k: 345.0, doubling_k: 25.0 };
 
     /// Leakage power of `area_um2` of silicon at temperature `temp_k`.
     ///

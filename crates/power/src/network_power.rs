@@ -162,10 +162,7 @@ impl NetworkPower {
     /// Relative power weights per router from the simulator's spatial
     /// activity (sums to 1; uniform when the network was idle). Feeds
     /// the thermal floorplan so hot routers heat their own tile.
-    pub fn router_power_weights(
-        &self,
-        per_router: &[mira_noc::stats::RouterActivity],
-    ) -> Vec<f64> {
+    pub fn router_power_weights(&self, per_router: &[mira_noc::stats::RouterActivity]) -> Vec<f64> {
         let m = &self.model;
         mira_noc::stats::activity_weights(
             per_router,

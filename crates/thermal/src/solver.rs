@@ -175,11 +175,8 @@ mod tests {
     #[test]
     fn chain_conserves_flow() {
         // cell0 -(g=1)- cell1 -(g=1)- sink -(g=2)- ambient
-        let adj = vec![
-            vec![(1usize, 1.0)],
-            vec![(0usize, 1.0), (2usize, 1.0)],
-            vec![(1usize, 1.0)],
-        ];
+        let adj =
+            vec![vec![(1usize, 1.0)], vec![(0usize, 1.0), (2usize, 1.0)], vec![(1usize, 1.0)]];
         let power = vec![4.0, 0.0, 0.0];
         let t = solve_steady_state(&adj, &power, 2, 2.0, 300.0, SolveOptions::default())
             .with_geometry(1, 1, 2);
@@ -191,11 +188,8 @@ mod tests {
 
     #[test]
     fn sor_converges_faster_than_gs() {
-        let adj = vec![
-            vec![(1usize, 1.0)],
-            vec![(0usize, 1.0), (2usize, 1.0)],
-            vec![(1usize, 1.0)],
-        ];
+        let adj =
+            vec![vec![(1usize, 1.0)], vec![(0usize, 1.0), (2usize, 1.0)], vec![(1usize, 1.0)]];
         let power = vec![4.0, 0.0, 0.0];
         let gs = solve_steady_state(
             &adj,

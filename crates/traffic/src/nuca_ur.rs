@@ -60,7 +60,12 @@ impl NucaBimodal {
     /// # Panics
     ///
     /// Panics if either node set is empty or the rate is negative.
-    pub fn new(cpus: Vec<NodeId>, caches: Vec<NodeId>, request_rate_per_cpu: f64, seed: u64) -> Self {
+    pub fn new(
+        cpus: Vec<NodeId>,
+        caches: Vec<NodeId>,
+        request_rate_per_cpu: f64,
+        seed: u64,
+    ) -> Self {
         assert!(!cpus.is_empty() && !caches.is_empty(), "node sets must be non-empty");
         assert!(request_rate_per_cpu >= 0.0, "rate must be non-negative");
         NucaBimodal {
@@ -128,12 +133,18 @@ impl Workload for NucaBimodal {
     fn generate(&mut self, _cycle: u64) -> Vec<PacketSpec> {
         let mut specs = Vec::new();
         for i in 0..self.cpus.len() {
-            if self.request_rate_per_cpu > 0.0 && self.rng.gen_bool(self.request_rate_per_cpu.min(1.0))
+            if self.request_rate_per_cpu > 0.0
+                && self.rng.gen_bool(self.request_rate_per_cpu.min(1.0))
             {
                 let src = self.cpus[i];
                 let dst = self.caches[self.rng.gen_range(0..self.caches.len())];
                 // Requests are single-flit short control packets.
-                specs.push(PacketSpec::control(src, dst, PacketClass::ReadRequest, self.words_per_flit));
+                specs.push(PacketSpec::control(
+                    src,
+                    dst,
+                    PacketClass::ReadRequest,
+                    self.words_per_flit,
+                ));
             }
         }
         specs
@@ -191,8 +202,11 @@ mod tests {
     fn each_request_gets_one_response() {
         let (cpus, caches) = mesh_sets();
         let w = NucaBimodal::new(cpus.clone(), caches, 0.05, 42);
-        let mut sim =
-            Simulator::new(Box::new(Mesh2D::new(4, 4)), NetworkConfig::default(), SimConfig::short());
+        let mut sim = Simulator::new(
+            Box::new(Mesh2D::new(4, 4)),
+            NetworkConfig::default(),
+            SimConfig::short(),
+        );
         let report = sim.run(Box::new(w));
         assert!(!report.saturated);
         let reqs = report.per_class.class(PacketClass::ReadRequest).count();
@@ -250,8 +264,7 @@ mod tests {
     #[test]
     fn short_flit_bias_shows_in_responses() {
         let (cpus, caches) = mesh_sets();
-        let mut w = NucaBimodal::new(cpus, caches, 0.1, 3)
-            .with_payloads(PatternMix::dense(), 0.5);
+        let mut w = NucaBimodal::new(cpus, caches, 0.1, 3).with_payloads(PatternMix::dense(), 0.5);
         w.init(16);
         let mut short = 0usize;
         let mut total = 0usize;

@@ -166,12 +166,8 @@ mod tests {
     #[test]
     fn hotspot_concentrates_traffic() {
         let hotspots = vec![NodeId(0)];
-        let mut w = PermutationTraffic::new(
-            Pattern::Hotspot { hotspots, fraction: 0.5 },
-            1.0,
-            1,
-            5,
-        );
+        let mut w =
+            PermutationTraffic::new(Pattern::Hotspot { hotspots, fraction: 0.5 }, 1.0, 1, 5);
         w.init(16);
         let mut to_hot = 0usize;
         let mut total = 0usize;
@@ -336,10 +332,7 @@ mod bursty_tests {
             (xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n, mean)
         };
         let bursty = windows(Box::new(BurstyUniform::new(0.4, 4, 0.005, 0.015, 7)), 30_000);
-        let smooth = windows(
-            Box::new(mira_noc::traffic::UniformRandom::new(0.1, 4, 7)),
-            30_000,
-        );
+        let smooth = windows(Box::new(mira_noc::traffic::UniformRandom::new(0.1, 4, 7)), 30_000);
         let (vb, mb) = var(&bursty);
         let (vs, ms) = var(&smooth);
         // Similar means…

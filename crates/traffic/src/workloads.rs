@@ -160,17 +160,13 @@ mod tests {
     /// over the presented applications.
     #[test]
     fn short_flit_calibration_matches_fig13a() {
-        let max = Application::ALL
-            .iter()
-            .map(|a| a.profile().short_flit_fraction)
-            .fold(0.0, f64::max);
+        let max =
+            Application::ALL.iter().map(|a| a.profile().short_flit_fraction).fold(0.0, f64::max);
         assert!((max - 0.58).abs() < 1e-12);
 
-        let presented: f64 = Application::PRESENTED
-            .iter()
-            .map(|a| a.profile().short_flit_fraction)
-            .sum::<f64>()
-            / Application::PRESENTED.len() as f64;
+        let presented: f64 =
+            Application::PRESENTED.iter().map(|a| a.profile().short_flit_fraction).sum::<f64>()
+                / Application::PRESENTED.len() as f64;
         assert!((presented - 0.40).abs() < 0.03, "average {presented}");
     }
 
@@ -196,10 +192,7 @@ mod tests {
             assert!(p.patterns.zero_fraction > p.patterns.one_fraction, "{app}");
             // A workload with more short flits must have more redundant
             // words.
-            assert!(
-                (p.patterns.redundant_fraction() - p.short_flit_fraction).abs() < 0.1,
-                "{app}"
-            );
+            assert!((p.patterns.redundant_fraction() - p.short_flit_fraction).abs() < 0.1, "{app}");
         }
     }
 

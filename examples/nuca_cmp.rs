@@ -30,14 +30,15 @@ fn main() {
     println!("  control fraction : {:>5.1}%", stats.control_fraction() * 100.0);
     println!("  short payload    : {:>5.1}%", stats.short_payload_fraction() * 100.0);
     let (z, o, other) = stats.patterns.fractions();
-    println!("  word patterns    : {:.1}% all-0, {:.1}% all-1, {:.1}% other", z * 100.0, o * 100.0, other * 100.0);
+    println!(
+        "  word patterns    : {:.1}% all-0, {:.1}% all-1, {:.1}% other",
+        z * 100.0,
+        o * 100.0,
+        other * 100.0
+    );
     println!("  packets by class :");
     for class in PacketClass::ALL {
-        println!(
-            "    {:>10}: {}",
-            class.name(),
-            stats.packets_per_class[class.table_index()]
-        );
+        println!("    {:>10}: {}", class.name(), stats.packets_per_class[class.table_index()]);
     }
 
     let run = run_arch(arch, true, Box::new(TraceReplay::new(trace)), quick_sim_config());

@@ -30,11 +30,7 @@ fn main() {
             }
             sum / 36.0
         };
-        println!(
-            "  layer {layer}: {:>7.2} dense | {:>7.2} shutdown",
-            mean(&hot),
-            mean(&cool)
-        );
+        println!("  layer {layer}: {:>7.2} dense | {:>7.2} shutdown", mean(&hot), mean(&cool));
     }
     println!(
         "\nmean reduction {:.2} K, hottest cell {:.2} K -> {:.2} K",

@@ -10,58 +10,55 @@
 //! * **VC count / buffer depth** — the paper fixes V=2, k=4 (§3.2.4) for
 //!   frequency and power; how much performance is on the table?
 
-use mira_noc::config::{NetworkConfig, PipelineConfig, PipelineDepth};
-use mira_noc::sim::{SimConfig, Simulator};
-use mira_noc::topology::{ExpressMesh2D, Mesh2D, Topology};
+use mira_noc::config::{PipelineConfig, PipelineDepth};
+use mira_noc::sim::SimConfig;
+use mira_noc::topology::{ExpressMesh2D, Mesh2D};
 use mira_noc::traffic::UniformRandom;
 
 use crate::arch::Arch;
-use crate::experiments::common::EXPERIMENT_SEED;
+use crate::experiments::common::{run_custom, EXPERIMENT_SEED};
+use crate::experiments::runner::{Runner, SimPoint};
 use crate::report::BarFigure;
-
-fn run_once(topo: Box<dyn Topology>, cfg: NetworkConfig, rate: f64, sim: SimConfig) -> (f64, bool) {
-    let (latency, saturated, _) = run_once_with_occupancy(topo, cfg, rate, sim);
-    (latency, saturated)
-}
-
-fn run_once_with_occupancy(
-    topo: Box<dyn Topology>,
-    cfg: NetworkConfig,
-    rate: f64,
-    sim: SimConfig,
-) -> (f64, bool, f64) {
-    let capacity = (topo.num_nodes() * topo.radix() * cfg.router.vcs_per_port
-        * cfg.router.buffer_depth) as f64;
-    let mut simulator = Simulator::new(topo, cfg, sim);
-    let report = simulator.run(Box::new(UniformRandom::new(rate, 5, EXPERIMENT_SEED)));
-    let utilisation = report.counters.mean_buffer_occupancy_flits() / capacity;
-    (report.avg_latency, report.saturated, utilisation)
-}
 
 /// Pipeline-depth ablation on the 3DM substrate: average UR latency for
 /// the six (depth × LT) organisations at one injection rate.
+///
+/// All ablation points pin [`EXPERIMENT_SEED`] so every configuration
+/// sees the identical packet stream — the comparison isolates the
+/// design parameter, and the batch fans out on the runner.
 pub fn ablate_pipeline(rate: f64, sim: SimConfig) -> BarFigure {
     let depths = [
         ("4-stage", PipelineDepth::FourStage),
         ("3-stage spec", PipelineDepth::ThreeStageSpeculative),
         ("2-stage lookahead", PipelineDepth::TwoStageLookahead),
     ];
-    let mut groups = Vec::new();
+    let mut points = Vec::new();
     for (name, depth) in depths {
-        let mut values = Vec::new();
         for combined in [false, true] {
-            let base = if combined {
-                PipelineConfig::combined_st_lt()
-            } else {
-                PipelineConfig::separate_lt()
-            };
-            let mut cfg = Arch::ThreeDM.network_config(false);
-            cfg.router.pipeline = base.with_depth(depth);
-            let (latency, _) = run_once(Arch::ThreeDM.topology(), cfg, rate, sim);
-            values.push(latency);
+            points.push(SimPoint::new(
+                format!("{name} combined={combined}"),
+                EXPERIMENT_SEED,
+                move |s| {
+                    let base = if combined {
+                        PipelineConfig::combined_st_lt()
+                    } else {
+                        PipelineConfig::separate_lt()
+                    };
+                    let mut cfg = Arch::ThreeDM.network_config(false);
+                    cfg.router.pipeline = base.with_depth(depth);
+                    let w = UniformRandom::new(rate, 5, s);
+                    run_custom(Arch::ThreeDM, Arch::ThreeDM.topology(), cfg, Box::new(w), sim)
+                },
+            ));
         }
-        groups.push((name.to_string(), values));
     }
+    let batch = Runner::from_env().run(points);
+    let latencies: Vec<f64> = batch.outcomes.iter().map(|o| o.result.report.avg_latency).collect();
+    let groups = depths
+        .iter()
+        .enumerate()
+        .map(|(di, (name, _))| (name.to_string(), latencies[di * 2..di * 2 + 2].to_vec()))
+        .collect();
     BarFigure {
         id: "abl-pipeline".into(),
         title: "Router pipeline-depth ablation (3DM substrate, UR)".into(),
@@ -75,26 +72,38 @@ pub fn ablate_pipeline(rate: f64, sim: SimConfig) -> BarFigure {
 /// Express-span ablation: UR latency and average hop count for spans 2–4
 /// on the 6×6 multi-layer mesh (span "1" = the plain 3DM mesh).
 pub fn ablate_express_span(rate: f64, sim: SimConfig) -> BarFigure {
-    let mut groups = Vec::new();
-    // Plain mesh baseline.
-    {
+    // Span 1 is the plain mesh on the 3DM substrate; spans 2-4 are
+    // express meshes priced as 3DM-E. Hop counts are closed-form, the
+    // latencies come from one parallel batch.
+    let mut labels = vec!["span 1 (mesh)".to_string()];
+    let mut hops =
+        vec![mira_noc::topology::average_min_hops(&Mesh2D::with_pitch(6, 6, Mesh2D::PITCH_3DM_MM))];
+    let mut points = vec![SimPoint::new("span 1 (mesh)", EXPERIMENT_SEED, move |s| {
         let topo = Box::new(Mesh2D::with_pitch(6, 6, Mesh2D::PITCH_3DM_MM));
         let cfg = Arch::ThreeDM.network_config(false);
-        let (latency, _) = run_once(topo, cfg, rate, sim);
-        let hops = mira_noc::topology::average_min_hops(&Mesh2D::with_pitch(
+        run_custom(Arch::ThreeDM, topo, cfg, Box::new(UniformRandom::new(rate, 5, s)), sim)
+    })];
+    for span in 2..=4usize {
+        labels.push(format!("span {span}"));
+        hops.push(mira_noc::topology::average_min_hops(&ExpressMesh2D::with_params(
             6,
             6,
             Mesh2D::PITCH_3DM_MM,
-        ));
-        groups.push(("span 1 (mesh)".to_string(), vec![latency, hops]));
+            span,
+        )));
+        points.push(SimPoint::new(format!("span {span}"), EXPERIMENT_SEED, move |s| {
+            let topo = Box::new(ExpressMesh2D::with_params(6, 6, Mesh2D::PITCH_3DM_MM, span));
+            let cfg = Arch::ThreeDME.network_config(false);
+            run_custom(Arch::ThreeDME, topo, cfg, Box::new(UniformRandom::new(rate, 5, s)), sim)
+        }));
     }
-    for span in 2..=4usize {
-        let topo = ExpressMesh2D::with_params(6, 6, Mesh2D::PITCH_3DM_MM, span);
-        let hops = mira_noc::topology::average_min_hops(&topo);
-        let cfg = Arch::ThreeDME.network_config(false);
-        let (latency, _) = run_once(Box::new(topo), cfg, rate, sim);
-        groups.push((format!("span {span}"), vec![latency, hops]));
-    }
+    let batch = Runner::from_env().run(points);
+    let groups = batch
+        .outcomes
+        .iter()
+        .zip(labels.iter().zip(&hops))
+        .map(|(o, (label, &h))| (label.clone(), vec![o.result.report.avg_latency, h]))
+        .collect();
     BarFigure {
         id: "abl-express-span".into(),
         title: "Express-channel span ablation (6x6, UR)".into(),
@@ -115,16 +124,33 @@ pub fn ablate_express_span(rate: f64, sim: SimConfig) -> BarFigure {
 /// separation (and deadlock isolation), not raw throughput. Utilisation
 /// halves as the provisioned capacity doubles.
 pub fn ablate_buffers(rate: f64, sim: SimConfig) -> BarFigure {
+    let vcs_grid = [1usize, 2, 4];
+    let depth_grid = [2usize, 4, 8];
+    let mut points = Vec::new();
+    for &vcs in &vcs_grid {
+        for &depth in &depth_grid {
+            points.push(SimPoint::new(format!("V={vcs} k={depth}"), EXPERIMENT_SEED, move |s| {
+                let mut cfg = Arch::ThreeDM.network_config(false);
+                cfg.router.vcs_per_port = vcs;
+                cfg.router.buffer_depth = depth;
+                let w = UniformRandom::new(rate, 5, s);
+                run_custom(Arch::ThreeDM, Arch::ThreeDM.topology(), cfg, Box::new(w), sim)
+            }));
+        }
+    }
+    let batch = Runner::from_env().run(points);
+
+    let topo = Arch::ThreeDM.topology();
+    let (nodes, radix) = (topo.num_nodes(), topo.radix());
+    let mut outcomes = batch.outcomes.iter();
     let mut groups = Vec::new();
-    for vcs in [1usize, 2, 4] {
+    for &vcs in &vcs_grid {
         let mut values = Vec::new();
-        for depth in [2usize, 4, 8] {
-            let mut cfg = Arch::ThreeDM.network_config(false);
-            cfg.router.vcs_per_port = vcs;
-            cfg.router.buffer_depth = depth;
-            let (latency, saturated, util) =
-                run_once_with_occupancy(Arch::ThreeDM.topology(), cfg, rate, sim);
-            values.push(if saturated { f64::NAN } else { latency });
+        for &depth in &depth_grid {
+            let report = &outcomes.next().expect("one outcome per grid cell").result.report;
+            let capacity = (nodes * radix * vcs * depth) as f64;
+            let util = report.counters.mean_buffer_occupancy_flits() / capacity;
+            values.push(if report.saturated { f64::NAN } else { report.avg_latency });
             values.push(util * 100.0);
         }
         groups.push((format!("V={vcs}"), values));
@@ -222,23 +248,42 @@ pub fn ablate_routing(rate: f64, sim: SimConfig) -> BarFigure {
         ),
     ];
 
-    let mut groups = Vec::new();
+    let mut points = Vec::new();
     for (rname, model) in &routers {
-        let mut values = Vec::new();
-        for (_, pattern) in &patterns {
-            let mesh = Mesh2D::with_pitch(6, 6, Mesh2D::PITCH_3DM_MM);
-            let topo: Box<dyn Topology> = match model {
-                None => Box::new(mesh),
-                Some(m) => Box::new(AdaptiveMesh2D::new(mesh, *m)),
-            };
-            let cfg = Arch::ThreeDM.network_config(false);
-            let mut simulator = Simulator::new(topo, cfg, sim);
-            let workload = PermutationTraffic::new(pattern.clone(), rate, 5, EXPERIMENT_SEED);
-            let report = simulator.run(Box::new(workload));
-            values.push(if report.saturated { f64::NAN } else { report.avg_latency });
+        for (pname, pattern) in &patterns {
+            let model = *model;
+            let pattern = pattern.clone();
+            points.push(SimPoint::new(format!("{rname} on {pname}"), EXPERIMENT_SEED, move |s| {
+                let mesh = Mesh2D::with_pitch(6, 6, Mesh2D::PITCH_3DM_MM);
+                let topo: Box<dyn mira_noc::topology::Topology> = match model {
+                    None => Box::new(mesh),
+                    Some(m) => Box::new(AdaptiveMesh2D::new(mesh, m)),
+                };
+                let cfg = Arch::ThreeDM.network_config(false);
+                let workload = PermutationTraffic::new(pattern.clone(), rate, 5, s);
+                run_custom(Arch::ThreeDM, topo, cfg, Box::new(workload), sim)
+            }));
         }
-        groups.push((rname.clone(), values));
     }
+    let batch = Runner::from_env().run(points);
+    let mut outcomes = batch.outcomes.iter();
+    let groups = routers
+        .iter()
+        .map(|(rname, _)| {
+            let values = patterns
+                .iter()
+                .map(|_| {
+                    let report = &outcomes.next().expect("outcome per cell").result.report;
+                    if report.saturated {
+                        f64::NAN
+                    } else {
+                        report.avg_latency
+                    }
+                })
+                .collect();
+            (rname.clone(), values)
+        })
+        .collect();
     BarFigure {
         id: "abl-routing".into(),
         title: "Routing-algorithm ablation on adversarial traffic (3DM mesh)".into(),
@@ -275,9 +320,6 @@ mod routing_ablation_tests {
             .iter()
             .map(|m| fig.value(m.name(), "transpose").unwrap())
             .fold(f64::INFINITY, f64::min);
-        assert!(
-            best_adaptive < xy * 1.05,
-            "best adaptive {best_adaptive:.1} vs x-y {xy:.1}"
-        );
+        assert!(best_adaptive < xy * 1.05, "best adaptive {best_adaptive:.1} vs x-y {xy:.1}");
     }
 }

@@ -5,6 +5,7 @@ use mira_noc::sim::{SimConfig, SimReport, Simulator};
 use mira_noc::traffic::{PayloadProfile, UniformRandom, Workload};
 
 use crate::arch::Arch;
+use crate::experiments::runner::{derive_seed, RunSummary, Runner, SimPoint};
 
 /// The seed used by every experiment (results are deterministic).
 pub const EXPERIMENT_SEED: u64 = 20080621; // ISCA 2008 week
@@ -29,7 +30,20 @@ pub fn run_arch(
     workload: Box<dyn Workload>,
     sim_cfg: SimConfig,
 ) -> RunResult {
-    let mut sim = Simulator::new(arch.topology(), arch.network_config(layer_shutdown), sim_cfg);
+    run_custom(arch, arch.topology(), arch.network_config(layer_shutdown), workload, sim_cfg)
+}
+
+/// Runs an arbitrary (topology, network-config) point, pricing it with
+/// `arch`'s power model — the hook the ablations use to vary one design
+/// parameter on an architecture's substrate.
+pub fn run_custom(
+    arch: Arch,
+    topo: Box<dyn mira_noc::topology::Topology>,
+    net_cfg: mira_noc::config::NetworkConfig,
+    workload: Box<dyn Workload>,
+    sim_cfg: SimConfig,
+) -> RunResult {
+    let mut sim = Simulator::new(topo, net_cfg, sim_cfg);
     let report = sim.run(workload);
     let pricing = arch.network_power();
     let avg_power_w = pricing.average_power_w(&report.counters);
@@ -58,25 +72,58 @@ pub struct SweepPoint {
     pub result: RunResult,
 }
 
-/// Sweeps uniform-random traffic over `rates` for every architecture
-/// (the shared substrate of Figs. 11(a), 12(a) and 12(d)).
+/// Builds the uniform-random sweep as runner points: one point per
+/// `(rate, arch)` pair, in rate-major order.
+///
+/// Seeds are derived per *rate* (`derive_seed(EXPERIMENT_SEED, rate
+/// index)`) and shared by all architectures at that rate, so
+/// cross-architecture comparisons stay paired — 2DB and 3DM-NC see the
+/// *same* packet stream, which `tests/paper_claims.rs` relies on.
+pub fn sweep_ur_points(rates: &[f64], short_fraction: f64, sim_cfg: SimConfig) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for (ri, &rate) in rates.iter().enumerate() {
+        let seed = derive_seed(EXPERIMENT_SEED, ri as u64);
+        for arch in Arch::ALL {
+            points.push(SimPoint::new(format!("ur {arch} @ {rate}"), seed, move |s| {
+                let payload = PayloadProfile::with_short_fraction(4, short_fraction);
+                let workload = UniformRandom::new(rate, 5, s).with_payload(payload);
+                run_arch(arch, short_fraction > 0.0, Box::new(workload), sim_cfg)
+            }));
+        }
+    }
+    points
+}
+
+/// Sweeps uniform-random traffic over `rates` for every architecture on
+/// an explicit runner (the shared substrate of Figs. 11(a), 12(a) and
+/// 12(d)); returns the points plus the batch summary for `--json`.
 ///
 /// `short_fraction` sets the short-flit share of the payloads (0.0 for
 /// the paper's baseline figures); shutdown is enabled iff it is
 /// non-zero.
-pub fn sweep_ur(rates: &[f64], short_fraction: f64, sim_cfg: SimConfig) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+pub fn sweep_ur_on(
+    runner: &Runner,
+    rates: &[f64],
+    short_fraction: f64,
+    sim_cfg: SimConfig,
+) -> (Vec<SweepPoint>, RunSummary) {
+    let batch = runner.run(sweep_ur_points(rates, short_fraction, sim_cfg));
+    let summary = batch.summary;
+    let mut outcomes = batch.outcomes.into_iter();
+    let mut out = Vec::with_capacity(rates.len() * Arch::ALL.len());
     for &rate in rates {
         for arch in Arch::ALL {
-            let payload = PayloadProfile::with_short_fraction(4, short_fraction);
-            let workload =
-                UniformRandom::new(rate, 5, EXPERIMENT_SEED).with_payload(payload);
-            let result =
-                run_arch(arch, short_fraction > 0.0, Box::new(workload), sim_cfg);
-            out.push(SweepPoint { arch, rate, result });
+            let o = outcomes.next().expect("one outcome per point");
+            out.push(SweepPoint { arch, rate, result: o.result });
         }
     }
-    out
+    (out, summary)
+}
+
+/// [`sweep_ur_on`] with an environment-sized runner, discarding the
+/// summary (the convenience form tests and figures use).
+pub fn sweep_ur(rates: &[f64], short_fraction: f64, sim_cfg: SimConfig) -> Vec<SweepPoint> {
+    sweep_ur_on(&Runner::from_env(), rates, short_fraction, sim_cfg).0
 }
 
 #[cfg(test)]

@@ -1,13 +1,14 @@
 //! Latency experiments (paper Fig. 11).
 
 use mira_noc::sim::SimConfig;
+use mira_nuca::cmp::{CmpConfig, CmpSystem};
 use mira_traffic::nuca_ur::NucaBimodal;
 use mira_traffic::trace::TraceReplay;
 use mira_traffic::workloads::Application;
-use mira_nuca::cmp::{CmpConfig, CmpSystem};
 
 use crate::arch::Arch;
 use crate::experiments::common::{run_arch, RunResult, SweepPoint, EXPERIMENT_SEED};
+use crate::experiments::runner::{derive_seed, RunSummary, Runner, SimPoint};
 use crate::report::{BarFigure, CurvePoint, Figure, Series};
 
 /// Fig. 11(a): average latency vs injection rate, uniform random.
@@ -38,45 +39,96 @@ pub fn fig11a(sweep: &[SweepPoint]) -> Figure {
 }
 
 /// Runs the NUCA-UR bimodal workload for one architecture at a per-CPU
-/// request rate.
-pub fn run_nuca_ur(arch: Arch, request_rate: f64, sim_cfg: SimConfig) -> RunResult {
-    let workload = NucaBimodal::new(
-        arch.cpu_nodes(),
-        arch.cache_nodes(),
-        request_rate,
-        EXPERIMENT_SEED,
-    );
+/// request rate with an explicit seed.
+pub fn run_nuca_ur_seeded(
+    arch: Arch,
+    request_rate: f64,
+    seed: u64,
+    sim_cfg: SimConfig,
+) -> RunResult {
+    let workload = NucaBimodal::new(arch.cpu_nodes(), arch.cache_nodes(), request_rate, seed);
     run_arch(arch, false, Box::new(workload), sim_cfg)
+}
+
+/// [`run_nuca_ur_seeded`] at the canonical [`EXPERIMENT_SEED`].
+pub fn run_nuca_ur(arch: Arch, request_rate: f64, sim_cfg: SimConfig) -> RunResult {
+    run_nuca_ur_seeded(arch, request_rate, EXPERIMENT_SEED, sim_cfg)
+}
+
+/// The NUCA-UR sweep as runner points, rate-major like
+/// [`sweep_ur_points`](crate::experiments::common::sweep_ur_points):
+/// seeds derive per rate and are shared across architectures (paired
+/// comparisons).
+pub(crate) fn nuca_sweep_points(request_rates: &[f64], sim_cfg: SimConfig) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for (ri, &rate) in request_rates.iter().enumerate() {
+        let seed = derive_seed(EXPERIMENT_SEED, ri as u64);
+        for arch in Arch::ALL {
+            points.push(SimPoint::new(format!("nuca {arch} @ {rate}"), seed, move |s| {
+                run_nuca_ur_seeded(arch, rate, s, sim_cfg)
+            }));
+        }
+    }
+    points
+}
+
+/// Rebuilds per-architecture latency/power curves from a rate-major
+/// NUCA sweep batch.
+pub(crate) fn nuca_series(
+    request_rates: &[f64],
+    results: &[RunResult],
+    y: impl Fn(&RunResult) -> f64,
+) -> Vec<Series> {
+    Arch::ALL
+        .iter()
+        .enumerate()
+        .map(|(ai, &arch)| {
+            Series::new(
+                arch.name(),
+                request_rates
+                    .iter()
+                    .enumerate()
+                    .map(|(ri, &r)| CurvePoint { x: r, y: y(&results[ri * Arch::ALL.len() + ai]) })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 11(b) on an explicit runner; returns the batch summary too.
+pub fn fig11b_on(
+    runner: &Runner,
+    request_rates: &[f64],
+    sim_cfg: SimConfig,
+) -> (Figure, RunSummary) {
+    let batch = runner.run(nuca_sweep_points(request_rates, sim_cfg));
+    let summary = batch.summary;
+    let results = batch.outcomes.into_iter().map(|o| o.result).collect::<Vec<_>>();
+    let fig = Figure {
+        id: "fig11b".into(),
+        title: "Average latency, NUCA-UR bimodal traffic".into(),
+        x_label: "req-rate".into(),
+        y_label: "cycles".into(),
+        series: nuca_series(request_rates, &results, |r| r.report.avg_latency),
+    };
+    (fig, summary)
 }
 
 /// Fig. 11(b): average latency under NUCA-UR request/response traffic,
 /// swept over per-CPU request rates.
 pub fn fig11b(request_rates: &[f64], sim_cfg: SimConfig) -> Figure {
-    let mut series: Vec<Series> = Vec::new();
-    for arch in Arch::ALL {
-        let points = request_rates
-            .iter()
-            .map(|&r| CurvePoint {
-                x: r,
-                y: run_nuca_ur(arch, r, sim_cfg).report.avg_latency,
-            })
-            .collect();
-        series.push(Series::new(arch.name(), points));
-    }
-    Figure {
-        id: "fig11b".into(),
-        title: "Average latency, NUCA-UR bimodal traffic".into(),
-        x_label: "req-rate".into(),
-        y_label: "cycles".into(),
-        series,
-    }
+    fig11b_on(&Runner::from_env(), request_rates, sim_cfg).0
 }
 
 /// Generates (and rate-calibrates) an application trace mapped onto one
 /// architecture's node layout. The protocol event sequence is
 /// seed-deterministic, so every architecture replays the *same logical
 /// trace* on its own placement — the paper's methodology.
-pub fn app_trace(app: Application, arch: Arch, cycles: u64) -> Vec<mira_traffic::trace::TraceRecord> {
+pub fn app_trace(
+    app: Application,
+    arch: Arch,
+    cycles: u64,
+) -> Vec<mira_traffic::trace::TraceRecord> {
     let mut sys = CmpSystem::new(CmpConfig::for_app(
         app,
         arch.cpu_nodes(),
@@ -88,38 +140,99 @@ pub fn app_trace(app: Application, arch: Arch, cycles: u64) -> Vec<mira_traffic:
 }
 
 /// Runs one application trace on one architecture.
-pub fn run_trace(app: Application, arch: Arch, shutdown: bool, cycles: u64, sim_cfg: SimConfig) -> RunResult {
+pub fn run_trace(
+    app: Application,
+    arch: Arch,
+    shutdown: bool,
+    cycles: u64,
+    sim_cfg: SimConfig,
+) -> RunResult {
     let trace = app_trace(app, arch, cycles);
     run_arch(arch, shutdown, Box::new(TraceReplay::new(trace)), sim_cfg)
 }
 
-/// Fig. 11(c): latency on the MP traces, normalised to 2DB.
-pub fn fig11c(apps: &[Application], cycles: u64, sim_cfg: SimConfig) -> BarFigure {
-    let archs = Arch::ALL;
-    let mut groups = Vec::new();
+/// The MP-trace batch as runner points, app-major over `Arch::ALL`.
+///
+/// Trace points pin [`EXPERIMENT_SEED`] rather than deriving per-point
+/// seeds: every architecture must replay the *same logical trace* for
+/// the normalised comparison to be apples-to-apples (the paper's
+/// methodology; see [`app_trace`]).
+pub(crate) fn trace_points(
+    apps: &[Application],
+    shutdown_multilayer: bool,
+    cycles: u64,
+    sim_cfg: SimConfig,
+) -> Vec<SimPoint> {
+    let mut points = Vec::new();
     for &app in apps {
-        // One run per architecture; 2DB doubles as the normalisation
-        // base (no duplicate baseline run).
-        let latencies: Vec<f64> = archs
-            .iter()
-            .map(|&a| run_trace(app, a, false, cycles, sim_cfg).report.avg_latency)
-            .collect();
-        let base = latencies[archs.iter().position(|&a| a == Arch::TwoDB).expect("2DB listed")];
-        groups.push((app.name().to_string(), latencies.iter().map(|l| l / base).collect()));
+        for arch in Arch::ALL {
+            let shutdown = shutdown_multilayer && arch.paper_arch().is_multilayer();
+            points.push(SimPoint::new(
+                format!("trace {} on {arch}", app.name()),
+                EXPERIMENT_SEED,
+                move |_| run_trace(app, arch, shutdown, cycles, sim_cfg),
+            ));
+        }
     }
-    BarFigure {
+    points
+}
+
+/// Groups an app-major trace batch into per-app bars normalised to the
+/// 2DB entry.
+pub(crate) fn trace_groups(
+    apps: &[Application],
+    results: &[RunResult],
+    metric: impl Fn(&RunResult) -> f64,
+) -> Vec<(String, Vec<f64>)> {
+    let n = Arch::ALL.len();
+    let base_idx = Arch::ALL.iter().position(|&a| a == Arch::TwoDB).expect("2DB listed");
+    apps.iter()
+        .enumerate()
+        .map(|(ai, app)| {
+            let slice = &results[ai * n..(ai + 1) * n];
+            let base = metric(&slice[base_idx]);
+            (app.name().to_string(), slice.iter().map(|r| metric(r) / base).collect())
+        })
+        .collect()
+}
+
+/// Fig. 11(c) on an explicit runner; returns the batch summary too.
+pub fn fig11c_on(
+    runner: &Runner,
+    apps: &[Application],
+    cycles: u64,
+    sim_cfg: SimConfig,
+) -> (BarFigure, RunSummary) {
+    let batch = runner.run(trace_points(apps, false, cycles, sim_cfg));
+    let summary = batch.summary;
+    let results: Vec<RunResult> = batch.outcomes.into_iter().map(|o| o.result).collect();
+    let fig = BarFigure {
         id: "fig11c".into(),
         title: "MP-trace latency normalised to 2DB".into(),
         group_label: "application".into(),
-        bar_labels: archs.iter().map(|a| a.name().to_string()).collect(),
-        groups,
+        bar_labels: Arch::ALL.iter().map(|a| a.name().to_string()).collect(),
+        groups: trace_groups(apps, &results, |r| r.report.avg_latency),
         unit: "normalised latency".into(),
-    }
+    };
+    (fig, summary)
 }
 
-/// Fig. 11(d): average hop count per architecture for the three traffic
-/// kinds (UR, NUCA-UR, MP traces).
-pub fn fig11d(sweep: &[SweepPoint], nuca_rate: f64, trace_app: Application, cycles: u64, sim_cfg: SimConfig) -> BarFigure {
+/// Fig. 11(c): latency on the MP traces, normalised to 2DB.
+pub fn fig11c(apps: &[Application], cycles: u64, sim_cfg: SimConfig) -> BarFigure {
+    fig11c_on(&Runner::from_env(), apps, cycles, sim_cfg).0
+}
+
+/// Fig. 11(d) on an explicit runner: the NUCA and trace columns are
+/// fresh simulation points (one per hardware architecture), fanned out
+/// as a single batch; the UR column reuses the shared sweep.
+pub fn fig11d_on(
+    runner: &Runner,
+    sweep: &[SweepPoint],
+    nuca_rate: f64,
+    trace_app: Application,
+    cycles: u64,
+    sim_cfg: SimConfig,
+) -> (BarFigure, RunSummary) {
     let archs = Arch::HARDWARE;
     let mut groups = Vec::new();
 
@@ -137,24 +250,49 @@ pub fn fig11d(sweep: &[SweepPoint], nuca_rate: f64, trace_app: Application, cycl
         .collect();
     groups.push(("UR".to_string(), ur));
 
-    let nuca: Vec<f64> =
-        archs.iter().map(|&a| run_nuca_ur(a, nuca_rate, sim_cfg).report.avg_hops).collect();
-    groups.push(("NUCA-UR".to_string(), nuca));
+    // NUCA and trace columns in one batch: all points share the
+    // experiment seed (one logical workload per column, replayed on
+    // every layout).
+    let mut points = Vec::new();
+    for &a in &archs {
+        points.push(SimPoint::new(format!("nuca {a} @ {nuca_rate}"), EXPERIMENT_SEED, move |s| {
+            run_nuca_ur_seeded(a, nuca_rate, s, sim_cfg)
+        }));
+    }
+    for &a in &archs {
+        points.push(SimPoint::new(
+            format!("trace {} on {a}", trace_app.name()),
+            EXPERIMENT_SEED,
+            move |_| run_trace(trace_app, a, false, cycles, sim_cfg),
+        ));
+    }
+    let batch = runner.run(points);
+    let summary = batch.summary;
+    let hops: Vec<f64> = batch.outcomes.iter().map(|o| o.result.report.avg_hops).collect();
+    groups.push(("NUCA-UR".to_string(), hops[..archs.len()].to_vec()));
+    groups.push(("MP-trace".to_string(), hops[archs.len()..].to_vec()));
 
-    let traces: Vec<f64> = archs
-        .iter()
-        .map(|&a| run_trace(trace_app, a, false, cycles, sim_cfg).report.avg_hops)
-        .collect();
-    groups.push(("MP-trace".to_string(), traces));
-
-    BarFigure {
+    let fig = BarFigure {
         id: "fig11d".into(),
         title: "Average hop count".into(),
         group_label: "traffic".into(),
         bar_labels: archs.iter().map(|a| a.name().to_string()).collect(),
         groups,
         unit: "hops".into(),
-    }
+    };
+    (fig, summary)
+}
+
+/// Fig. 11(d): average hop count per architecture for the three traffic
+/// kinds (UR, NUCA-UR, MP traces).
+pub fn fig11d(
+    sweep: &[SweepPoint],
+    nuca_rate: f64,
+    trace_app: Application,
+    cycles: u64,
+    sim_cfg: SimConfig,
+) -> BarFigure {
+    fig11d_on(&Runner::from_env(), sweep, nuca_rate, trace_app, cycles, sim_cfg).0
 }
 
 #[cfg(test)]
@@ -216,20 +354,31 @@ mod tests {
 /// express channels flatten).
 pub fn tail_latency(rate: f64, sim_cfg: SimConfig) -> crate::report::BarFigure {
     use mira_noc::traffic::UniformRandom;
-    let mut groups = Vec::new();
-    for arch in Arch::ALL {
-        let w = UniformRandom::new(rate, 5, EXPERIMENT_SEED);
-        let run = run_arch(arch, false, Box::new(w), sim_cfg);
-        let h = &run.report.histogram;
-        groups.push((
-            arch.name().to_string(),
-            vec![
-                h.p50().unwrap_or(0) as f64,
-                h.p95().unwrap_or(0) as f64,
-                h.p99().unwrap_or(0) as f64,
-            ],
-        ));
-    }
+    let points = Arch::ALL
+        .iter()
+        .map(|&arch| {
+            SimPoint::new(format!("tail {arch} @ {rate}"), EXPERIMENT_SEED, move |s| {
+                let w = UniformRandom::new(rate, 5, s);
+                run_arch(arch, false, Box::new(w), sim_cfg)
+            })
+        })
+        .collect();
+    let batch = Runner::from_env().run(points);
+    let groups = batch
+        .outcomes
+        .iter()
+        .map(|o| {
+            let h = &o.result.report.histogram;
+            (
+                o.result.arch.name().to_string(),
+                vec![
+                    h.p50().unwrap_or(0) as f64,
+                    h.p95().unwrap_or(0) as f64,
+                    h.p99().unwrap_or(0) as f64,
+                ],
+            )
+        })
+        .collect();
     crate::report::BarFigure {
         id: "ext-tail-latency".into(),
         title: format!("Tail latency, uniform random at {rate} flits/node/cycle"),

@@ -12,8 +12,10 @@ pub mod energy;
 pub mod latency;
 pub mod patterns;
 pub mod power;
+pub mod runner;
 pub mod scorecard;
 pub mod tables;
 pub mod thermal;
 
 pub use common::{quick_sim_config, run_arch, sweep_ur, RunResult, SweepPoint, EXPERIMENT_SEED};
+pub use runner::{derive_seed, PointOutcome, RunBatch, RunSummary, Runner, SimPoint};

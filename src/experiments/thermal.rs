@@ -199,12 +199,7 @@ pub struct CoSimResult {
 ///
 /// Converges quickly because the loop gain (∂leakage/∂T × thermal
 /// resistance) is far below 1 at these power levels.
-pub fn co_simulate(
-    arch: Arch,
-    rate: f64,
-    short_fraction: f64,
-    sim_cfg: SimConfig,
-) -> CoSimResult {
+pub fn co_simulate(arch: Arch, rate: f64, short_fraction: f64, sim_cfg: SimConfig) -> CoSimResult {
     use mira_power::leakage::LeakageModel;
 
     let dynamic_w = network_power_at(arch, rate, short_fraction, sim_cfg);

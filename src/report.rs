@@ -53,7 +53,8 @@ impl Figure {
     /// Renders the figure as an aligned text table: one row per x, one
     /// column per series.
     pub fn to_text(&self) -> String {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.x)).collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|p| p.x)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite xs"));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
@@ -106,8 +107,7 @@ impl BarFigure {
             .max()
             .unwrap_or(0)
             + 2;
-        let col_w: Vec<usize> =
-            self.bar_labels.iter().map(|b| (b.len() + 2).max(12)).collect();
+        let col_w: Vec<usize> = self.bar_labels.iter().map(|b| (b.len() + 2).max(12)).collect();
         let mut out = format!("# {} — {} ({})\n", self.id, self.title, self.unit);
         out.push_str(&format!("{:>group_w$}", self.group_label));
         for (b, w) in self.bar_labels.iter().zip(&col_w) {
@@ -181,7 +181,10 @@ mod tests {
             x_label: "load".into(),
             y_label: "cycles".into(),
             series: vec![
-                Series::new("a", vec![CurvePoint { x: 0.1, y: 10.0 }, CurvePoint { x: 0.2, y: 20.0 }]),
+                Series::new(
+                    "a",
+                    vec![CurvePoint { x: 0.1, y: 10.0 }, CurvePoint { x: 0.2, y: 20.0 }],
+                ),
                 Series::new("b", vec![CurvePoint { x: 0.1, y: 11.0 }]),
             ],
         };

@@ -2,10 +2,10 @@
 
 use mira::arch::Arch;
 use mira::experiments::common::{quick_sim_config, run_arch, EXPERIMENT_SEED};
-use mira::noc::network::Network;
-use mira::noc::packet::{Packet, PacketClass, PacketId};
 use mira::noc::flit::FlitData;
 use mira::noc::ids::NodeId;
+use mira::noc::network::Network;
+use mira::noc::packet::{Packet, PacketClass, PacketId};
 use mira::noc::traffic::UniformRandom;
 
 /// Every injected flit is eventually ejected on every architecture, at a

@@ -75,8 +75,7 @@ fn pipeline_depths_deliver_under_load() {
     ] {
         let mut cfg = Arch::ThreeDM.network_config(false);
         cfg.router.pipeline = cfg.router.pipeline.with_depth(depth);
-        let mut sim =
-            Simulator::new(Arch::ThreeDM.topology(), cfg, quick_sim_config());
+        let mut sim = Simulator::new(Arch::ThreeDM.topology(), cfg, quick_sim_config());
         let report = sim.run(Box::new(UniformRandom::new(0.12, 5, EXPERIMENT_SEED)));
         assert!(!report.saturated, "{depth:?}");
         assert_eq!(report.packets_created, report.packets_ejected, "{depth:?}");

@@ -56,8 +56,7 @@ impl Bencher {
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
         // Aim for ~50 ms of measurement, 3..=1000 iterations.
-        let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos())
-            .clamp(3, 1_000) as u64;
+        let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(3, 1_000) as u64;
         let t1 = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -82,11 +81,7 @@ pub struct Criterion {}
 
 impl Criterion {
     /// Runs one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        mut f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher::default();
         f(&mut b);
         b.report(name);
@@ -184,9 +179,7 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
-        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| x * 2));
         group.finish();
     }
 

@@ -218,9 +218,8 @@ mod tests {
     #[test]
     fn map_and_flat_map_compose() {
         let mut rng = TestRng::from_name("compose");
-        let s = (1usize..4).prop_flat_map(|n| {
-            (Just(n), collection::vec(0u32..10, n)).prop_map(|(n, v)| (n, v))
-        });
+        let s = (1usize..4)
+            .prop_flat_map(|n| (Just(n), collection::vec(0u32..10, n)).prop_map(|(n, v)| (n, v)));
         for _ in 0..100 {
             let (n, v) = s.new_value(&mut rng);
             assert_eq!(v.len(), n);

@@ -62,11 +62,9 @@ impl Value {
     /// derive layer maps `Null` onto `Option::None`).
     pub fn field(&self, name: &str) -> &Value {
         match self {
-            Value::Object(pairs) => pairs
-                .iter()
-                .find(|(k, _)| k == name)
-                .map(|(_, v)| v)
-                .unwrap_or(&NULL),
+            Value::Object(pairs) => {
+                pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap_or(&NULL)
+            }
             _ => &NULL,
         }
     }
@@ -141,6 +139,18 @@ impl Value {
 pub trait Serialize {
     /// Produces the value tree for `self`.
     fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
 }
 
 /// Lifts a type back out of a [`Value`].
@@ -324,17 +334,12 @@ impl MapKey for String {
 
 impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(
-            self.iter().map(|(k, v)| (k.key_to_string(), v.to_value())).collect(),
-        )
+        Value::Object(self.iter().map(|(k, v)| (k.key_to_string(), v.to_value())).collect())
     }
 }
 impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_object()?
-            .iter()
-            .map(|(k, v)| Ok((K::key_from_str(k)?, V::from_value(v)?)))
-            .collect()
+        v.as_object()?.iter().map(|(k, v)| Ok((K::key_from_str(k)?, V::from_value(v)?))).collect()
     }
 }
 
@@ -347,11 +352,8 @@ mod tests {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
-        assert_eq!(
-            String::from_value(&"hi".to_string().to_value()).unwrap(),
-            "hi"
-        );
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
     }
 
     #[test]

@@ -60,10 +60,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
              fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
         ),
         Shape::Enum { name, variants } => {
-            let arms: Vec<String> = variants
-                .iter()
-                .map(|v| format!("{name}::{v} => \"{v}\""))
-                .collect();
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\"")).collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                  fn to_value(&self) -> ::serde::Value {{\n\
@@ -82,9 +80,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Named { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?")
-                })
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?"))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -179,9 +175,7 @@ fn parse_item(input: TokenStream) -> Shape {
 
 /// Skips leading attributes (`#[...]`, including doc comments) and a
 /// visibility qualifier (`pub`, `pub(crate)`, ...).
-fn skip_attrs_and_vis(
-    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
-) {
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {

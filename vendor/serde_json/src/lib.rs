@@ -82,19 +82,31 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
             }
         }
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) =>
-            write_seq(out, items.iter(), items.len(), indent, depth, ('[', ']'), |out, item, ind, d| {
-                write_value(out, item, ind, d)
-            }),
-        Value::Object(pairs) =>
-            write_seq(out, pairs.iter(), pairs.len(), indent, depth, ('{', '}'), |out, (k, v), ind, d| {
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            ('[', ']'),
+            write_value,
+        ),
+        Value::Object(pairs) => write_seq(
+            out,
+            pairs.iter(),
+            pairs.len(),
+            indent,
+            depth,
+            ('{', '}'),
+            |out, (k, v), ind, d| {
                 write_string(out, k);
                 out.push(':');
                 if ind.is_some() {
                     out.push(' ');
                 }
                 write_value(out, v, ind, d);
-            }),
+            },
+        ),
     }
 }
 
@@ -188,10 +200,7 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            other => Err(Error::msg(format!(
-                "unexpected {other:?} at byte {}",
-                self.pos
-            ))),
+            other => Err(Error::msg(format!("unexpected {other:?} at byte {}", self.pos))),
         }
     }
 
@@ -220,8 +229,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("numeric bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("numeric bytes are ASCII");
         if !is_float {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(Value::U64(n));
@@ -230,9 +239,7 @@ impl<'a> Parser<'a> {
                 return Ok(Value::I64(n));
             }
         }
-        text.parse::<f64>()
-            .map(Value::F64)
-            .map_err(|_| Error::msg(format!("bad number {text:?}")))
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error::msg(format!("bad number {text:?}")))
     }
 
     fn parse_string(&mut self) -> Result<String> {
@@ -263,9 +270,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 > self.bytes.len() {
                                 return Err(Error::msg("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| Error::msg("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::msg("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| Error::msg("bad \\u escape"))?;
                             self.pos += 4;
@@ -275,10 +281,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::msg(format!(
-                                "unknown escape \\{}",
-                                other as char
-                            )))
+                            return Err(Error::msg(format!("unknown escape \\{}", other as char)))
                         }
                     }
                 }
@@ -314,11 +317,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                other => {
-                    return Err(Error::msg(format!(
-                        "expected ',' or ']', found {other:?}"
-                    )))
-                }
+                other => return Err(Error::msg(format!("expected ',' or ']', found {other:?}"))),
             }
         }
     }
@@ -346,11 +345,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(pairs));
                 }
-                other => {
-                    return Err(Error::msg(format!(
-                        "expected ',' or '}}', found {other:?}"
-                    )))
-                }
+                other => return Err(Error::msg(format!("expected ',' or '}}', found {other:?}"))),
             }
         }
     }
