@@ -9,7 +9,12 @@ use mira::noc::sim::{SimConfig, Simulator};
 use mira::noc::traffic::UniformRandom;
 
 fn tiny_sim() -> SimConfig {
-    SimConfig { warmup_cycles: 100, measure_cycles: 400, drain_cycles: 1_500 }
+    SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 400,
+        drain_cycles: 1_500,
+        ..SimConfig::default()
+    }
 }
 
 fn bench_architectures(c: &mut Criterion) {

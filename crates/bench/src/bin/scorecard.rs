@@ -1,18 +1,46 @@
 //! The reproduction scorecard: every headline claim of the paper checked
 //! against a live run, with PASS/FAIL verdicts.
+//!
+//! `--json` emits the claims table as a machine-readable array (one
+//! object per claim: `name`, `source`, `expected`, `actual`, `band`,
+//! `passes`) so CI can archive it as an artifact.
 use std::time::Instant;
 
-use mira::experiments::scorecard::{run_scorecard, scorecard_table};
-use mira_bench::Cli;
+use mira::experiments::scorecard::{run_scorecard, scorecard_table, Claim};
+use mira_bench::{write_telemetry_artifacts, Cli};
+use serde::Serialize;
+
+/// JSON shape of one claim row.
+struct ClaimRow<'a>(&'a Claim);
+
+impl Serialize for ClaimRow<'_> {
+    fn to_value(&self) -> serde::Value {
+        let c = self.0;
+        serde::Value::Object(vec![
+            ("name".to_string(), c.what.to_value()),
+            ("source".to_string(), c.source.to_value()),
+            ("expected".to_string(), c.paper.to_value()),
+            ("actual".to_string(), c.measured.to_value()),
+            ("band".to_string(), c.band.to_value()),
+            ("passes".to_string(), serde::Value::Bool(c.passes())),
+        ])
+    }
+}
 
 fn main() {
     let cli = Cli::parse();
     let t0 = Instant::now();
     let claims = run_scorecard(cli.sim_config(), cli.trace_cycles());
-    let table = scorecard_table(&claims);
-    println!("{}", table.to_text());
     let passed = claims.iter().filter(|c| c.passes()).count();
-    println!("{passed}/{} claims reproduced", claims.len());
+    if cli.json {
+        let rows: Vec<ClaimRow> = claims.iter().map(ClaimRow).collect();
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable claims"));
+    } else {
+        let table = scorecard_table(&claims);
+        println!("{}", table.to_text());
+        println!("{passed}/{} claims reproduced", claims.len());
+    }
+    write_telemetry_artifacts(cli);
     eprintln!("[done in {:.1?}]", t0.elapsed());
     if passed < claims.len() {
         std::process::exit(1);

@@ -1,24 +1,61 @@
 //! Trace utility: synthesise an application trace to a JSON-lines file,
-//! or print the statistics of an existing trace file.
+//! print the statistics of an existing trace file, or render a
+//! per-router congestion heatmap from a telemetry metrics dump.
 //!
 //! ```console
 //! $ cargo run -p mira-bench --bin trace_tool -- generate tpcw /tmp/tpcw.jsonl
 //! $ cargo run -p mira-bench --bin trace_tool -- stats /tmp/tpcw.jsonl
+//! $ cargo run -p mira-bench --bin fig11a -- --quick --metrics-out /tmp/metrics.json
+//! $ cargo run -p mira-bench --bin trace_tool -- netview /tmp/metrics.json
 //! ```
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use mira::arch::Arch;
 use mira::experiments::EXPERIMENT_SEED;
+use mira::noc::telemetry::{render_heatmap, MetricsWindow};
 use mira::nuca::cmp::{CmpConfig, CmpSystem, TraceStats};
 use mira::traffic::trace::{read_trace, TraceWriter};
 use mira::traffic::workloads::Application;
+use serde::Deserialize;
 
 fn usage() -> ! {
-    eprintln!("usage: trace_tool generate <app> <out.jsonl> [cycles]");
+    eprintln!("usage: trace_tool generate <app> <out.jsonl> [cycles] [--seed <u64>]");
     eprintln!("       trace_tool stats <in.jsonl>");
+    eprintln!("       trace_tool netview <metrics.json> [window-index]");
     eprintln!("apps: {}", Application::ALL.map(|a| a.name()).join(" "));
     std::process::exit(2);
+}
+
+fn usage_error(message: String) -> ! {
+    eprintln!("error: {message}");
+    usage()
+}
+
+/// Renders one metrics window as per-router text heatmaps (occupancy
+/// and stall pressure).
+fn netview(window: &MetricsWindow) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "window {} (cycles {}..{}), {} routers\n",
+        window.index,
+        window.start_cycle,
+        window.end_cycle,
+        window.routers.len()
+    ));
+    let occupancy: Vec<(usize, usize, f64)> =
+        window.routers.iter().map(|r| (r.x, r.y, r.occupancy_mean)).collect();
+    let span = (window.end_cycle - window.start_cycle).max(1) as f64;
+    let stalls: Vec<(usize, usize, f64)> =
+        window.routers.iter().map(|r| (r.x, r.y, r.stalls.stalled as f64 / span)).collect();
+    let peak_occ = occupancy.iter().map(|c| c.2).fold(0.0_f64, f64::max);
+    let peak_stall = stalls.iter().map(|c| c.2).fold(0.0_f64, f64::max);
+    out.push_str(&format!("buffer occupancy (peak {peak_occ:.2} flits):\n"));
+    out.push_str(&render_heatmap(&occupancy));
+    out.push_str(&format!("stall pressure (peak {peak_stall:.2} stall-cycles/cycle):\n"));
+    out.push_str(&render_heatmap(&stalls));
+    out.push_str("scale: ' ' (idle) . : - = + * # % @ (peak)\n");
+    out
 }
 
 fn main() -> std::io::Result<()> {
@@ -26,18 +63,29 @@ fn main() -> std::io::Result<()> {
     match args.first().map(String::as_str) {
         Some("generate") => {
             let (Some(app_name), Some(path)) = (args.get(1), args.get(2)) else { usage() };
-            let cycles: u64 = args.get(3).map_or(30_000, |s| s.parse().expect("cycle count"));
+            // Optional trailing arguments: a cycle count and a seed
+            // override.
+            let mut cycles: u64 = 30_000;
+            let mut seed: u64 = EXPERIMENT_SEED;
+            let mut rest = args[3..].iter();
+            while let Some(arg) = rest.next() {
+                if arg == "--seed" {
+                    let v =
+                        rest.next().unwrap_or_else(|| usage_error("--seed needs a value".into()));
+                    seed = v.parse().unwrap_or_else(|_| usage_error(format!("invalid seed {v:?}")));
+                } else {
+                    cycles = arg
+                        .parse()
+                        .unwrap_or_else(|_| usage_error(format!("invalid cycle count {arg:?}")));
+                }
+            }
             let app = Application::ALL
                 .into_iter()
                 .find(|a| a.name() == app_name)
-                .unwrap_or_else(|| usage());
+                .unwrap_or_else(|| usage_error(format!("unknown app {app_name:?}")));
             let arch = Arch::TwoDB;
-            let mut sys = CmpSystem::new(CmpConfig::for_app(
-                app,
-                arch.cpu_nodes(),
-                arch.cache_nodes(),
-                EXPERIMENT_SEED,
-            ));
+            let mut sys =
+                CmpSystem::new(CmpConfig::for_app(app, arch.cpu_nodes(), arch.cache_nodes(), seed));
             sys.calibrate_rate(app.profile().offered_load, 36, 10_000);
             let trace = sys.generate_trace(cycles);
             let mut w = TraceWriter::new(BufWriter::new(File::create(path)?));
@@ -46,7 +94,7 @@ fn main() -> std::io::Result<()> {
             }
             let n = w.records_written();
             w.finish()?;
-            println!("wrote {n} packets over {cycles} cycles to {path}");
+            println!("wrote {n} packets over {cycles} cycles to {path} (seed {seed})");
             Ok(())
         }
         Some("stats") => {
@@ -60,6 +108,45 @@ fn main() -> std::io::Result<()> {
             println!("short (all flits): {:.1}%", stats.short_total_fraction() * 100.0);
             let (z, o, other) = stats.patterns.fractions();
             println!("word patterns    : {z:.3} all-0, {o:.3} all-1, {other:.3} other");
+            Ok(())
+        }
+        Some("netview") => {
+            let Some(path) = args.get(1) else { usage() };
+            let text = std::fs::read_to_string(path)?;
+            let value: serde::Value = serde_json::from_str(&text)
+                .unwrap_or_else(|e| usage_error(format!("{path} is not valid JSON: {e:?}")));
+            // Accept either a full `--metrics-out` dump (object with a
+            // "windows" array) or a bare array of windows.
+            let windows_value = match value.field("windows") {
+                serde::Value::Null => &value,
+                w => w,
+            };
+            let Ok(items) = windows_value.as_array() else {
+                usage_error(format!("{path} holds no metrics windows"))
+            };
+            let windows: Vec<MetricsWindow> = items
+                .iter()
+                .map(|v| {
+                    MetricsWindow::from_value(v).unwrap_or_else(|e| {
+                        usage_error(format!("bad metrics window in {path}: {e:?}"))
+                    })
+                })
+                .collect();
+            if windows.is_empty() {
+                usage_error(format!("{path} holds no metrics windows"));
+            }
+            let index: usize = match args.get(2) {
+                Some(s) => {
+                    s.parse().unwrap_or_else(|_| usage_error(format!("invalid window index {s:?}")))
+                }
+                // Default to the busiest mid-run window: the last one is
+                // often a partial drain-phase window.
+                None => windows.len() / 2,
+            };
+            let Some(window) = windows.get(index) else {
+                usage_error(format!("window index {index} out of range 0..{}", windows.len()))
+            };
+            print!("{}", netview(window));
             Ok(())
         }
         _ => usage(),

@@ -6,6 +6,12 @@
 //! and prints the regenerated exhibit as text (plus `--json` for
 //! machine-readable output).
 //!
+//! Telemetry flags (DESIGN.md §11): `--metrics-window <cycles>` turns on
+//! windowed per-router metrics for every simulation the binary runs;
+//! `--trace-out <path>` / `--metrics-out <path>` write a Perfetto
+//! -compatible event trace and a metrics dump from one representative
+//! traced run.
+//!
 //! Criterion benches covering the simulator engine and each experiment
 //! group live under `benches/`.
 
@@ -13,7 +19,16 @@ use std::time::Instant;
 
 use serde::Serialize;
 
+use mira::arch::Arch;
+use mira::experiments::common::EXPERIMENT_SEED;
+use mira::noc::sim::Simulator;
+use mira::noc::telemetry::TelemetryConfig;
+use mira::noc::traffic::{PayloadProfile, UniformRandom};
+
 pub use mira::experiments::runner::{RunSummary, Runner};
+
+const USAGE: &str = "usage: <bin> [--quick] [--json] [--metrics-window <cycles>] \
+                     [--trace-out <path>] [--metrics-out <path>]";
 
 /// Shared CLI handling for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,39 +37,80 @@ pub struct Cli {
     pub quick: bool,
     /// Emit JSON instead of aligned text.
     pub json: bool,
+    /// Windowed-metrics interval in cycles (`--metrics-window`).
+    pub metrics_window: Option<u64>,
+    /// Write a Chrome trace-event JSON file from a representative traced
+    /// run (`--trace-out`).
+    pub trace_out: Option<&'static str>,
+    /// Write the representative run's metrics windows as JSON
+    /// (`--metrics-out`).
+    pub metrics_out: Option<&'static str>,
+}
+
+/// Leaks a flag value so [`Cli`] can stay `Copy` (flags are parsed once
+/// per process; the leak is bounded and deliberate).
+fn leak(value: String) -> &'static str {
+    Box::leak(value.into_boxed_str())
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}; {USAGE}");
+    std::process::exit(2);
 }
 
 impl Cli {
     /// Parses the process arguments (unknown flags abort with usage).
     pub fn parse() -> Cli {
-        let mut cli = Cli { quick: false, json: false };
-        for arg in std::env::args().skip(1) {
+        let mut cli = Cli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => cli.quick = true,
                 "--json" => cli.json = true,
+                "--metrics-window" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--metrics-window needs a cycle count"));
+                    match v.parse::<u64>() {
+                        Ok(cycles) if cycles > 0 => cli.metrics_window = Some(cycles),
+                        _ => usage_error(&format!("invalid --metrics-window value {v:?}")),
+                    }
+                }
+                "--trace-out" => {
+                    let v = args.next().unwrap_or_else(|| usage_error("--trace-out needs a path"));
+                    cli.trace_out = Some(leak(v));
+                }
+                "--metrics-out" => {
+                    let v =
+                        args.next().unwrap_or_else(|| usage_error("--metrics-out needs a path"));
+                    cli.metrics_out = Some(leak(v));
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bin> [--quick] [--json]");
+                    eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => {
-                    eprintln!("unknown flag {other}; usage: <bin> [--quick] [--json]");
-                    std::process::exit(2);
-                }
+                other => usage_error(&format!("unknown flag {other}")),
             }
         }
         cli
     }
 
-    /// The simulation window for this invocation.
+    /// The simulation window for this invocation (metrics windows wired
+    /// in when `--metrics-window` was given).
     pub fn sim_config(&self) -> mira::noc::sim::SimConfig {
-        if self.quick {
+        let base = if self.quick {
             mira::experiments::quick_sim_config()
         } else {
             mira::noc::sim::SimConfig {
                 warmup_cycles: 2_000,
                 measure_cycles: 10_000,
                 drain_cycles: 30_000,
+                ..mira::noc::sim::SimConfig::default()
             }
+        };
+        match self.metrics_window {
+            Some(w) => base.with_telemetry(TelemetryConfig::windows(w)),
+            None => base,
         }
     }
 
@@ -75,6 +131,66 @@ impl Cli {
     }
 }
 
+/// The metrics dump written by `--metrics-out`: what the `netview`
+/// subcommand of `trace_tool` renders.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsDump {
+    /// Architecture of the representative run.
+    pub arch: String,
+    /// Metrics-window length in cycles.
+    pub window_cycles: u64,
+    /// The closed windows.
+    pub windows: Vec<mira::noc::telemetry::MetricsWindow>,
+}
+
+/// Runs one representative traced simulation and writes the artifacts
+/// requested by `--trace-out` / `--metrics-out`. A no-op when neither
+/// flag is set. The run is separate from the exhibit's own simulations,
+/// so enabling tracing never perturbs published numbers: 3DM at UR 0.15
+/// with 50% short flits and layer shutdown on — a load that exercises
+/// every pipeline stage, credit stalls, and layer gating.
+pub fn write_telemetry_artifacts(cli: Cli) {
+    if cli.trace_out.is_none() && cli.metrics_out.is_none() {
+        return;
+    }
+    let arch = Arch::ThreeDM;
+    let window = cli.metrics_window.unwrap_or(1_000);
+    let telemetry = TelemetryConfig {
+        metrics_window: window,
+        trace_capacity: if cli.trace_out.is_some() { 1 << 16 } else { 0 },
+    };
+    let sim_cfg = cli.sim_config().with_telemetry(telemetry);
+    let workload = UniformRandom::new(0.15, 5, EXPERIMENT_SEED)
+        .with_payload(PayloadProfile::with_short_fraction(4, 0.5));
+    let mut sim = Simulator::new(arch.topology(), arch.network_config(true), sim_cfg);
+    let report = sim.run(Box::new(workload));
+
+    if let Some(path) = cli.trace_out {
+        let trace = sim.trace_chrome_json().expect("trace sink installed");
+        std::fs::write(path, trace).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[telemetry] event trace written to {path} (load in ui.perfetto.dev)");
+    }
+    if let Some(path) = cli.metrics_out {
+        let dump = MetricsDump {
+            arch: arch.name().to_string(),
+            window_cycles: window,
+            windows: report.windows.clone(),
+        };
+        let json = serde_json::to_string_pretty(&dump).expect("serialisable dump");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[telemetry] {} metrics windows written to {path} (render with `trace_tool netview`)",
+            report.windows.len()
+        );
+    }
+}
+
 /// Prints an exhibit in the requested format, with a timing footer.
 pub fn emit<T: serde::Serialize>(cli: Cli, text: &str, value: &T, started: Instant) {
     if cli.json {
@@ -82,6 +198,7 @@ pub fn emit<T: serde::Serialize>(cli: Cli, text: &str, value: &T, started: Insta
     } else {
         println!("{text}");
     }
+    write_telemetry_artifacts(cli);
     eprintln!("[done in {:.1?}]", started.elapsed());
 }
 
@@ -106,6 +223,7 @@ pub fn emit_with_runner<T: serde::Serialize>(
         println!("{text}");
         eprintln!("[runner] {}", summary.one_line());
     }
+    write_telemetry_artifacts(cli);
     eprintln!("[done in {:.1?}]", started.elapsed());
 }
 

@@ -55,6 +55,7 @@ pub mod router;
 pub mod routing;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod topology;
 pub mod traffic;
 pub mod vc;
@@ -67,4 +68,8 @@ pub use ids::{NodeId, PortId, VcId};
 pub use packet::{Packet, PacketClass, PacketId};
 pub use sim::{SimConfig, SimReport, Simulator};
 pub use stats::{ActivityCounters, LatencyStats};
+pub use telemetry::{
+    EventSink, MetricsWindow, NullSink, StallCause, StallCounters, TelemetryConfig, TraceEvent,
+    TraceEventKind, TraceSink,
+};
 pub use topology::{ExpressMesh2D, Mesh2D, Mesh3D, Topology};

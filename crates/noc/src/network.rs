@@ -15,6 +15,10 @@ use crate::link::Link;
 use crate::packet::Packet;
 use crate::router::{EjectedFlit, Router};
 use crate::stats::{ActivityCounters, RouterActivity};
+use crate::telemetry::{
+    EventSink, MetricsCollector, MetricsWindow, NullSink, StallCounters, TelemetryConfig,
+    TraceEvent, TraceEventKind, TraceSink,
+};
 use crate::topology::Topology;
 
 /// Per-node network interface: one unbounded source queue per VC.
@@ -43,6 +47,12 @@ pub struct Network {
     ejected: Vec<EjectedFlit>,
     counters: ActivityCounters,
     activity: Vec<RouterActivity>,
+    /// Telemetry event receiver ([`NullSink`] unless tracing is enabled;
+    /// purely observational either way).
+    sink: Box<dyn EventSink>,
+    /// Windowed metrics collector, present when a metrics window is
+    /// configured.
+    metrics: Option<MetricsCollector>,
 }
 
 impl std::fmt::Debug for Network {
@@ -95,7 +105,57 @@ impl Network {
             ejected: Vec::new(),
             counters: ActivityCounters::new(),
             activity: vec![RouterActivity::default(); n],
+            sink: Box::new(NullSink),
+            metrics: None,
         }
+    }
+
+    /// Applies a telemetry configuration: installs a [`TraceSink`] when a
+    /// trace capacity is set and a [`MetricsCollector`] when a metrics
+    /// window is set. Call before stepping; telemetry never affects
+    /// simulation behaviour.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        if cfg.trace_capacity > 0 {
+            self.sink = Box::new(TraceSink::new(cfg.trace_capacity));
+        }
+        if cfg.metrics_window > 0 {
+            let coords: Vec<(usize, usize)> = (0..self.routers.len())
+                .map(|i| {
+                    let c = self.topo.coords(NodeId(i));
+                    (c.x, c.y)
+                })
+                .collect();
+            self.metrics = Some(MetricsCollector::new(cfg.metrics_window, coords));
+        }
+    }
+
+    /// Installs a custom event sink (replaces the current one).
+    pub fn install_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = sink;
+    }
+
+    /// The installed sink as a [`TraceSink`], when tracing is enabled.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.sink.as_trace()
+    }
+
+    /// Metrics windows closed so far (empty when windows are disabled).
+    pub fn metrics_windows(&self) -> &[MetricsWindow] {
+        self.metrics.as_ref().map_or(&[], |m| m.windows())
+    }
+
+    /// Cumulative stall-cause counters summed over every router.
+    pub fn stall_totals(&self) -> StallCounters {
+        let mut t = StallCounters::new();
+        for r in &self.routers {
+            t.merge(r.stall_counters());
+        }
+        t
+    }
+
+    /// Per-router cumulative stall-cause counters.
+    pub fn router_stalls(&self) -> Vec<StallCounters> {
+        self.routers.iter().map(|r| *r.stall_counters()).collect()
     }
 
     /// The topology driving this network.
@@ -139,11 +199,23 @@ impl Network {
     /// Advances the whole network by one cycle.
     pub fn step(&mut self, cycle: u64) {
         self.counters.cycles += 1;
+        let traced = self.sink.enabled();
 
         // 1. Deliver due flits and credits from the links.
         for li in 0..self.links.len() {
             while let Some(f) = self.links[li].take_due_flit(cycle) {
                 let (dst, port) = self.links[li].to;
+                if traced {
+                    self.sink.record(TraceEvent {
+                        cycle,
+                        router: dst,
+                        port,
+                        vc: f.vc,
+                        kind: TraceEventKind::BufferWrite,
+                        packet: f.flit.packet.0,
+                        detail: 0,
+                    });
+                }
                 self.routers[dst.index()].receive_flit(
                     port,
                     f.vc,
@@ -155,6 +227,17 @@ impl Network {
             }
             while let Some(c) = self.links[li].take_due_credit(cycle) {
                 let (src, port) = self.links[li].from;
+                if traced {
+                    self.sink.record(TraceEvent {
+                        cycle,
+                        router: src,
+                        port,
+                        vc: c.vc,
+                        kind: TraceEventKind::CreditReturn,
+                        packet: 0,
+                        detail: 0,
+                    });
+                }
                 self.routers[src.index()].receive_credit(port, c.vc);
             }
         }
@@ -168,12 +251,21 @@ impl Network {
                 &mut self.counters,
                 &mut self.activity[i],
                 &mut self.ejected,
+                self.sink.as_mut(),
             );
         }
 
-        // 3. Occupancy accounting: buffered flits this cycle.
-        self.counters.buffer_occupancy_flit_cycles +=
-            self.routers.iter().map(|r| r.buffered_flits() as u64).sum::<u64>();
+        // 3. Occupancy accounting: buffered flits this cycle (globally
+        // for the energy model, per router for the metrics windows).
+        let mut occupancy_total = 0u64;
+        for (i, r) in self.routers.iter().enumerate() {
+            let buffered = r.buffered_flits() as u64;
+            occupancy_total += buffered;
+            if let Some(m) = &mut self.metrics {
+                m.record_occupancy(i, buffered);
+            }
+        }
+        self.counters.buffer_occupancy_flit_cycles += occupancy_total;
 
         // 4. NIC injection: move queued flits into local input buffers.
         // This runs after the router phase so that a slot freed by ST in
@@ -186,6 +278,17 @@ impl Network {
                 {
                     let flit = self.nics[node].queues[vc].pop_front().expect("non-empty queue");
                     self.counters.flits_injected += 1;
+                    if traced {
+                        self.sink.record(TraceEvent {
+                            cycle,
+                            router: NodeId(node),
+                            port: PortId::LOCAL,
+                            vc: VcId(vc),
+                            kind: TraceEventKind::BufferWrite,
+                            packet: flit.packet.0,
+                            detail: 0,
+                        });
+                    }
                     self.routers[node].receive_flit(
                         PortId::LOCAL,
                         VcId(vc),
@@ -196,6 +299,12 @@ impl Network {
                     );
                 }
             }
+        }
+
+        // 5. Close a metrics window on its boundary cycle.
+        if let Some(m) = &mut self.metrics {
+            let routers = &self.routers;
+            m.end_cycle(cycle, |i| routers[i].telemetry());
         }
     }
 

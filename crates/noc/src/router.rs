@@ -31,6 +31,9 @@ use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
 use crate::link::Link;
 use crate::stats::{ActivityCounters, RouterActivity};
+use crate::telemetry::{
+    EventSink, RouterTelemetry, StallCause, StallCounters, TraceEvent, TraceEventKind,
+};
 use crate::topology::Topology;
 use crate::vc::{InputVc, OutputVc, VcState};
 
@@ -74,6 +77,18 @@ pub struct Router {
     sa1_arbiters: Vec<RoundRobinArbiter>,
     sa2_arbiters: Vec<RoundRobinArbiter>,
     st_grants: Vec<StGrant>,
+    /// Number of physical datapath layers (duty-cycle denominator).
+    layers: usize,
+    /// Stall cycles attributed by cause (telemetry; never read by the
+    /// pipeline itself).
+    stalls: StallCounters,
+    /// Cumulative flits sent per output port (telemetry).
+    port_flits_out: Vec<u64>,
+    /// Per-layer count of switch traversals in which the layer was
+    /// powered (telemetry for the shutdown duty cycle).
+    layer_active: Vec<u64>,
+    /// Total switch traversals (denominator for `layer_active`).
+    layer_events: u64,
 }
 
 impl Router {
@@ -98,6 +113,11 @@ impl Router {
             sa1_arbiters: (0..ports).map(|_| RoundRobinArbiter::new(vcs)).collect(),
             sa2_arbiters: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
             st_grants: Vec::new(),
+            layers: cfg.layers,
+            stalls: StallCounters::new(),
+            port_flits_out: vec![0; ports],
+            layer_active: vec![0; cfg.layers],
+            layer_events: 0,
         }
     }
 
@@ -174,6 +194,22 @@ impl Router {
         self.buffered_flits() == 0 && self.st_grants.is_empty()
     }
 
+    /// Cumulative stall-cause counters since construction.
+    pub fn stall_counters(&self) -> &StallCounters {
+        &self.stalls
+    }
+
+    /// Live view of this router's cumulative telemetry counters (the
+    /// metrics collector diffs successive views to form windows).
+    pub fn telemetry(&self) -> RouterTelemetry<'_> {
+        RouterTelemetry {
+            stalls: self.stalls,
+            port_flits_out: &self.port_flits_out,
+            layer_active: &self.layer_active,
+            layer_events: self.layer_events,
+        }
+    }
+
     /// Advances the router by one cycle.
     ///
     /// The phase order within the cycle realises the configured pipeline
@@ -188,6 +224,7 @@ impl Router {
     ///   (speculative SA; failure degenerates into a retry);
     /// * **two-stage look-ahead** — ST → RC → VA → SA: the route is also
     ///   available in the arrival cycle, modelling look-ahead routing.
+    #[allow(clippy::too_many_arguments)]
     pub fn step(
         &mut self,
         cycle: u64,
@@ -196,23 +233,24 @@ impl Router {
         counters: &mut ActivityCounters,
         activity: &mut RouterActivity,
         ejected: &mut Vec<EjectedFlit>,
+        sink: &mut dyn EventSink,
     ) {
-        self.stage_st(cycle, links, counters, activity, ejected);
+        self.stage_st(cycle, links, counters, activity, ejected, sink);
         match self.pipeline.depth {
             crate::config::PipelineDepth::FourStage => {
-                self.stage_sa(cycle, counters);
-                self.stage_va(cycle, counters);
-                self.stage_rc(cycle, topo, counters);
+                self.stage_sa(cycle, counters, sink);
+                self.stage_va(cycle, counters, sink);
+                self.stage_rc(cycle, topo, counters, sink);
             }
             crate::config::PipelineDepth::ThreeStageSpeculative => {
-                self.stage_va(cycle, counters);
-                self.stage_sa(cycle, counters);
-                self.stage_rc(cycle, topo, counters);
+                self.stage_va(cycle, counters, sink);
+                self.stage_sa(cycle, counters, sink);
+                self.stage_rc(cycle, topo, counters, sink);
             }
             crate::config::PipelineDepth::TwoStageLookahead => {
-                self.stage_rc(cycle, topo, counters);
-                self.stage_va(cycle, counters);
-                self.stage_sa(cycle, counters);
+                self.stage_rc(cycle, topo, counters, sink);
+                self.stage_va(cycle, counters, sink);
+                self.stage_sa(cycle, counters, sink);
             }
         }
     }
@@ -225,7 +263,9 @@ impl Router {
         counters: &mut ActivityCounters,
         activity: &mut RouterActivity,
         ejected: &mut Vec<EjectedFlit>,
+        sink: &mut dyn EventSink,
     ) {
+        let traced = sink.enabled();
         let grants = std::mem::take(&mut self.st_grants);
         for g in grants {
             let ivc = &mut self.inputs[g.in_port.index()][g.in_vc.index()];
@@ -237,6 +277,43 @@ impl Router {
             activity.buffer_events += fraction;
             activity.xbar_events += fraction;
             activity.xbar_events_raw += 1;
+
+            // Duty-cycle accounting: which datapath layers powered this
+            // traversal. Flit words map onto layers MSB-down, so the
+            // first `active_layers` layers carry the active words.
+            self.port_flits_out[g.out_port.index()] += 1;
+            let active_layers = if self.layer_shutdown {
+                let words = flit.data.num_words();
+                (flit.data.active_words() * self.layers).div_ceil(words).min(self.layers)
+            } else {
+                self.layers
+            };
+            for l in &mut self.layer_active[..active_layers] {
+                *l += 1;
+            }
+            self.layer_events += 1;
+            if traced {
+                sink.record(TraceEvent {
+                    cycle,
+                    router: self.id,
+                    port: g.in_port,
+                    vc: g.in_vc,
+                    kind: TraceEventKind::SwitchTraversal,
+                    packet: flit.packet.0,
+                    detail: g.out_port.index() as u32,
+                });
+                if active_layers < self.layers {
+                    sink.record(TraceEvent {
+                        cycle,
+                        router: self.id,
+                        port: g.out_port,
+                        vc: g.out_vc,
+                        kind: TraceEventKind::LayerGate,
+                        packet: flit.packet.0,
+                        detail: (self.layers - active_layers) as u32,
+                    });
+                }
+            }
 
             let is_tail = flit.is_tail();
 
@@ -270,24 +347,37 @@ impl Router {
 
     /// SA: separable two-stage switch allocation; winners traverse next
     /// cycle. Credits are debited here so grants never overcommit.
-    fn stage_sa(&mut self, cycle: u64, counters: &mut ActivityCounters) {
+    ///
+    /// Stall attribution happens here for switch-ready flits: an active
+    /// VC whose downstream buffer holds no credit is charged `NoCredit`;
+    /// an eligible VC that fails to receive an ST grant (lost SA1 or SA2)
+    /// is charged `SaLoss`. The two sets are disjoint, so each stalled
+    /// VC-cycle carries exactly one cause.
+    fn stage_sa(&mut self, cycle: u64, counters: &mut ActivityCounters, sink: &mut dyn EventSink) {
+        let traced = sink.enabled();
         // SA1: one candidate VC per input port.
         let mut sa1: Vec<Option<(VcId, PortId, VcId)>> = vec![None; self.ports];
+        // All switch-eligible (input port, input VC) pairs, for SA-loss
+        // attribution after SA2 resolves.
+        let mut eligible_all: Vec<(usize, usize)> = Vec::new();
         #[allow(clippy::needless_range_loop)] // ip indexes three parallel arrays
         for ip in 0..self.ports {
-            let eligible: Vec<usize> = (0..self.vcs)
-                .filter(|&iv| {
-                    let ivc = &self.inputs[ip][iv];
-                    match ivc.state {
-                        VcState::Active { out_port, out_vc } => {
-                            ivc.buffer.front_ready(cycle)
-                                && (out_port.is_local()
-                                    || self.outputs[out_port.index()][out_vc.index()].credits > 0)
-                        }
-                        _ => false,
+            let mut eligible: Vec<usize> = Vec::new();
+            for iv in 0..self.vcs {
+                let ivc = &self.inputs[ip][iv];
+                if let VcState::Active { out_port, out_vc } = ivc.state {
+                    if !ivc.buffer.front_ready(cycle) {
+                        continue;
                     }
-                })
-                .collect();
+                    if out_port.is_local()
+                        || self.outputs[out_port.index()][out_vc.index()].credits > 0
+                    {
+                        eligible.push(iv);
+                    } else {
+                        self.stalls.record(StallCause::NoCredit);
+                    }
+                }
+            }
             if eligible.is_empty() {
                 continue;
             }
@@ -297,9 +387,11 @@ impl Router {
                     sa1[ip] = Some((VcId(iv), out_port, out_vc));
                 }
             }
+            eligible_all.extend(eligible.into_iter().map(|iv| (ip, iv)));
         }
 
         // SA2: one input port per output port.
+        let mut granted: Vec<(usize, usize)> = Vec::new();
         for op in 0..self.ports {
             let requesters: Vec<usize> = (0..self.ports)
                 .filter(|&ip| sa1[ip].is_some_and(|(_, p, _)| p.index() == op))
@@ -315,14 +407,41 @@ impl Router {
                     debug_assert!(ovc.credits > 0, "SA granted without credit");
                     ovc.credits -= 1;
                 }
+                if traced {
+                    let packet =
+                        self.inputs[ip][iv.index()].buffer.front().map_or(0, |t| t.flit.packet.0);
+                    sink.record(TraceEvent {
+                        cycle,
+                        router: self.id,
+                        port: PortId(ip),
+                        vc: iv,
+                        kind: TraceEventKind::SwitchAlloc,
+                        packet,
+                        detail: out_port.index() as u32,
+                    });
+                }
+                granted.push((ip, iv.index()));
                 self.st_grants.push(StGrant { in_port: PortId(ip), in_vc: iv, out_port, out_vc });
+            }
+        }
+
+        // Every eligible VC that did not get the switch stalled on
+        // arbitration this cycle.
+        for pair in eligible_all {
+            if !granted.contains(&pair) {
+                self.stalls.record(StallCause::SaLoss);
             }
         }
     }
 
     /// VA: two-stage virtual-channel allocation for VCs holding a routed
     /// head flit.
-    fn stage_va(&mut self, cycle: u64, counters: &mut ActivityCounters) {
+    ///
+    /// Stall attribution for head flits waiting on a VC: requesters of an
+    /// output VC still owned by another packet are charged `RouteBusy`;
+    /// losers of the arbitration for a free VC are charged `VaLoss`.
+    fn stage_va(&mut self, cycle: u64, counters: &mut ActivityCounters, sink: &mut dyn EventSink) {
+        let traced = sink.enabled();
         // VA1: each waiting input VC selects its desired output VC — one
         // VC per traffic class (control / data), clamped to the available
         // VC count.
@@ -352,6 +471,11 @@ impl Router {
                 }
                 counters.va2_arbitrations += 1;
                 if !self.outputs[op][ov].is_free() {
+                    // The target VC is held by an in-flight packet: every
+                    // requester stalls on route occupancy this cycle.
+                    for _ in reqs {
+                        self.stalls.record(StallCause::RouteBusy);
+                    }
                     continue;
                 }
                 let lines: Vec<usize> =
@@ -361,6 +485,27 @@ impl Router {
                     self.outputs[op][ov].owner = Some((ip, iv));
                     self.inputs[ip.index()][iv.index()].state =
                         VcState::Active { out_port: PortId(op), out_vc: VcId(ov) };
+                    if traced {
+                        let packet = self.inputs[ip.index()][iv.index()]
+                            .buffer
+                            .front()
+                            .map_or(0, |t| t.flit.packet.0);
+                        sink.record(TraceEvent {
+                            cycle,
+                            router: self.id,
+                            port: ip,
+                            vc: iv,
+                            kind: TraceEventKind::VcAlloc,
+                            packet,
+                            detail: op as u32,
+                        });
+                    }
+                    // The remaining requesters lost the arbitration.
+                    for &(rip, riv) in reqs {
+                        if (rip, riv) != (ip, iv) {
+                            self.stalls.record(StallCause::VaLoss);
+                        }
+                    }
                 }
             }
         }
@@ -372,7 +517,14 @@ impl Router {
     /// more than one port) the stage selects the candidate whose output
     /// VCs hold the most credits — congestion-aware selection — with the
     /// model's preference order breaking ties.
-    fn stage_rc(&mut self, cycle: u64, topo: &dyn Topology, counters: &mut ActivityCounters) {
+    fn stage_rc(
+        &mut self,
+        cycle: u64,
+        topo: &dyn Topology,
+        counters: &mut ActivityCounters,
+        sink: &mut dyn EventSink,
+    ) {
+        let traced = sink.enabled();
         for ip in 0..self.ports {
             for iv in 0..self.vcs {
                 let ivc = &self.inputs[ip][iv];
@@ -381,6 +533,7 @@ impl Router {
                 }
                 let head = &ivc.buffer.front().expect("routing VC holds a head flit").flit;
                 debug_assert!(head.is_head(), "routing state without a head flit");
+                let packet = head.packet.0;
                 let candidates = topo.route_candidates(self.id, head.dst);
                 debug_assert!(!candidates.is_empty(), "routing produced no candidates");
                 let out_port = if candidates.len() == 1 {
@@ -401,6 +554,17 @@ impl Router {
                 };
                 counters.rc_computations += 1;
                 self.inputs[ip][iv].state = VcState::WaitingVc { out_port };
+                if traced {
+                    sink.record(TraceEvent {
+                        cycle,
+                        router: self.id,
+                        port: PortId(ip),
+                        vc: VcId(iv),
+                        kind: TraceEventKind::RouteCompute,
+                        packet,
+                        detail: out_port.index() as u32,
+                    });
+                }
             }
         }
     }
@@ -412,6 +576,7 @@ mod tests {
     use crate::config::NetworkConfig;
     use crate::flit::{FlitData, FlitKind};
     use crate::packet::{PacketClass, PacketId};
+    use crate::telemetry::NullSink;
     use crate::topology::Mesh2D;
 
     fn mk_cfg() -> NetworkConfig {
@@ -454,7 +619,15 @@ mod tests {
         );
 
         for cycle in 0..=3 {
-            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+            r.step(
+                cycle,
+                &topo,
+                &mut links,
+                &mut counters,
+                &mut activity,
+                &mut ejected,
+                &mut NullSink,
+            );
         }
         assert_eq!(ejected.len(), 1, "RC@0, VA@1, SA@2, ST@3");
         assert_eq!(ejected[0].cycle, 3);
@@ -487,7 +660,15 @@ mod tests {
         r.receive_flit(PortId(1), VcId(0), f1, 0, &mut counters, &mut activity);
 
         for cycle in 0..=5 {
-            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+            r.step(
+                cycle,
+                &topo,
+                &mut links,
+                &mut counters,
+                &mut activity,
+                &mut ejected,
+                &mut NullSink,
+            );
         }
         assert_eq!(ejected.len(), 2);
         // Ejections happen in different cycles (the single ejection VC
@@ -515,14 +696,30 @@ mod tests {
         let f = mk_head(NodeId(1), PacketClass::Ack);
         r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
         for cycle in 0..10 {
-            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+            r.step(
+                cycle,
+                &topo,
+                &mut links,
+                &mut counters,
+                &mut activity,
+                &mut ejected,
+                &mut NullSink,
+            );
         }
         assert_eq!(links[0].flits_in_flight(), 0, "no credit, no traversal");
 
         // Return one credit; the flit must now flow.
         r.receive_credit(PortId(1), VcId(0));
         for cycle in 10..15 {
-            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+            r.step(
+                cycle,
+                &topo,
+                &mut links,
+                &mut counters,
+                &mut activity,
+                &mut ejected,
+                &mut NullSink,
+            );
         }
         assert_eq!(links[0].flits_in_flight(), 1);
         assert!(r.is_quiescent());
@@ -545,7 +742,15 @@ mod tests {
         f.data = FlitData::with_active_words(4, 1); // short flit
         r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
         for cycle in 0..=3 {
-            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+            r.step(
+                cycle,
+                &topo,
+                &mut links,
+                &mut counters,
+                &mut activity,
+                &mut ejected,
+                &mut NullSink,
+            );
         }
         assert_eq!(counters.buffer_writes_raw, 1);
         assert!((counters.buffer_writes - 0.25).abs() < 1e-12);
@@ -562,6 +767,7 @@ mod pipeline_depth_tests {
     use crate::config::{NetworkConfig, PipelineConfig, PipelineDepth};
     use crate::flit::{FlitData, FlitKind};
     use crate::packet::{PacketClass, PacketId};
+    use crate::telemetry::NullSink;
     use crate::topology::Mesh2D;
 
     fn eject_cycle(depth: PipelineDepth) -> u64 {
@@ -586,7 +792,15 @@ mod pipeline_depth_tests {
         };
         r.receive_flit(PortId::LOCAL, VcId(0), flit, 0, &mut counters, &mut activity);
         for cycle in 0..10 {
-            r.step(cycle, &topo, &mut links, &mut counters, &mut activity, &mut ejected);
+            r.step(
+                cycle,
+                &topo,
+                &mut links,
+                &mut counters,
+                &mut activity,
+                &mut ejected,
+                &mut NullSink,
+            );
             if let Some(e) = ejected.first() {
                 return e.cycle;
             }

@@ -24,6 +24,7 @@ use crate::packet::{Packet, PacketClass, PacketId, PacketSpec};
 use crate::stats::{
     ActivityCounters, LatencyHistogram, LatencyStats, PerClassLatency, RouterActivity,
 };
+use crate::telemetry::{MetricsWindow, StallCounters, TelemetryConfig};
 use crate::topology::Topology;
 use crate::traffic::{EjectedPacket, Workload};
 
@@ -36,18 +37,38 @@ pub struct SimConfig {
     pub measure_cycles: u64,
     /// Maximum extra cycles to wait for measured packets to drain.
     pub drain_cycles: u64,
+    /// Telemetry switches (event tracing and windowed metrics; both off
+    /// by default — the zero-overhead path).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { warmup_cycles: 1_000, measure_cycles: 5_000, drain_cycles: 20_000 }
+        SimConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: 5_000,
+            drain_cycles: 20_000,
+            telemetry: TelemetryConfig::disabled(),
+        }
     }
 }
 
 impl SimConfig {
     /// A short configuration for unit tests.
     pub fn short() -> Self {
-        SimConfig { warmup_cycles: 200, measure_cycles: 1_000, drain_cycles: 5_000 }
+        SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_000,
+            drain_cycles: 5_000,
+            telemetry: TelemetryConfig::disabled(),
+        }
+    }
+
+    /// The same phase lengths with different telemetry switches.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -79,6 +100,12 @@ pub struct SimReport {
     pub histogram: LatencyHistogram,
     /// Total cycles simulated (all phases).
     pub cycles_simulated: u64,
+    /// Stall-cause counters over the measurement window, summed across
+    /// routers (per-cause values sum to `stalls.stalled`).
+    pub stalls: StallCounters,
+    /// Closed metrics windows, when `SimConfig::telemetry` enabled them
+    /// (covers all phases, not just measurement).
+    pub windows: Vec<MetricsWindow>,
 }
 
 impl SimReport {
@@ -126,8 +153,10 @@ impl Simulator {
     /// Creates a simulator over `topo` with the given network and phase
     /// configuration.
     pub fn new(topo: Box<dyn Topology>, net_cfg: NetworkConfig, cfg: SimConfig) -> Self {
+        let mut network = Network::new(topo, net_cfg);
+        network.set_telemetry(cfg.telemetry);
         Simulator {
-            network: Network::new(topo, net_cfg),
+            network,
             cfg,
             next_packet: 0,
             in_flight: HashMap::new(),
@@ -140,6 +169,18 @@ impl Simulator {
     /// Access to the underlying network (e.g. for counters).
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// Mutable access to the underlying network (e.g. to install a
+    /// custom event sink before running).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// The recorded event trace as Chrome trace-event JSON, when the run
+    /// was configured with a non-zero trace capacity.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        self.network.trace_sink().map(|t| t.to_chrome_trace())
     }
 
     /// Packets injected but not yet fully ejected.
@@ -252,6 +293,7 @@ impl Simulator {
         let mut histogram = LatencyHistogram::new();
         let mut counters_at_start = ActivityCounters::new();
         let mut activity_at_start: Vec<RouterActivity> = Vec::new();
+        let mut stalls_at_start = StallCounters::new();
         let mut counters_at_measure_end: Option<ActivityCounters> = None;
         // warm_end == 0 means measurement starts immediately; the zeroed
         // defaults above are then the correct snapshot.
@@ -264,6 +306,7 @@ impl Simulator {
             if !warm_snapshot_taken && cycle >= warm_end {
                 counters_at_start = self.network.counters().clone();
                 activity_at_start = self.network.router_activity().to_vec();
+                stalls_at_start = self.network.stall_totals();
                 warm_snapshot_taken = true;
             }
             if counters_at_measure_end.is_none() && cycle >= measure_end {
@@ -302,6 +345,7 @@ impl Simulator {
         if !warm_snapshot_taken {
             counters_at_start = self.network.counters().clone();
             activity_at_start = self.network.router_activity().to_vec();
+            stalls_at_start = self.network.stall_totals();
         }
         let counters = self.network.counters().delta_since(&counters_at_start);
         let per_router: Vec<RouterActivity> = if activity_at_start.is_empty() {
@@ -337,6 +381,8 @@ impl Simulator {
             per_router,
             histogram,
             cycles_simulated: cycle,
+            stalls: self.network.stall_totals().delta_since(&stalls_at_start),
+            windows: self.network.metrics_windows().to_vec(),
         }
     }
 }
@@ -402,7 +448,12 @@ mod tests {
         let mut sim = Simulator::new(
             Box::new(Mesh2D::new(4, 4)),
             NetworkConfig::default(),
-            SimConfig { warmup_cycles: 100, measure_cycles: 500, drain_cycles: 300 },
+            SimConfig {
+                warmup_cycles: 100,
+                measure_cycles: 500,
+                drain_cycles: 300,
+                ..SimConfig::default()
+            },
         );
         let r = sim.run(Box::new(UniformRandom::new(0.9, 5, 42)));
         assert!(r.saturated);

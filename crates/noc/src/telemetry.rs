@@ -1,0 +1,744 @@
+//! Cycle-level telemetry: pipeline event tracing, stall attribution, and
+//! windowed per-router metrics.
+//!
+//! The simulator's end-of-run aggregates ([`crate::stats`]) say *how much*
+//! a run cost; this module says *where the cycles went*. Three layers:
+//!
+//! 1. **Event tracing** — [`EventSink`] receives one [`TraceEvent`] per
+//!    pipeline-stage occurrence (buffer write, RC, VA, SA, ST, credit
+//!    return, layer gating). The default [`NullSink`] is inert and keeps
+//!    the hot path identical to an untraced build; [`TraceSink`] records
+//!    into a bounded ring buffer and exports Chrome trace-event JSON that
+//!    Perfetto / `chrome://tracing` load directly (`pid` = router,
+//!    `tid` = port, `ts` in cycles).
+//!
+//! 2. **Stall attribution** — every cycle in which a ready flit fails to
+//!    advance is charged to exactly one [`StallCause`]: the head flit lost
+//!    VC allocation (`VaLoss`), its target output VC was held by another
+//!    packet (`RouteBusy`), the downstream buffer had no credit
+//!    (`NoCredit`), or the flit lost switch allocation (`SaLoss`). The
+//!    per-cause counters therefore sum to the total stalled VC-cycles —
+//!    an invariant the property tests enforce.
+//!
+//! 3. **Windowed metrics** — with a non-zero
+//!    [`TelemetryConfig::metrics_window`], the network closes a
+//!    [`MetricsWindow`] every `W` cycles holding per-router buffer
+//!    occupancy, per-port link utilisation, stall causes, and the
+//!    per-layer shutdown duty cycle (the observable behind the paper's
+//!    3DM short-flit gating claim).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, PortId, VcId};
+
+/// What happened (one pipeline-stage occurrence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A flit was written into an input buffer (BW).
+    BufferWrite,
+    /// Route computation completed for a head flit (RC).
+    RouteCompute,
+    /// An output virtual channel was allocated (VA).
+    VcAlloc,
+    /// A switch-allocation grant was issued (SA).
+    SwitchAlloc,
+    /// A flit traversed the crossbar (ST; includes LT when combined).
+    SwitchTraversal,
+    /// A credit returned to an upstream output VC.
+    CreditReturn,
+    /// Layer shutdown gated one or more datapath layers for a flit.
+    LayerGate,
+}
+
+impl TraceEventKind {
+    /// Short display name (used as the trace-event `name`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::BufferWrite => "BW",
+            TraceEventKind::RouteCompute => "RC",
+            TraceEventKind::VcAlloc => "VA",
+            TraceEventKind::SwitchAlloc => "SA",
+            TraceEventKind::SwitchTraversal => "ST",
+            TraceEventKind::CreditReturn => "credit",
+            TraceEventKind::LayerGate => "layer_gate",
+        }
+    }
+
+    /// Trace-event category (`cat` field).
+    const fn category(self) -> &'static str {
+        match self {
+            TraceEventKind::CreditReturn => "flow",
+            TraceEventKind::LayerGate => "power",
+            _ => "pipeline",
+        }
+    }
+
+    /// Whether the event occupies a cycle (rendered as a duration slice)
+    /// or marks an instant.
+    const fn is_duration(self) -> bool {
+        !matches!(self, TraceEventKind::CreditReturn | TraceEventKind::LayerGate)
+    }
+}
+
+/// One telemetry event: a pipeline-stage occurrence at a (router, port,
+/// VC) in a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation cycle of the event.
+    pub cycle: u64,
+    /// Router at which it happened (trace `pid`).
+    pub router: NodeId,
+    /// Port involved (trace `tid`): the input port for pipeline stages,
+    /// the output port for credit returns.
+    pub port: PortId,
+    /// Virtual channel involved.
+    pub vc: VcId,
+    /// Stage / occurrence kind.
+    pub kind: TraceEventKind,
+    /// Owning packet id (0 for events with no packet, e.g. credits).
+    pub packet: u64,
+    /// Kind-specific detail: output port for `SwitchTraversal`, number of
+    /// gated layers for `LayerGate`, 0 otherwise.
+    pub detail: u32,
+}
+
+/// Receiver of telemetry events.
+///
+/// Implementations must be purely observational: recording an event may
+/// never influence simulation behaviour, so a run with any sink installed
+/// is bit-identical to a [`NullSink`] run.
+pub trait EventSink {
+    /// `false` lets emitters skip event construction entirely — the
+    /// hot-path guard that makes the [`NullSink`] free.
+    fn enabled(&self) -> bool;
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+    /// Downcast hook: the installed sink as a [`TraceSink`], if it is one.
+    fn as_trace(&self) -> Option<&TraceSink> {
+        None
+    }
+}
+
+/// The inert default sink: records nothing, reports `enabled() == false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// A bounded ring buffer of trace events.
+///
+/// Once `capacity` events are held, each new event overwrites the oldest
+/// — no reallocation ever happens past the cap, so tracing a saturated
+/// network cannot blow up memory. [`TraceSink::to_chrome_trace`] exports
+/// the retained window as Chrome trace-event JSON.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    ring: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// Creates a sink retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceSink { ring: Vec::with_capacity(capacity), capacity, head: 0, dropped: 0 }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events in chronological order (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring[self.head..].iter().chain(self.ring[..self.head].iter())
+    }
+
+    /// Renders the retained events as Chrome trace-event JSON
+    /// (`{"traceEvents": [...]}`): `ph: "X"` slices of one cycle for the
+    /// pipeline stages, `ph: "i"` instants for credits and layer gating,
+    /// `ts` in cycles, `pid` = router, `tid` = port. Loads directly in
+    /// Perfetto (ui.perfetto.dev) and `chrome://tracing`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(self.ring.len() * 96 + 256);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        // Metadata: name each router's process once.
+        let mut routers: Vec<usize> = self.events().map(|e| e.router.index()).collect();
+        routers.sort_unstable();
+        routers.dedup();
+        let mut first = true;
+        for r in routers {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{r},\"tid\":0,\
+                 \"args\":{{\"name\":\"router {r}\"}}}}"
+            ));
+        }
+        for e in self.events() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (name, cat) = (e.kind.name(), e.kind.category());
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+                e.cycle,
+                e.router.index(),
+                e.port.index()
+            ));
+            if e.kind.is_duration() {
+                out.push_str(",\"ph\":\"X\",\"dur\":1");
+            } else {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+            out.push_str(&format!(
+                ",\"args\":{{\"vc\":{},\"packet\":{},\"detail\":{}}}}}",
+                e.vc.index(),
+                e.packet,
+                e.detail
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl EventSink for TraceSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn as_trace(&self) -> Option<&TraceSink> {
+        Some(self)
+    }
+}
+
+/// Why a ready flit failed to advance this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Active VC blocked: the downstream buffer holds no credit.
+    NoCredit,
+    /// Head flit lost virtual-channel allocation to another requester.
+    VaLoss,
+    /// Flit was switch-eligible but lost SA1 or SA2 arbitration.
+    SaLoss,
+    /// Head flit's target output VC is owned by another in-flight packet.
+    RouteBusy,
+}
+
+/// Stall-cycle counters, attributed by cause.
+///
+/// `stalled` counts every (input VC, cycle) pair in which a ready flit
+/// failed to advance; the router attributes exactly one cause per stalled
+/// VC-cycle, so `no_credit + va_loss + sa_loss + route_busy == stalled`
+/// holds at all times, across window splits, deltas, and merges (the
+/// telemetry property tests assert it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallCounters {
+    /// Stalled VC-cycles with no downstream credit.
+    pub no_credit: u64,
+    /// Stalled VC-cycles lost to VA arbitration.
+    pub va_loss: u64,
+    /// Stalled VC-cycles lost to switch arbitration.
+    pub sa_loss: u64,
+    /// Stalled VC-cycles waiting for a busy output VC.
+    pub route_busy: u64,
+    /// Total stalled VC-cycles (sum of the four causes).
+    pub stalled: u64,
+}
+
+impl StallCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one stalled VC-cycle to `cause`.
+    #[inline]
+    pub fn record(&mut self, cause: StallCause) {
+        match cause {
+            StallCause::NoCredit => self.no_credit += 1,
+            StallCause::VaLoss => self.va_loss += 1,
+            StallCause::SaLoss => self.sa_loss += 1,
+            StallCause::RouteBusy => self.route_busy += 1,
+        }
+        self.stalled += 1;
+    }
+
+    /// Sum of the per-cause counters (must equal `stalled`).
+    pub fn cause_sum(&self) -> u64 {
+        self.no_credit + self.va_loss + self.sa_loss + self.route_busy
+    }
+
+    /// Element-wise difference `self - earlier` (window isolation).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &StallCounters) -> StallCounters {
+        StallCounters {
+            no_credit: self.no_credit - earlier.no_credit,
+            va_loss: self.va_loss - earlier.va_loss,
+            sa_loss: self.sa_loss - earlier.sa_loss,
+            route_busy: self.route_busy - earlier.route_busy,
+            stalled: self.stalled - earlier.stalled,
+        }
+    }
+
+    /// Element-wise accumulation (aggregating routers or windows).
+    pub fn merge(&mut self, other: &StallCounters) {
+        self.no_credit += other.no_credit;
+        self.va_loss += other.va_loss;
+        self.sa_loss += other.sa_loss;
+        self.route_busy += other.route_busy;
+        self.stalled += other.stalled;
+    }
+}
+
+/// Telemetry switches carried by [`crate::sim::SimConfig`].
+///
+/// Both default to `0` = disabled, which keeps the simulator on the
+/// [`NullSink`] zero-overhead path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetryConfig {
+    /// Close a [`MetricsWindow`] every this many cycles (0 disables
+    /// windowed metrics).
+    pub metrics_window: u64,
+    /// Install a [`TraceSink`] with this ring capacity (0 keeps the
+    /// [`NullSink`]).
+    pub trace_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully off (the default).
+    pub const fn disabled() -> Self {
+        TelemetryConfig { metrics_window: 0, trace_capacity: 0 }
+    }
+
+    /// Windowed metrics every `cycles` cycles, no event trace.
+    pub const fn windows(cycles: u64) -> Self {
+        TelemetryConfig { metrics_window: cycles, trace_capacity: 0 }
+    }
+}
+
+/// One router's metrics over one window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterWindowMetrics {
+    /// Router node index.
+    pub router: usize,
+    /// Grid column of the router (for heatmaps).
+    pub x: usize,
+    /// Grid row of the router.
+    pub y: usize,
+    /// Mean flits buffered at this router over the window.
+    pub occupancy_mean: f64,
+    /// Per-output-port utilisation: flits sent / window cycles (index 0
+    /// is the local ejection port).
+    pub link_util: Vec<f64>,
+    /// Stall cycles attributed at this router during the window.
+    pub stalls: StallCounters,
+    /// Per-layer duty cycle over the window: the fraction of switch
+    /// traversals in which each datapath layer was powered (1.0 for every
+    /// layer when shutdown never gated anything; empty when no flit
+    /// traversed).
+    pub layer_duty: Vec<f64>,
+    /// Flits sent out of this router (all ports) during the window.
+    pub flits_out: u64,
+}
+
+/// One closed metrics window: `[start_cycle, end_cycle)` across every
+/// router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsWindow {
+    /// Zero-based window index.
+    pub index: u64,
+    /// First cycle covered.
+    pub start_cycle: u64,
+    /// One past the last cycle covered.
+    pub end_cycle: u64,
+    /// Per-router metrics, indexed by node id.
+    pub routers: Vec<RouterWindowMetrics>,
+}
+
+impl MetricsWindow {
+    /// Stall counters summed over every router in the window.
+    pub fn stall_total(&self) -> StallCounters {
+        let mut t = StallCounters::new();
+        for r in &self.routers {
+            t.merge(&r.stalls);
+        }
+        t
+    }
+
+    /// Mean buffer occupancy over the routers (flits).
+    pub fn occupancy_mean(&self) -> f64 {
+        if self.routers.is_empty() {
+            return 0.0;
+        }
+        self.routers.iter().map(|r| r.occupancy_mean).sum::<f64>() / self.routers.len() as f64
+    }
+}
+
+/// Per-router cumulative snapshot the collector diffs windows against.
+#[derive(Debug, Clone, Default)]
+struct RouterSnapshot {
+    stalls: StallCounters,
+    port_flits_out: Vec<u64>,
+    layer_active: Vec<u64>,
+    layer_events: u64,
+}
+
+/// A live view of one router's cumulative telemetry counters, handed to
+/// the collector by the network each window boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterTelemetry<'a> {
+    /// Cumulative stall counters since construction.
+    pub stalls: StallCounters,
+    /// Cumulative flits sent per output port.
+    pub port_flits_out: &'a [u64],
+    /// Cumulative per-layer active switch-traversal counts.
+    pub layer_active: &'a [u64],
+    /// Cumulative switch traversals (the duty-cycle denominator).
+    pub layer_events: u64,
+}
+
+/// Accumulates per-cycle occupancy and closes [`MetricsWindow`]s on
+/// window boundaries. Owned by the network; purely observational.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    window: u64,
+    coords: Vec<(usize, usize)>,
+    occupancy: Vec<u64>,
+    last: Vec<RouterSnapshot>,
+    window_start: u64,
+    next_index: u64,
+    windows: Vec<MetricsWindow>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for `routers` routers at the given grid
+    /// coordinates, closing a window every `window` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64, coords: Vec<(usize, usize)>) -> Self {
+        assert!(window > 0, "metrics window must be positive");
+        let n = coords.len();
+        MetricsCollector {
+            window,
+            coords,
+            occupancy: vec![0; n],
+            last: vec![RouterSnapshot::default(); n],
+            window_start: 0,
+            next_index: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The configured window length in cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window
+    }
+
+    /// Adds one router's buffered-flit count for the current cycle.
+    #[inline]
+    pub fn record_occupancy(&mut self, router: usize, buffered: u64) {
+        self.occupancy[router] += buffered;
+    }
+
+    /// Called at the end of every cycle; closes a window when `cycle` is
+    /// the last cycle of one. `telemetry` yields the cumulative counters
+    /// of router `i`.
+    pub fn end_cycle<'a>(
+        &mut self,
+        cycle: u64,
+        mut telemetry: impl FnMut(usize) -> RouterTelemetry<'a>,
+    ) {
+        if (cycle + 1).saturating_sub(self.window_start) < self.window {
+            return;
+        }
+        let span = (cycle + 1) - self.window_start;
+        let mut routers = Vec::with_capacity(self.coords.len());
+        for i in 0..self.coords.len() {
+            let now = telemetry(i);
+            let last = &mut self.last[i];
+            if last.port_flits_out.is_empty() {
+                last.port_flits_out = vec![0; now.port_flits_out.len()];
+                last.layer_active = vec![0; now.layer_active.len()];
+            }
+            let link_util: Vec<f64> = now
+                .port_flits_out
+                .iter()
+                .zip(&last.port_flits_out)
+                .map(|(&n, &l)| (n - l) as f64 / span as f64)
+                .collect();
+            let events = now.layer_events - last.layer_events;
+            let layer_duty: Vec<f64> = if events == 0 {
+                Vec::new()
+            } else {
+                now.layer_active
+                    .iter()
+                    .zip(&last.layer_active)
+                    .map(|(&n, &l)| (n - l) as f64 / events as f64)
+                    .collect()
+            };
+            let flits_out: u64 =
+                now.port_flits_out.iter().zip(&last.port_flits_out).map(|(&n, &l)| n - l).sum();
+            routers.push(RouterWindowMetrics {
+                router: i,
+                x: self.coords[i].0,
+                y: self.coords[i].1,
+                occupancy_mean: self.occupancy[i] as f64 / span as f64,
+                link_util,
+                stalls: now.stalls.delta_since(&last.stalls),
+                layer_duty,
+                flits_out,
+            });
+            last.stalls = now.stalls;
+            last.port_flits_out.copy_from_slice(now.port_flits_out);
+            last.layer_active.copy_from_slice(now.layer_active);
+            last.layer_events = now.layer_events;
+            self.occupancy[i] = 0;
+        }
+        self.windows.push(MetricsWindow {
+            index: self.next_index,
+            start_cycle: self.window_start,
+            end_cycle: cycle + 1,
+            routers,
+        });
+        self.next_index += 1;
+        self.window_start = cycle + 1;
+    }
+
+    /// Windows closed so far.
+    pub fn windows(&self) -> &[MetricsWindow] {
+        &self.windows
+    }
+
+    /// Removes and returns the closed windows.
+    pub fn take_windows(&mut self) -> Vec<MetricsWindow> {
+        std::mem::take(&mut self.windows)
+    }
+}
+
+/// Renders sparse `(x, y, value)` cells as a text heatmap: one glyph per
+/// router, darker = higher, scaled to the maximum value. Rows print
+/// top-to-bottom with y increasing downwards; missing cells print as
+/// spaces. The `netview` subcommand of `trace_tool` uses this to show
+/// per-router congestion.
+pub fn render_heatmap(cells: &[(usize, usize, f64)]) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    if cells.is_empty() {
+        return String::new();
+    }
+    let width = cells.iter().map(|c| c.0).max().unwrap_or(0) + 1;
+    let height = cells.iter().map(|c| c.1).max().unwrap_or(0) + 1;
+    let max = cells.iter().map(|c| c.2).fold(0.0_f64, f64::max);
+    let mut grid = vec![vec![None; width]; height];
+    for &(x, y, v) in cells {
+        grid[y][x] = Some(v);
+    }
+    let mut out = String::with_capacity(height * (width + 1));
+    for row in &grid {
+        for cell in row {
+            match cell {
+                None => out.push(' '),
+                Some(v) => {
+                    let idx = if max <= 0.0 {
+                        0
+                    } else {
+                        (((v / max) * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
+                    };
+                    out.push(RAMP[idx] as char);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            router: NodeId(3),
+            port: PortId(1),
+            vc: VcId(0),
+            kind,
+            packet: 42,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(ev(0, TraceEventKind::BufferWrite)); // no-op, no panic
+        assert!(s.as_trace().is_none());
+    }
+
+    #[test]
+    fn trace_sink_retains_in_order() {
+        let mut s = TraceSink::new(8);
+        for c in 0..5 {
+            s.record(ev(c, TraceEventKind::SwitchTraversal));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.dropped(), 0);
+        let cycles: Vec<u64> = s.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trace_ring_drops_oldest_without_realloc() {
+        let mut s = TraceSink::new(4);
+        for c in 0..4 {
+            s.record(ev(c, TraceEventKind::SwitchAlloc));
+        }
+        let cap_before = s.ring.capacity();
+        for c in 4..11 {
+            s.record(ev(c, TraceEventKind::SwitchAlloc));
+        }
+        assert_eq!(s.len(), 4, "ring never exceeds its cap");
+        assert_eq!(s.ring.capacity(), cap_before, "no reallocation past the cap");
+        assert_eq!(s.dropped(), 7);
+        let cycles: Vec<u64> = s.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9, 10], "oldest events dropped first");
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_shape() {
+        let mut s = TraceSink::new(16);
+        s.record(ev(5, TraceEventKind::RouteCompute));
+        s.record(ev(6, TraceEventKind::CreditReturn));
+        let json = s.to_chrome_trace();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"RC\""));
+        assert!(json.contains("\"ph\":\"X\""), "stages render as duration slices");
+        assert!(json.contains("\"ph\":\"i\""), "credits render as instants");
+        assert!(json.contains("\"pid\":3"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"process_name\""));
+        // Must round-trip through a JSON parser.
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.field("traceEvents").as_array().expect("array");
+        assert_eq!(events.len(), 3, "one metadata record plus two events");
+    }
+
+    #[test]
+    fn stall_counters_sum_invariant() {
+        let mut s = StallCounters::new();
+        s.record(StallCause::NoCredit);
+        s.record(StallCause::VaLoss);
+        s.record(StallCause::SaLoss);
+        s.record(StallCause::SaLoss);
+        s.record(StallCause::RouteBusy);
+        assert_eq!(s.stalled, 5);
+        assert_eq!(s.cause_sum(), s.stalled);
+        let snap = s;
+        s.record(StallCause::NoCredit);
+        let d = s.delta_since(&snap);
+        assert_eq!(d.stalled, 1);
+        assert_eq!(d.cause_sum(), d.stalled);
+        let mut m = StallCounters::new();
+        m.merge(&s);
+        m.merge(&d);
+        assert_eq!(m.cause_sum(), m.stalled);
+    }
+
+    #[test]
+    fn collector_closes_windows_and_resets() {
+        let mut c = MetricsCollector::new(10, vec![(0, 0), (1, 0)]);
+        let mut stalls = StallCounters::new();
+        let flits = [vec![0u64, 5], vec![0u64, 3]];
+        let layers = [vec![4u64, 2], vec![3u64, 3]];
+        for cycle in 0..25 {
+            c.record_occupancy(0, 2);
+            c.record_occupancy(1, 4);
+            if cycle == 3 {
+                stalls.record(StallCause::SaLoss);
+            }
+            let s = stalls;
+            c.end_cycle(cycle, |i| RouterTelemetry {
+                stalls: if i == 0 { s } else { StallCounters::new() },
+                port_flits_out: &flits[i],
+                layer_active: &layers[i],
+                layer_events: 4,
+            });
+        }
+        assert_eq!(c.windows().len(), 2, "cycles 0..20 close two windows");
+        let w0 = &c.windows()[0];
+        assert_eq!((w0.start_cycle, w0.end_cycle), (0, 10));
+        assert!((w0.routers[0].occupancy_mean - 2.0).abs() < 1e-12);
+        assert!((w0.routers[1].occupancy_mean - 4.0).abs() < 1e-12);
+        assert_eq!(w0.stall_total().stalled, 1);
+        assert!((w0.routers[0].link_util[1] - 0.5).abs() < 1e-12);
+        assert!((w0.routers[0].layer_duty[0] - 1.0).abs() < 1e-12);
+        assert!((w0.routers[0].layer_duty[1] - 0.5).abs() < 1e-12);
+        let w1 = &c.windows()[1];
+        assert_eq!((w1.start_cycle, w1.end_cycle), (10, 20));
+        assert_eq!(w1.stall_total().stalled, 0, "window deltas reset");
+        assert_eq!(w1.routers[0].flits_out, 0, "cumulative counts are diffed");
+    }
+
+    #[test]
+    fn heatmap_renders_grid() {
+        let cells = vec![(0, 0, 0.0), (1, 0, 5.0), (0, 1, 10.0), (1, 1, 2.5)];
+        let map = render_heatmap(&cells);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        assert_eq!(&map[..1], " ", "zero renders as blank");
+        assert_eq!(lines[1].chars().next(), Some('@'), "max renders darkest");
+        assert!(render_heatmap(&[]).is_empty());
+        // All-zero input must not divide by zero.
+        let flat = render_heatmap(&[(0, 0, 0.0), (1, 0, 0.0)]);
+        assert_eq!(flat, "  \n");
+    }
+}

@@ -129,7 +129,12 @@ mod simulator_conservation {
         ) {
             let cfg = NetworkConfig::builder().build();
             // Tiny drain window so high rates genuinely strand packets.
-            let window = SimConfig { warmup_cycles: 100, measure_cycles: 500, drain_cycles: 300 };
+            let window = SimConfig {
+                warmup_cycles: 100,
+                measure_cycles: 500,
+                drain_cycles: 300,
+                ..SimConfig::default()
+            };
             let mut sim = Simulator::new(Box::new(Mesh2D::new(4, 4)), cfg, window);
             let report = sim.run(Box::new(UniformRandom::new(rate_pct as f64 / 100.0, 5, seed)));
 

@@ -19,7 +19,12 @@ fn main() {
     // bursty workload at two duty cycles.
     let power_at = |p_on: f64, p_off: f64| {
         let w = BurstyUniform::new(0.5, 5, p_on, p_off, EXPERIMENT_SEED);
-        let cfg = SimConfig { warmup_cycles: 300, measure_cycles: 2_000, drain_cycles: 8_000 };
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 2_000,
+            drain_cycles: 8_000,
+            ..SimConfig::default()
+        };
         run_arch(arch, false, Box::new(w), cfg).avg_power_w
     };
     let p_busy = power_at(0.05, 0.005); // ~91% duty

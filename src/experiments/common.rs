@@ -53,12 +53,22 @@ pub fn run_custom(
 
 /// The default measurement windows for the full experiments.
 pub fn default_sim_config() -> SimConfig {
-    SimConfig { warmup_cycles: 2_000, measure_cycles: 10_000, drain_cycles: 30_000 }
+    SimConfig {
+        warmup_cycles: 2_000,
+        measure_cycles: 10_000,
+        drain_cycles: 30_000,
+        ..SimConfig::default()
+    }
 }
 
 /// A fast configuration for tests and micro-benches.
 pub fn quick_sim_config() -> SimConfig {
-    SimConfig { warmup_cycles: 300, measure_cycles: 1_500, drain_cycles: 6_000 }
+    SimConfig {
+        warmup_cycles: 300,
+        measure_cycles: 1_500,
+        drain_cycles: 6_000,
+        ..SimConfig::default()
+    }
 }
 
 /// One sample of a uniform-random sweep.

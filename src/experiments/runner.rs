@@ -27,6 +27,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mira_noc::stats::{LatencyHistogram, LatencyStats};
+use mira_noc::telemetry::StallCounters;
 use serde::Serialize;
 
 use crate::experiments::common::{RunResult, EXPERIMENT_SEED};
@@ -128,7 +129,12 @@ impl RunBatch {
 
 /// Machine-readable summary of one batch (emitted under `"runner"` in
 /// the benches' `--json` output).
-#[derive(Debug, Clone, Serialize)]
+///
+/// `Serialize` is implemented by hand (not derived) so the `windows`
+/// time-series is omitted entirely when no point ran with metrics
+/// windows enabled — the default-path JSON stays byte-identical to
+/// pre-telemetry output.
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Worker threads used.
     pub jobs: usize,
@@ -155,6 +161,92 @@ pub struct RunSummary {
     pub agg_latency_p99: Option<u64>,
     /// Per-point label, seed, timing and headline stats.
     pub point_details: Vec<PointSummary>,
+    /// Windowed-metrics time series aggregated across points, empty
+    /// unless points ran with `TelemetryConfig::metrics_window` set.
+    pub windows: Vec<WindowAggregate>,
+}
+
+/// One metrics window aggregated over every point that produced it
+/// (grouped by window index).
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowAggregate {
+    /// Window index (windows with the same index across points are
+    /// merged).
+    pub index: u64,
+    /// First cycle covered (from the first contributing point).
+    pub start_cycle: u64,
+    /// One past the last cycle covered.
+    pub end_cycle: u64,
+    /// Points contributing to this window.
+    pub points: usize,
+    /// Mean per-router buffer occupancy (flits), averaged over points.
+    pub occupancy_mean: f64,
+    /// Stall cycles summed over all routers of all contributing points.
+    pub stalls: StallCounters,
+}
+
+/// Groups per-point metrics windows by index into batch-level
+/// aggregates.
+fn aggregate_windows(outcomes: &[PointOutcome]) -> Vec<WindowAggregate> {
+    let mut aggs: Vec<WindowAggregate> = Vec::new();
+    for o in outcomes {
+        for w in &o.result.report.windows {
+            let idx = w.index as usize;
+            if aggs.len() <= idx {
+                let mut next = aggs.len() as u64;
+                aggs.resize_with(idx + 1, || {
+                    let a = WindowAggregate {
+                        index: next,
+                        start_cycle: w.start_cycle,
+                        end_cycle: w.end_cycle,
+                        points: 0,
+                        occupancy_mean: 0.0,
+                        stalls: StallCounters::new(),
+                    };
+                    next += 1;
+                    a
+                });
+            }
+            let agg = &mut aggs[idx];
+            agg.index = w.index;
+            if agg.points == 0 {
+                agg.start_cycle = w.start_cycle;
+                agg.end_cycle = w.end_cycle;
+            }
+            agg.points += 1;
+            agg.occupancy_mean += w.occupancy_mean();
+            agg.stalls.merge(&w.stall_total());
+        }
+    }
+    for agg in &mut aggs {
+        if agg.points > 0 {
+            agg.occupancy_mean /= agg.points as f64;
+        }
+    }
+    aggs
+}
+
+impl Serialize for RunSummary {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("jobs".to_string(), self.jobs.to_value()),
+            ("points".to_string(), self.points.to_value()),
+            ("wall_ms".to_string(), self.wall_ms.to_value()),
+            ("busy_ms".to_string(), self.busy_ms.to_value()),
+            ("cycles_simulated".to_string(), self.cycles_simulated.to_value()),
+            ("packets_ejected".to_string(), self.packets_ejected.to_value()),
+            ("saturated_points".to_string(), self.saturated_points.to_value()),
+            ("agg_latency_mean".to_string(), self.agg_latency_mean.to_value()),
+            ("agg_latency_p50".to_string(), self.agg_latency_p50.to_value()),
+            ("agg_latency_p95".to_string(), self.agg_latency_p95.to_value()),
+            ("agg_latency_p99".to_string(), self.agg_latency_p99.to_value()),
+            ("point_details".to_string(), self.point_details.to_value()),
+        ];
+        if !self.windows.is_empty() {
+            fields.push(("windows".to_string(), self.windows.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Per-point entry of a [`RunSummary`].
@@ -209,6 +301,7 @@ impl RunSummary {
                     saturated: o.result.report.saturated,
                 })
                 .collect(),
+            windows: aggregate_windows(outcomes),
         }
     }
 

@@ -1,0 +1,131 @@
+//! Golden determinism guard for the telemetry PR (DESIGN.md §11).
+//!
+//! The telemetry subsystem is purely observational: with the default
+//! `NullSink` the simulator must produce bit-identical results to the
+//! pre-telemetry build. The `EXPECTED` bits below were captured on the
+//! commit immediately before telemetry landed, with the exact recipe in
+//! [`run_point`]; any drift means an instrumentation hook leaked into
+//! the simulated behaviour.
+
+use mira::arch::Arch;
+use mira::experiments::common::{run_arch, EXPERIMENT_SEED};
+use mira::experiments::quick_sim_config;
+use mira_noc::telemetry::TelemetryConfig;
+use mira_noc::traffic::{PayloadProfile, UniformRandom};
+use mira_noc::SimConfig;
+
+/// One pinned run: architecture, load, short-flit fraction, and the
+/// pre-telemetry golden observables (floats as IEEE-754 bit patterns).
+struct Golden {
+    name: &'static str,
+    arch: Arch,
+    rate: f64,
+    short: f64,
+    lat_bits: u64,
+    hops_bits: u64,
+    thr_bits: u64,
+    pwr_bits: u64,
+    created: u64,
+    ejected: u64,
+    xbar_raw: u64,
+}
+
+const EXPECTED: [Golden; 3] = [
+    Golden {
+        name: "2db_ur010",
+        arch: Arch::TwoDB,
+        rate: 0.10,
+        short: 0.0,
+        lat_bits: 0x4041e678108f868e,
+        hops_bits: 0x40100dccf0211f0d,
+        thr_bits: 0x3fba3b0342fa28cf,
+        pwr_bits: 0x40100571615c4461,
+        created: 1113,
+        ejected: 1113,
+        xbar_raw: 28226,
+    },
+    Golden {
+        name: "3dm_ur010",
+        arch: Arch::ThreeDM,
+        rate: 0.10,
+        short: 0.0,
+        lat_bits: 0x403d0882a5257dd1,
+        hops_bits: 0x40100dccf0211f0d,
+        thr_bits: 0x3fba45ef76dc1f40,
+        pwr_bits: 0x40055cd8e2c5b9fe,
+        created: 1113,
+        ejected: 1113,
+        xbar_raw: 28183,
+    },
+    Golden {
+        name: "3dme_ur020_short",
+        arch: Arch::ThreeDME,
+        rate: 0.20,
+        short: 0.5,
+        lat_bits: 0x40378e7b54166c61,
+        hops_bits: 0x4003f2eb71fc4345,
+        thr_bits: 0x3fc9e3064bb33ce9,
+        pwr_bits: 0x4009fd493a040d1d,
+        created: 2192,
+        ejected: 2192,
+        xbar_raw: 38666,
+    },
+];
+
+/// Replays one golden point. `short > 0` enables the short-flit payload
+/// profile and layer shutdown, matching how the power experiments drive
+/// the 3D architectures.
+fn run_point(g: &Golden, sim_cfg: SimConfig) -> mira::experiments::common::RunResult {
+    let mut w = UniformRandom::new(g.rate, 5, EXPERIMENT_SEED);
+    if g.short > 0.0 {
+        w = w.with_payload(PayloadProfile::with_short_fraction(4, g.short));
+    }
+    run_arch(g.arch, g.short > 0.0, Box::new(w), sim_cfg)
+}
+
+fn check(g: &Golden, r: &mira::experiments::common::RunResult, label: &str) {
+    assert_eq!(
+        r.report.avg_latency.to_bits(),
+        g.lat_bits,
+        "{}/{label}: avg_latency drifted ({} != {})",
+        g.name,
+        r.report.avg_latency,
+        f64::from_bits(g.lat_bits),
+    );
+    assert_eq!(r.report.avg_hops.to_bits(), g.hops_bits, "{}/{label}: avg_hops", g.name);
+    assert_eq!(r.report.throughput.to_bits(), g.thr_bits, "{}/{label}: throughput", g.name);
+    assert_eq!(r.avg_power_w.to_bits(), g.pwr_bits, "{}/{label}: avg_power_w", g.name);
+    assert_eq!(r.report.packets_created, g.created, "{}/{label}: packets_created", g.name);
+    assert_eq!(r.report.packets_ejected, g.ejected, "{}/{label}: packets_ejected", g.name);
+    assert_eq!(
+        r.report.counters.xbar_traversals_raw, g.xbar_raw,
+        "{}/{label}: xbar_traversals_raw",
+        g.name
+    );
+}
+
+/// Default path (NullSink, no metrics windows) reproduces the
+/// pre-telemetry golden bits exactly.
+#[test]
+fn null_sink_is_bit_identical_to_pre_telemetry_build() {
+    for g in &EXPECTED {
+        let r = run_point(g, quick_sim_config());
+        check(g, &r, "null-sink");
+    }
+}
+
+/// Turning on metrics windows and event tracing changes nothing about
+/// the simulated behaviour — same golden bits, counters included.
+#[test]
+fn enabled_telemetry_is_bit_identical_to_disabled() {
+    for g in &EXPECTED {
+        let traced_cfg = quick_sim_config()
+            .with_telemetry(TelemetryConfig { metrics_window: 500, trace_capacity: 1 << 14 });
+        let traced = run_point(g, traced_cfg);
+        check(g, &traced, "traced");
+        assert!(!traced.report.windows.is_empty(), "{}: windows were collected", g.name);
+        let plain = run_point(g, quick_sim_config());
+        assert_eq!(plain.report.counters, traced.report.counters, "{}: counters", g.name);
+        assert_eq!(plain.pdp.to_bits(), traced.pdp.to_bits(), "{}: pdp", g.name);
+    }
+}

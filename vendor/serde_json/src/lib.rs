@@ -82,15 +82,9 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
             }
         }
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) => write_seq(
-            out,
-            items.iter(),
-            items.len(),
-            indent,
-            depth,
-            ('[', ']'),
-            write_value,
-        ),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), items.len(), indent, depth, ('[', ']'), write_value)
+        }
         Value::Object(pairs) => write_seq(
             out,
             pairs.iter(),
