@@ -5,7 +5,9 @@
 use std::time::Instant;
 
 use mira::experiments::common::sweep_ur;
-use mira::experiments::{ablations, energy, latency, patterns, power, scorecard, tables, thermal};
+use mira::experiments::{
+    ablations, energy, faults, latency, patterns, power, scorecard, tables, thermal,
+};
 use mira::traffic::workloads::Application;
 use mira_bench::{rates_nuca, rates_ur, Cli};
 
@@ -50,6 +52,7 @@ fn main() {
     println!("{}", ablations::ablate_buffers(0.15, sim).to_text());
     println!("{}", ablations::ablate_routing(0.15, sim).to_text());
     println!("{}", latency::tail_latency(0.15, sim).to_text());
+    println!("{}", faults::fault_sweep(&faults::fault_rates_ppm(cli.quick), sim).to_text());
 
     let claims = scorecard::run_scorecard(sim, trace_cycles);
     println!("{}", scorecard::scorecard_table(&claims).to_text());

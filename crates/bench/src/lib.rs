@@ -28,7 +28,9 @@ use mira::noc::traffic::{PayloadProfile, UniformRandom};
 pub use mira::experiments::runner::{RunSummary, Runner};
 
 const USAGE: &str = "usage: <bin> [--quick] [--json] [--metrics-window <cycles>] \
-                     [--trace-out <path>] [--metrics-out <path>]";
+                     [--trace-out <path>] [--metrics-out <path>] \
+                     [--fault-rate <fraction>] [--kill-link <node:port[@cycle]>] \
+                     [--fault-seed <seed>]";
 
 /// Shared CLI handling for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +47,25 @@ pub struct Cli {
     /// Write the representative run's metrics windows as JSON
     /// (`--metrics-out`).
     pub metrics_out: Option<&'static str>,
+    /// Transient link-fault rate in ppm of flit deliveries, parsed from
+    /// the `--fault-rate <fraction>` flag (`0.001` → 1000 ppm).
+    pub fault_rate_ppm: Option<u32>,
+    /// Permanent link kill as `(node, out-port, cycle)`, from
+    /// `--kill-link node:port[@cycle]` (cycle defaults to 0).
+    pub kill_link: Option<(usize, usize, u64)>,
+    /// Seed for the fault plan (`--fault-seed`); defaults to the fault
+    /// subsystem's own default when unset.
+    pub fault_seed: Option<u64>,
+}
+
+/// Parses `node:port[@cycle]` (e.g. `7:3@250`) for `--kill-link`.
+fn parse_kill_link(spec: &str) -> Option<(usize, usize, u64)> {
+    let (link, cycle) = match spec.split_once('@') {
+        Some((l, c)) => (l, c.parse::<u64>().ok()?),
+        None => (spec, 0),
+    };
+    let (node, port) = link.split_once(':')?;
+    Some((node.parse().ok()?, port.parse().ok()?, cycle))
 }
 
 /// Leaks a flag value so [`Cli`] can stay `Copy` (flags are parsed once
@@ -85,6 +106,32 @@ impl Cli {
                         args.next().unwrap_or_else(|| usage_error("--metrics-out needs a path"));
                     cli.metrics_out = Some(leak(v));
                 }
+                "--fault-rate" => {
+                    let v =
+                        args.next().unwrap_or_else(|| usage_error("--fault-rate needs a fraction"));
+                    match v.parse::<f64>() {
+                        Ok(f) if (0.0..1.0).contains(&f) => {
+                            cli.fault_rate_ppm = Some((f * 1_000_000.0).round() as u32);
+                        }
+                        _ => usage_error(&format!("invalid --fault-rate value {v:?}")),
+                    }
+                }
+                "--kill-link" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--kill-link needs node:port[@cycle]"));
+                    match parse_kill_link(&v) {
+                        Some(kill) => cli.kill_link = Some(kill),
+                        None => usage_error(&format!("invalid --kill-link spec {v:?}")),
+                    }
+                }
+                "--fault-seed" => {
+                    let v = args.next().unwrap_or_else(|| usage_error("--fault-seed needs a seed"));
+                    match v.parse::<u64>() {
+                        Ok(seed) => cli.fault_seed = Some(seed),
+                        _ => usage_error(&format!("invalid --fault-seed value {v:?}")),
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
@@ -108,10 +155,36 @@ impl Cli {
                 ..mira::noc::sim::SimConfig::default()
             }
         };
-        match self.metrics_window {
+        let base = match self.metrics_window {
             Some(w) => base.with_telemetry(TelemetryConfig::windows(w)),
             None => base,
+        };
+        match self.fault_config() {
+            Some(faults) => base.with_faults(faults),
+            None => base,
         }
+    }
+
+    /// The fault configuration requested by `--fault-rate` /
+    /// `--kill-link` / `--fault-seed`, or `None` when no fault flag was
+    /// given (so the default path stays bit-identical to the fault-free
+    /// simulator).
+    pub fn fault_config(&self) -> Option<mira::noc::fault::FaultConfig> {
+        use mira::noc::fault::FaultConfig;
+        if self.fault_rate_ppm.is_none() && self.kill_link.is_none() {
+            return None;
+        }
+        let mut faults = FaultConfig::disabled();
+        if let Some(ppm) = self.fault_rate_ppm {
+            faults = faults.with_transient(ppm);
+        }
+        if let Some((node, port, cycle)) = self.kill_link {
+            faults = faults.with_kill(node, port, cycle);
+        }
+        if let Some(seed) = self.fault_seed {
+            faults = faults.with_seed(seed);
+        }
+        Some(faults)
     }
 
     /// Trace length (cycles) for trace-driven experiments.

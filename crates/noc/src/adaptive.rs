@@ -11,6 +11,14 @@
 //! [`AdaptiveMesh2D`] wraps [`Mesh2D`] and overrides
 //! [`Topology::route_candidates`]; everything else (links, lengths,
 //! coordinates) is inherited.
+//!
+//! Under fault-aware routing the candidate set additionally passes
+//! through [`apply_fault_mask`](crate::routing::apply_fault_mask) in the
+//! router's RC stage: dead output ports are filtered out *before* the
+//! credit-based selection, so an adaptive router sheds a failed link by
+//! simply never picking it — the surviving productive candidates keep
+//! the route minimal and turn-legal, no detour needed (unlike
+//! deterministic X-Y, which has a single candidate and must detour).
 
 use crate::ids::{NodeId, PortId};
 use crate::routing::{dim_step, DimStep};
@@ -235,6 +243,36 @@ mod tests {
                 let has_neg = c.contains(&port::WEST) || c.contains(&port::SOUTH);
                 let has_pos = c.contains(&port::EAST) || c.contains(&port::NORTH);
                 assert!(!(has_neg && has_pos), "negative and positive mixed: {c:?}");
+            }
+        }
+    }
+
+    /// Fault masking composes with adaptivity: killing the preferred
+    /// candidate leaves a productive, turn-legal alternative wherever
+    /// the model offered more than one port — graceful degradation
+    /// without a detour.
+    #[test]
+    fn fault_mask_leaves_productive_candidates() {
+        use crate::routing::apply_fault_mask;
+        for model in TurnModel::ALL {
+            let topo = mesh(model);
+            for s in 0..36 {
+                for d in 0..36 {
+                    let (src, dst) = (NodeId(s), NodeId(d));
+                    let mut c = topo.route_candidates(src, dst);
+                    if c.len() < 2 {
+                        continue;
+                    }
+                    let mut dead = vec![false; topo.radix()];
+                    dead[c[0].index()] = true;
+                    assert!(apply_fault_mask(&mut c, &dead), "{model}: mask must report removal");
+                    assert!(!c.is_empty());
+                    let before = topo.min_hops(src, dst);
+                    for p in c {
+                        let next = topo.neighbor(src, p).expect("candidate on-mesh");
+                        assert_eq!(topo.min_hops(next, dst), before - 1, "{model}: unproductive");
+                    }
+                }
             }
         }
     }

@@ -4,9 +4,15 @@ use std::error::Error;
 use std::fmt;
 
 use crate::ids::{NodeId, PortId, VcId};
+use crate::packet::PacketId;
 
 /// Errors produced while configuring or running a simulation.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, so future error growth (as with the fault variants
+/// below) is not a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum NocError {
     /// A configuration parameter was outside its valid range.
     InvalidConfig {
@@ -37,6 +43,26 @@ pub enum NocError {
         /// The destination the flit was trying to reach.
         dest: NodeId,
     },
+    /// A fault-plan entry addressed a link that does not exist, or a
+    /// link-level hardware fault was reported at this endpoint.
+    LinkFault {
+        /// Upstream router of the faulty link.
+        node: NodeId,
+        /// Output port whose link is at fault.
+        port: PortId,
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// A corrupted flit exhausted its retransmission budget; the owning
+    /// packet was dropped.
+    RetryExhausted {
+        /// Upstream router of the link on which retries exhausted.
+        node: NodeId,
+        /// Output port of that link.
+        port: PortId,
+        /// The dropped packet.
+        packet: PacketId,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -52,6 +78,16 @@ impl fmt::Display for NocError {
             }
             NocError::RoutingFailure { node, dest } => {
                 write!(f, "routing failure at {node} towards {dest}")
+            }
+            NocError::LinkFault { node, port, reason } => {
+                write!(f, "link fault at {node} {port}: {reason}")
+            }
+            NocError::RetryExhausted { node, port, packet } => {
+                write!(
+                    f,
+                    "retry budget exhausted on link at {node} {port}; dropped packet {}",
+                    packet.0
+                )
             }
         }
     }
@@ -70,6 +106,17 @@ mod tests {
         assert!(s.contains("n3"));
         assert!(s.contains("p1"));
         assert!(s.contains("v0"));
+    }
+
+    #[test]
+    fn fault_variants_display_is_informative() {
+        let e = NocError::LinkFault { node: NodeId(2), port: PortId(1), reason: "via sheared" };
+        let s = e.to_string();
+        assert!(s.contains("n2") && s.contains("p1") && s.contains("via sheared"), "{s}");
+
+        let e = NocError::RetryExhausted { node: NodeId(4), port: PortId(3), packet: PacketId(99) };
+        let s = e.to_string();
+        assert!(s.contains("n4") && s.contains("p3") && s.contains("99"), "{s}");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   stages merge into a single cycle when wire lengths permit
 //!   ([`config::PipelineConfig`]),
 //! * **express channels** — Dally-style multi-hop links on a 2D mesh
-//!   ([`topology::ExpressMesh2D`]).
+//!   ([`topology::ExpressMesh2D`]),
+//! * **fault injection and recovery** — deterministic seed-driven link
+//!   faults with per-slice parity detection, go-back-N link-level
+//!   retransmission, and fault-aware rerouting ([`fault`]).
 //!
 //! The simulator is deterministic: identical configurations and seeds
 //! produce identical results, cycle for cycle.
@@ -45,6 +48,7 @@ pub mod arbiter;
 pub mod buffer;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod flit;
 pub mod ids;
 pub mod layers;
@@ -63,6 +67,7 @@ pub mod vc;
 pub use adaptive::{AdaptiveMesh2D, TurnModel};
 pub use config::{NetworkConfig, PipelineConfig, RouterConfig};
 pub use error::NocError;
+pub use fault::{FaultConfig, FaultCounters, FaultPlan, LinkKill, Verdict};
 pub use flit::{Flit, FlitData, FlitKind};
 pub use ids::{NodeId, PortId, VcId};
 pub use packet::{Packet, PacketClass, PacketId};

@@ -15,14 +15,30 @@ use std::collections::VecDeque;
 
 use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
+use crate::packet::PacketId;
 
 /// A flit in flight on a link.
+///
+/// # Invariant
+///
+/// `deliver_at` is always computed through [`Link::delivery_cycle`],
+/// which checks the `cycle + 1 + extra` arithmetic against `u64`
+/// overflow. Simulations run for at most a few billion cycles, so the
+/// counter stays far below `u64::MAX`; the checked arithmetic turns a
+/// hypothetical wrap (which would silently violate the FIFO ordering
+/// below) into a panic at the injection seam.
 #[derive(Debug, Clone)]
 pub struct FlitInFlight {
     /// Cycle at which the flit becomes visible to the downstream router.
     pub deliver_at: u64,
     /// Downstream input VC the flit was allocated to.
     pub vc: VcId,
+    /// Link-level sequence number stamped by the sender-side
+    /// retransmission logic (0 when ARQ is off).
+    pub seq: u64,
+    /// Sender-computed slice parity ([`crate::flit::FlitData::slice_parity`]);
+    /// only meaningful when ARQ is on.
+    pub parity: u8,
     /// The flit itself.
     pub flit: Flit,
 }
@@ -36,6 +52,37 @@ pub struct CreditInFlight {
     pub vc: VcId,
 }
 
+/// One unacknowledged flit held by the sender-side retransmit buffer.
+#[derive(Debug, Clone)]
+struct ArqEntry {
+    seq: u64,
+    vc: VcId,
+    flit: Flit,
+}
+
+/// Sender-side go-back-N retransmission state for one link.
+///
+/// Every flit sent while ARQ is on gets a link-level sequence number
+/// and a pristine copy in the `window` until the receiver acknowledges
+/// it (clean delivery). On a parity NACK the physical wire is purged
+/// and, after a bounded exponential backoff, the *whole* window is
+/// resent in order — which is what keeps the wire a FIFO and makes
+/// duplicates impossible (each sequence number is on the wire at most
+/// once).
+#[derive(Debug, Clone)]
+struct LinkArq {
+    window: VecDeque<ArqEntry>,
+    next_seq: u64,
+    /// When `Some`, a resend is scheduled: new sends go to the window
+    /// only (they ride the resend), so the wire never reorders.
+    resend_at: Option<u64>,
+    /// Consecutive failed attempts for the current window head; reset
+    /// on acknowledged progress.
+    retries: u32,
+    /// Full sender-to-receiver latency in cycles (`1 + LT cycles`).
+    latency: u64,
+}
+
 /// One unidirectional link between two router ports.
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -47,25 +94,184 @@ pub struct Link {
     pub length_mm: f64,
     flits: VecDeque<FlitInFlight>,
     credits: VecDeque<CreditInFlight>,
+    /// Retransmission state, boxed and absent unless fault injection
+    /// enables it — the default path carries only a null pointer.
+    arq: Option<Box<LinkArq>>,
 }
 
 impl Link {
     /// Creates an empty link.
     pub fn new(from: (NodeId, PortId), to: (NodeId, PortId), length_mm: f64) -> Self {
-        Link { from, to, length_mm, flits: VecDeque::new(), credits: VecDeque::new() }
+        Link { from, to, length_mm, flits: VecDeque::new(), credits: VecDeque::new(), arq: None }
+    }
+
+    /// Computes the delivery cycle `cycle + 1 + extra`, panicking on
+    /// `u64` overflow instead of silently wrapping.
+    ///
+    /// A wrapped `deliver_at` would schedule a flit in the distant past
+    /// and corrupt the FIFO invariant of [`Link::send_flit`]; every
+    /// scheduled delivery (switch traversal and ARQ resend alike) goes
+    /// through this check.
+    pub fn delivery_cycle(cycle: u64, extra: u64) -> u64 {
+        cycle
+            .checked_add(1)
+            .and_then(|c| c.checked_add(extra))
+            .expect("cycle counter overflow: scheduled deliver_at would wrap")
+    }
+
+    /// Enables sender-side go-back-N retransmission with the given
+    /// sender-to-receiver latency in cycles (`1 + LT cycles`).
+    pub fn enable_arq(&mut self, latency: u64) {
+        self.arq = Some(Box::new(LinkArq {
+            window: VecDeque::new(),
+            next_seq: 0,
+            resend_at: None,
+            retries: 0,
+            latency,
+        }));
+    }
+
+    /// `true` when retransmission is enabled on this link.
+    pub fn arq_enabled(&self) -> bool {
+        self.arq.is_some()
     }
 
     /// Sends a flit downstream, to be delivered at `deliver_at`.
     ///
     /// Delivery times must be non-decreasing across calls (links are
     /// FIFOs); this holds by construction because the per-link latency is
-    /// constant and senders call this once per cycle at most.
+    /// constant and senders call this once per cycle at most. With ARQ
+    /// on, a NACK purges the wire before any resend is pushed, and new
+    /// sends during a pending resend go to the window only, so the
+    /// invariant survives retransmission too.
     pub fn send_flit(&mut self, flit: Flit, vc: VcId, deliver_at: u64) {
+        let (seq, parity) = match &mut self.arq {
+            None => (0, 0),
+            Some(a) => {
+                let seq = a.next_seq;
+                a.next_seq += 1;
+                let parity = flit.data.slice_parity();
+                a.window.push_back(ArqEntry { seq, vc, flit: flit.clone() });
+                if a.resend_at.is_some() {
+                    // A resend is scheduled: the wire was purged and
+                    // will be repopulated (including this flit) when
+                    // the backoff expires. Pushing now would deliver
+                    // this flit ahead of its predecessors.
+                    return;
+                }
+                (seq, parity)
+            }
+        };
         debug_assert!(
             self.flits.back().is_none_or(|f| f.deliver_at <= deliver_at),
             "link is not a FIFO"
         );
-        self.flits.push_back(FlitInFlight { deliver_at, vc, flit });
+        self.flits.push_back(FlitInFlight { deliver_at, vc, seq, parity, flit });
+    }
+
+    /// Cumulative acknowledgement: drops every retransmit-window entry
+    /// with sequence number `<= seq` (the receiver took the flit
+    /// cleanly) and resets the retry counter — progress was made.
+    pub fn arq_ack(&mut self, seq: u64) {
+        if let Some(a) = &mut self.arq {
+            while a.window.front().is_some_and(|e| e.seq <= seq) {
+                a.window.pop_front();
+            }
+            a.retries = 0;
+        }
+    }
+
+    /// Negative acknowledgement: the receiver detected corruption.
+    /// Purges the physical wire (go-back-N: everything after the bad
+    /// flit is dropped and will be resent in order) and schedules a
+    /// full-window resend after an exponential backoff capped at 64
+    /// cycles. Returns the consecutive-retry count for the current
+    /// window head.
+    pub fn arq_nack(&mut self, cycle: u64) -> u32 {
+        let a = self.arq.as_mut().expect("NACK on a link without ARQ");
+        self.flits.clear();
+        a.retries += 1;
+        let backoff = 1u64 << a.retries.min(6);
+        a.resend_at = Some(Link::delivery_cycle(cycle, backoff));
+        a.retries
+    }
+
+    /// Drops the packet owning the window head (retry budget
+    /// exhausted): removes every window entry of that packet and
+    /// returns the packet id plus the downstream VC of each removed
+    /// entry (the caller refluxes one credit per entry, because the
+    /// downstream buffer slots those flits reserved will never fill).
+    pub fn arq_drop_front_packet(&mut self) -> Option<(PacketId, Vec<VcId>)> {
+        let a = self.arq.as_mut()?;
+        let pid = a.window.front()?.flit.packet;
+        let mut vcs = Vec::new();
+        a.window.retain(|e| {
+            if e.flit.packet == pid {
+                vcs.push(e.vc);
+                false
+            } else {
+                true
+            }
+        });
+        a.retries = 0;
+        if a.window.is_empty() {
+            a.resend_at = None;
+        }
+        Some((pid, vcs))
+    }
+
+    /// Executes a due scheduled resend: pushes every window entry back
+    /// onto the wire in order. Returns the number of flits resent (0
+    /// when no resend was due).
+    pub fn arq_service(&mut self, cycle: u64) -> u64 {
+        let Some(a) = &mut self.arq else { return 0 };
+        if a.resend_at.is_none_or(|at| at > cycle) {
+            return 0;
+        }
+        a.resend_at = None;
+        debug_assert!(self.flits.is_empty(), "wire must be purged before a resend");
+        let deliver_at = Link::delivery_cycle(cycle, a.latency - 1);
+        for e in &a.window {
+            self.flits.push_back(FlitInFlight {
+                deliver_at,
+                vc: e.vc,
+                seq: e.seq,
+                parity: e.flit.data.slice_parity(),
+                flit: e.flit.clone(),
+            });
+        }
+        a.window.len() as u64
+    }
+
+    /// `true` while a resend is scheduled but not yet executed — the
+    /// window during which the upstream router pauses new grants
+    /// toward this link (surfaced as the `LinkFault` stall cause).
+    pub fn arq_resend_pending(&self) -> bool {
+        self.arq.as_ref().is_some_and(|a| a.resend_at.is_some())
+    }
+
+    /// Unacknowledged flits in the retransmit window.
+    pub fn arq_window_len(&self) -> usize {
+        self.arq.as_ref().map_or(0, |a| a.window.len())
+    }
+
+    /// Permanently kills the link: purges the wire and the retransmit
+    /// window, returning the `(packet, downstream VC)` of every lost
+    /// unacknowledged flit so the caller can account the drops. With
+    /// ARQ on, the window is a superset of the wire, so the returned
+    /// list covers every in-flight flit exactly once.
+    pub fn kill(&mut self) -> Vec<(PacketId, VcId)> {
+        let mut lost: Vec<(PacketId, VcId)> = Vec::new();
+        match &mut self.arq {
+            Some(a) => {
+                lost.extend(a.window.drain(..).map(|e| (e.flit.packet, e.vc)));
+                a.resend_at = None;
+                a.retries = 0;
+            }
+            None => lost.extend(self.flits.iter().map(|f| (f.flit.packet, f.vc))),
+        }
+        self.flits.clear();
+        lost
     }
 
     /// Sends a credit upstream, to be delivered at `deliver_at`.
@@ -91,14 +297,23 @@ impl Link {
         }
     }
 
-    /// Number of flits currently in flight.
+    /// Number of flits currently in flight. With ARQ on this is the
+    /// unacknowledged window (a superset of the wire: a NACK moves
+    /// flits off the wire but they remain logically in flight at the
+    /// sender's retransmit buffer until acknowledged).
     pub fn flits_in_flight(&self) -> usize {
-        self.flits.len()
+        match &self.arq {
+            Some(a) => a.window.len(),
+            None => self.flits.len(),
+        }
     }
 
-    /// Returns `true` if no flits or credits are in flight.
+    /// Returns `true` if no flits or credits are in flight and (with
+    /// ARQ) no flit awaits acknowledgement or resend.
     pub fn is_quiescent(&self) -> bool {
-        self.flits.is_empty() && self.credits.is_empty()
+        self.flits.is_empty()
+            && self.credits.is_empty()
+            && self.arq.as_ref().is_none_or(|a| a.window.is_empty() && a.resend_at.is_none())
     }
 }
 
@@ -166,5 +381,95 @@ mod tests {
         l.send_flit(f1, VcId(0), 3);
         assert_eq!(l.take_due_flit(3).unwrap().flit.seq, 0);
         assert_eq!(l.take_due_flit(3).unwrap().flit.seq, 1);
+    }
+
+    #[test]
+    fn delivery_cycle_is_checked() {
+        assert_eq!(Link::delivery_cycle(10, 1), 12);
+        assert_eq!(Link::delivery_cycle(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle counter overflow")]
+    fn delivery_cycle_overflow_panics() {
+        let _ = Link::delivery_cycle(u64::MAX - 1, 1);
+    }
+
+    #[test]
+    fn arq_stamps_sequence_numbers_and_parity() {
+        let mut l = mk_link();
+        l.enable_arq(1);
+        l.send_flit(mk_flit(), VcId(0), 1);
+        l.send_flit(mk_flit(), VcId(1), 2);
+        let a = l.take_due_flit(1).unwrap();
+        let b = l.take_due_flit(2).unwrap();
+        assert_eq!((a.seq, b.seq), (0, 1));
+        assert_eq!(a.parity, a.flit.data.slice_parity());
+        assert_eq!(l.arq_window_len(), 2, "unacked flits stay in the window");
+        l.arq_ack(0);
+        assert_eq!(l.arq_window_len(), 1);
+        l.arq_ack(1);
+        assert!(l.is_quiescent());
+    }
+
+    #[test]
+    fn nack_purges_wire_and_resend_replays_in_order() {
+        let mut l = mk_link();
+        l.enable_arq(1);
+        let mut f0 = mk_flit();
+        f0.seq = 10;
+        let mut f1 = mk_flit();
+        f1.seq = 11;
+        l.send_flit(f0, VcId(0), 5);
+        l.send_flit(f1, VcId(0), 6);
+        let retries = l.arq_nack(5);
+        assert_eq!(retries, 1);
+        assert!(l.take_due_flit(100).is_none(), "wire was purged");
+        assert!(l.arq_resend_pending());
+        assert!(!l.is_quiescent(), "unacked flits keep the link busy");
+        // A new send during backoff must not jump the queue.
+        let mut f2 = mk_flit();
+        f2.seq = 12;
+        l.send_flit(f2, VcId(0), 6);
+        assert!(l.take_due_flit(100).is_none(), "send during backoff rides the resend");
+        // Backoff = 1 << 1 = 2 cycles: due at cycle 5 + 1 + 2 = 8.
+        assert_eq!(l.arq_service(7), 0, "not due yet");
+        assert_eq!(l.arq_service(8), 3, "whole window resent");
+        let seqs: Vec<u64> =
+            std::iter::from_fn(|| l.take_due_flit(100)).map(|f| f.flit.seq as u64).collect();
+        assert_eq!(seqs, vec![10, 11, 12], "resend preserves order");
+    }
+
+    #[test]
+    fn drop_front_packet_strips_the_window() {
+        let mut l = mk_link();
+        l.enable_arq(1);
+        let mut f0 = mk_flit();
+        f0.packet = PacketId(1);
+        let mut other = mk_flit();
+        other.packet = PacketId(2);
+        let mut f1 = mk_flit();
+        f1.packet = PacketId(1);
+        l.send_flit(f0, VcId(0), 1);
+        l.send_flit(other, VcId(1), 2);
+        l.send_flit(f1, VcId(0), 3);
+        l.arq_nack(3);
+        let (pid, vcs) = l.arq_drop_front_packet().unwrap();
+        assert_eq!(pid, PacketId(1));
+        assert_eq!(vcs, vec![VcId(0), VcId(0)], "both entries of the packet stripped");
+        assert_eq!(l.arq_window_len(), 1, "the other packet survives");
+        assert!(l.arq_resend_pending(), "survivors still get resent");
+    }
+
+    #[test]
+    fn kill_returns_every_unacked_flit_once() {
+        let mut l = mk_link();
+        l.enable_arq(1);
+        l.send_flit(mk_flit(), VcId(0), 1);
+        l.send_flit(mk_flit(), VcId(1), 2);
+        let _ = l.take_due_flit(1); // one delivered but not acked
+        let lost = l.kill();
+        assert_eq!(lost.len(), 2, "window covers wire and delivered-unacked alike");
+        assert!(l.is_quiescent());
     }
 }

@@ -6,13 +6,15 @@
 //! local input buffers as space permits, routers advance one cycle, and
 //! ejected flits accumulate for the simulator to collect.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use crate::config::NetworkConfig;
+use crate::error::NocError;
+use crate::fault::{FaultConfig, FaultCounters, FaultPlan, Verdict};
 use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
 use crate::link::Link;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketId};
 use crate::router::{EjectedFlit, Router};
 use crate::stats::{ActivityCounters, RouterActivity};
 use crate::telemetry::{
@@ -37,6 +39,32 @@ impl Nic {
     }
 }
 
+/// Cap on [`NocError`] records retained by the fault machinery (the
+/// first few diagnose a run; unbounded growth would leak under long
+/// fault storms).
+const MAX_FAULT_ERRORS: usize = 64;
+
+/// Live fault-injection state: the compiled plan plus everything the
+/// network mutates while executing it. Boxed and absent unless
+/// [`Network::set_faults`] engaged it — the default path only ever
+/// checks the `Option`.
+#[derive(Debug)]
+struct FaultRuntime {
+    plan: FaultPlan,
+    /// Per-link dead flags (permanent kills that already fired).
+    dead: Vec<bool>,
+    /// Index of the next not-yet-fired entry in the plan's sorted kills.
+    next_kill: usize,
+    /// Packets severed by a drop: their remaining flits are discarded
+    /// wherever they surface (wire, buffers, source queues).
+    severed: HashSet<PacketId>,
+    /// Drop notifications not yet collected by the simulator.
+    dropped: Vec<PacketId>,
+    counters: FaultCounters,
+    /// Retry-exhaustion errors, capped at [`MAX_FAULT_ERRORS`].
+    errors: Vec<NocError>,
+}
+
 /// A complete network instance.
 pub struct Network {
     topo: Box<dyn Topology>,
@@ -53,6 +81,8 @@ pub struct Network {
     /// Windowed metrics collector, present when a metrics window is
     /// configured.
     metrics: Option<MetricsCollector>,
+    /// Fault-injection runtime, absent (and zero-cost) by default.
+    faults: Option<Box<FaultRuntime>>,
 }
 
 impl std::fmt::Debug for Network {
@@ -107,7 +137,75 @@ impl Network {
             activity: vec![RouterActivity::default(); n],
             sink: Box::new(NullSink),
             metrics: None,
+            faults: None,
         }
+    }
+
+    /// Engages fault injection per `cfg`: compiles the fault plan
+    /// against this network's link table, arms link-level
+    /// retransmission on every link, and (when `cfg.reroute`) switches
+    /// the routers to fault-aware route computation.
+    ///
+    /// A disabled config ([`FaultConfig::enabled`] is `false`) is a
+    /// no-op: the network stays on the fault-free fast path, which is
+    /// bit-identical to a build without the fault subsystem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::LinkFault`] when an explicit kill addresses
+    /// a `(node, port)` with no outgoing link.
+    pub fn set_faults(&mut self, cfg: FaultConfig) -> Result<(), NocError> {
+        if !cfg.enabled() {
+            return Ok(());
+        }
+        let endpoints: Vec<(usize, usize)> =
+            self.links.iter().map(|l| (l.from.0.index(), l.from.1.index())).collect();
+        let words = (self.cfg.flit_bits / 32).max(1);
+        let plan = FaultPlan::compile(cfg, &endpoints, words)?;
+        let latency = 1 + self.cfg.router.pipeline.link_extra_cycles();
+        for l in &mut self.links {
+            l.enable_arq(latency);
+        }
+        if cfg.reroute {
+            for r in &mut self.routers {
+                r.set_fault_routing(true);
+            }
+        }
+        self.faults = Some(Box::new(FaultRuntime {
+            dead: vec![false; self.links.len()],
+            next_kill: 0,
+            severed: HashSet::new(),
+            dropped: Vec::new(),
+            counters: FaultCounters::new(),
+            errors: Vec::new(),
+            plan,
+        }));
+        Ok(())
+    }
+
+    /// `true` when fault injection is engaged.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Drains the ids of packets dropped (severed) by the fault
+    /// machinery since the last call.
+    pub fn take_dropped(&mut self) -> Vec<PacketId> {
+        self.faults.as_mut().map_or_else(Vec::new, |f| std::mem::take(&mut f.dropped))
+    }
+
+    /// Cumulative fault and recovery counters (all zero when fault
+    /// injection is off), with reroutes summed over the routers.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut c = self.faults.as_ref().map_or_else(FaultCounters::new, |f| f.counters);
+        c.reroutes = self.routers.iter().map(Router::reroutes).sum();
+        c
+    }
+
+    /// Errors recorded by the fault machinery (retry exhaustion),
+    /// capped at the first [`MAX_FAULT_ERRORS`].
+    pub fn fault_errors(&self) -> &[NocError] {
+        self.faults.as_ref().map_or(&[], |f| &f.errors)
     }
 
     /// Applies a telemetry configuration: installs a [`TraceSink`] when a
@@ -201,10 +299,311 @@ impl Network {
         self.counters.cycles += 1;
         let traced = self.sink.enabled();
 
-        // 1. Deliver due flits and credits from the links.
+        // 1. Deliver due flits and credits from the links — through the
+        // fault layer when fault injection is engaged.
+        if self.faults.is_some() {
+            let mut fr = self.faults.take().expect("checked above");
+            self.fault_link_phase(cycle, &mut fr, traced);
+            self.faults = Some(fr);
+        } else {
+            for li in 0..self.links.len() {
+                while let Some(f) = self.links[li].take_due_flit(cycle) {
+                    let (dst, port) = self.links[li].to;
+                    if traced {
+                        self.sink.record(TraceEvent {
+                            cycle,
+                            router: dst,
+                            port,
+                            vc: f.vc,
+                            kind: TraceEventKind::BufferWrite,
+                            packet: f.flit.packet.0,
+                            detail: 0,
+                        });
+                    }
+                    self.routers[dst.index()].receive_flit(
+                        port,
+                        f.vc,
+                        f.flit,
+                        cycle,
+                        &mut self.counters,
+                        &mut self.activity[dst.index()],
+                    );
+                }
+                while let Some(c) = self.links[li].take_due_credit(cycle) {
+                    let (src, port) = self.links[li].from;
+                    if traced {
+                        self.sink.record(TraceEvent {
+                            cycle,
+                            router: src,
+                            port,
+                            vc: c.vc,
+                            kind: TraceEventKind::CreditReturn,
+                            packet: 0,
+                            detail: 0,
+                        });
+                    }
+                    self.routers[src.index()].receive_credit(port, c.vc);
+                }
+            }
+        }
+
+        // 2. Router pipelines.
+        for (i, r) in self.routers.iter_mut().enumerate() {
+            r.step(
+                cycle,
+                &*self.topo,
+                &mut self.links,
+                &mut self.counters,
+                &mut self.activity[i],
+                &mut self.ejected,
+                self.sink.as_mut(),
+            );
+        }
+
+        // 3. Occupancy accounting: buffered flits this cycle (globally
+        // for the energy model, per router for the metrics windows).
+        let mut occupancy_total = 0u64;
+        for (i, r) in self.routers.iter().enumerate() {
+            let buffered = r.buffered_flits() as u64;
+            occupancy_total += buffered;
+            if let Some(m) = &mut self.metrics {
+                m.record_occupancy(i, buffered);
+            }
+        }
+        self.counters.buffer_occupancy_flit_cycles += occupancy_total;
+
+        // 4. NIC injection: move queued flits into local input buffers.
+        // This runs after the router phase so that a slot freed by ST in
+        // this cycle is immediately refillable — the NIC plays the role of
+        // an upstream pipeline latch, keeping wormhole streaming gapless.
+        for node in 0..self.nics.len() {
+            for vc in 0..self.cfg.router.vcs_per_port {
+                while let Some(front) = self.nics[node].queues[vc].front() {
+                    // Flits of a severed packet die at the source: the
+                    // packet can no longer be delivered whole.
+                    if let Some(fr) = &mut self.faults {
+                        if fr.severed.contains(&front.packet) {
+                            self.nics[node].queues[vc].pop_front();
+                            fr.counters.flits_dropped += 1;
+                            continue;
+                        }
+                    }
+                    if self.routers[node].local_free_slots(VcId(vc)) == 0 {
+                        break;
+                    }
+                    let flit = self.nics[node].queues[vc].pop_front().expect("non-empty queue");
+                    self.counters.flits_injected += 1;
+                    if traced {
+                        self.sink.record(TraceEvent {
+                            cycle,
+                            router: NodeId(node),
+                            port: PortId::LOCAL,
+                            vc: VcId(vc),
+                            kind: TraceEventKind::BufferWrite,
+                            packet: flit.packet.0,
+                            detail: 0,
+                        });
+                    }
+                    self.routers[node].receive_flit(
+                        PortId::LOCAL,
+                        VcId(vc),
+                        flit,
+                        cycle,
+                        &mut self.counters,
+                        &mut self.activity[node],
+                    );
+                }
+            }
+        }
+
+        // 5. Close a metrics window on its boundary cycle.
+        if let Some(m) = &mut self.metrics {
+            let routers = &self.routers;
+            m.end_cycle(cycle, |i| routers[i].telemetry());
+        }
+    }
+
+    /// Marks `pid` severed (dropped): its remaining flits are discarded
+    /// wherever they surface and the simulator is notified once.
+    fn sever(&mut self, fr: &mut FaultRuntime, pid: PacketId, site: (NodeId, PortId), cycle: u64) {
+        if fr.severed.insert(pid) {
+            fr.counters.packets_dropped += 1;
+            fr.dropped.push(pid);
+            if self.sink.enabled() {
+                self.sink.record(TraceEvent {
+                    cycle,
+                    router: site.0,
+                    port: site.1,
+                    vc: VcId(0),
+                    kind: TraceEventKind::PacketDrop,
+                    packet: pid.0,
+                    detail: 0,
+                });
+            }
+        }
+    }
+
+    /// The fault-aware replacement for the link-delivery phase: fires
+    /// due permanent kills, reaps severed-packet stubs out of router
+    /// buffers, services scheduled retransmissions, applies the fault
+    /// plan's verdict to every delivery, and keeps the per-router
+    /// link-paused flags current.
+    fn fault_link_phase(&mut self, cycle: u64, fr: &mut FaultRuntime, traced: bool) {
+        // (a) Fire scheduled permanent kills. The forward wire dies (the
+        // reverse credit wire is modelled as surviving — credits are an
+        // abstraction of buffer state, not a physical channel here);
+        // every unacknowledged flit is lost, its packet severed, and its
+        // reserved downstream slot credited back so upstream streaming
+        // into the black hole does not wedge.
+        while fr.next_kill < fr.plan.kills().len() && fr.plan.kills()[fr.next_kill].cycle <= cycle {
+            let li = fr.plan.kills()[fr.next_kill].link;
+            fr.next_kill += 1;
+            if fr.dead[li] {
+                continue;
+            }
+            fr.dead[li] = true;
+            fr.counters.links_killed += 1;
+            let (node, port) = self.links[li].from;
+            for (pid, vc) in self.links[li].kill() {
+                fr.counters.flits_dropped += 1;
+                self.links[li].send_credit(vc, Link::delivery_cycle(cycle, 0));
+                self.sever(fr, pid, (node, port), cycle);
+            }
+            self.routers[node.index()].on_port_death(port);
+            if traced {
+                self.sink.record(TraceEvent {
+                    cycle,
+                    router: node,
+                    port,
+                    vc: VcId(0),
+                    kind: TraceEventKind::FaultInject,
+                    packet: 0,
+                    detail: li as u32,
+                });
+            }
+        }
+
+        // (b) Reap buffered stubs of severed packets (skipping VCs with
+        // a pending switch grant; they purge next cycle).
+        if !fr.severed.is_empty() {
+            for r in &mut self.routers {
+                fr.counters.flits_dropped += r.purge_severed(&fr.severed, cycle, &mut self.links);
+            }
+        }
+
+        // (c) Per link: execute due retransmissions, then deliver.
         for li in 0..self.links.len() {
-            while let Some(f) = self.links[li].take_due_flit(cycle) {
+            let resent = self.links[li].arq_service(cycle);
+            if resent > 0 {
+                fr.counters.retransmissions += resent;
+                if traced {
+                    let (node, port) = self.links[li].from;
+                    self.sink.record(TraceEvent {
+                        cycle,
+                        router: node,
+                        port,
+                        vc: VcId(0),
+                        kind: TraceEventKind::Retransmit,
+                        packet: 0,
+                        detail: resent as u32,
+                    });
+                }
+            }
+            'deliver: while let Some(mut f) = self.links[li].take_due_flit(cycle) {
                 let (dst, port) = self.links[li].to;
+                let upstream = self.links[li].from;
+                if fr.dead[li] || fr.severed.contains(&f.flit.packet) {
+                    // Black hole (the link died under the flit) or a
+                    // stub of an already-dropped packet: swallow it,
+                    // acknowledge so the window drains, and credit the
+                    // reserved slot back.
+                    self.links[li].arq_ack(f.seq);
+                    fr.counters.flits_dropped += 1;
+                    self.links[li].send_credit(f.vc, Link::delivery_cycle(cycle, 0));
+                    if fr.dead[li] {
+                        self.sever(fr, f.flit.packet, upstream, cycle);
+                    }
+                    continue;
+                }
+                let verdict = fr.plan.verdict(
+                    li,
+                    f.seq,
+                    cycle,
+                    f.flit.data.num_words(),
+                    f.flit.data.active_words(),
+                    self.cfg.layer_shutdown,
+                );
+                match verdict {
+                    Verdict::Clean => self.links[li].arq_ack(f.seq),
+                    Verdict::Masked => {
+                        // The flip landed on a slice the short-flit
+                        // shutdown gated off: never transported, so the
+                        // flit arrives pristine.
+                        fr.counters.transient_faults += 1;
+                        fr.counters.masked += 1;
+                        self.links[li].arq_ack(f.seq);
+                    }
+                    Verdict::Escaped { word, mask } => {
+                        fr.counters.transient_faults += 1;
+                        fr.counters.escaped += 1;
+                        f.flit.data.flip_bits(word, mask);
+                        self.links[li].arq_ack(f.seq);
+                        if traced {
+                            self.sink.record(TraceEvent {
+                                cycle,
+                                router: dst,
+                                port,
+                                vc: f.vc,
+                                kind: TraceEventKind::FaultInject,
+                                packet: f.flit.packet.0,
+                                detail: li as u32,
+                            });
+                        }
+                    }
+                    Verdict::Detected => {
+                        let stuck = fr.plan.stuck_gate(li).is_some_and(|(onset, healthy)| {
+                            cycle >= onset && f.flit.data.active_words() > healthy
+                        });
+                        if stuck {
+                            fr.counters.stuck_faults += 1;
+                        } else {
+                            fr.counters.transient_faults += 1;
+                        }
+                        fr.counters.detected += 1;
+                        if traced {
+                            self.sink.record(TraceEvent {
+                                cycle,
+                                router: dst,
+                                port,
+                                vc: f.vc,
+                                kind: TraceEventKind::FaultInject,
+                                packet: f.flit.packet.0,
+                                detail: li as u32,
+                            });
+                        }
+                        let retries = self.links[li].arq_nack(cycle);
+                        let budget = fr.plan.config().max_retries;
+                        if budget > 0 && retries > budget {
+                            if let Some((pid, vcs)) = self.links[li].arq_drop_front_packet() {
+                                fr.counters.flits_dropped += vcs.len() as u64;
+                                for vc in vcs {
+                                    self.links[li].send_credit(vc, Link::delivery_cycle(cycle, 0));
+                                }
+                                self.sever(fr, pid, upstream, cycle);
+                                if fr.errors.len() < MAX_FAULT_ERRORS {
+                                    fr.errors.push(NocError::RetryExhausted {
+                                        node: upstream.0,
+                                        port: upstream.1,
+                                        packet: pid,
+                                    });
+                                }
+                            }
+                        }
+                        // The NACK purged the wire; nothing further is
+                        // due on this link this cycle.
+                        break 'deliver;
+                    }
+                }
                 if traced {
                     self.sink.record(TraceEvent {
                         cycle,
@@ -242,69 +641,14 @@ impl Network {
             }
         }
 
-        // 2. Router pipelines.
-        for (i, r) in self.routers.iter_mut().enumerate() {
-            r.step(
-                cycle,
-                &*self.topo,
-                &mut self.links,
-                &mut self.counters,
-                &mut self.activity[i],
-                &mut self.ejected,
-                self.sink.as_mut(),
-            );
-        }
-
-        // 3. Occupancy accounting: buffered flits this cycle (globally
-        // for the energy model, per router for the metrics windows).
-        let mut occupancy_total = 0u64;
-        for (i, r) in self.routers.iter().enumerate() {
-            let buffered = r.buffered_flits() as u64;
-            occupancy_total += buffered;
-            if let Some(m) = &mut self.metrics {
-                m.record_occupancy(i, buffered);
-            }
-        }
-        self.counters.buffer_occupancy_flit_cycles += occupancy_total;
-
-        // 4. NIC injection: move queued flits into local input buffers.
-        // This runs after the router phase so that a slot freed by ST in
-        // this cycle is immediately refillable — the NIC plays the role of
-        // an upstream pipeline latch, keeping wormhole streaming gapless.
-        for node in 0..self.nics.len() {
-            for vc in 0..self.cfg.router.vcs_per_port {
-                while !self.nics[node].queues[vc].is_empty()
-                    && self.routers[node].local_free_slots(VcId(vc)) > 0
-                {
-                    let flit = self.nics[node].queues[vc].pop_front().expect("non-empty queue");
-                    self.counters.flits_injected += 1;
-                    if traced {
-                        self.sink.record(TraceEvent {
-                            cycle,
-                            router: NodeId(node),
-                            port: PortId::LOCAL,
-                            vc: VcId(vc),
-                            kind: TraceEventKind::BufferWrite,
-                            packet: flit.packet.0,
-                            detail: 0,
-                        });
-                    }
-                    self.routers[node].receive_flit(
-                        PortId::LOCAL,
-                        VcId(vc),
-                        flit,
-                        cycle,
-                        &mut self.counters,
-                        &mut self.activity[node],
-                    );
-                }
-            }
-        }
-
-        // 5. Close a metrics window on its boundary cycle.
-        if let Some(m) = &mut self.metrics {
-            let routers = &self.routers;
-            m.end_cycle(cycle, |i| routers[i].telemetry());
+        // (d) Refresh the per-router pause flags: a link replaying its
+        // window admits no new grants. Dead links are never paused —
+        // upstream VCs already streaming must keep draining into the
+        // black hole to free themselves.
+        for li in 0..self.links.len() {
+            let (node, port) = self.links[li].from;
+            let paused = !fr.dead[li] && self.links[li].arq_resend_pending();
+            self.routers[node.index()].set_link_paused(port, paused);
         }
     }
 

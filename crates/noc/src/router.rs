@@ -25,11 +25,15 @@
 //! on the separable datapath carry the flit's active-layer fraction when
 //! short-flit shutdown is enabled (paper §3.2.1).
 
+use std::collections::HashSet;
+
 use crate::arbiter::RoundRobinArbiter;
 use crate::config::{NetworkConfig, PipelineConfig};
 use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
 use crate::link::Link;
+use crate::packet::PacketId;
+use crate::routing::apply_fault_mask;
 use crate::stats::{ActivityCounters, RouterActivity};
 use crate::telemetry::{
     EventSink, RouterTelemetry, StallCause, StallCounters, TraceEvent, TraceEventKind,
@@ -89,6 +93,19 @@ pub struct Router {
     layer_active: Vec<u64>,
     /// Total switch traversals (denominator for `layer_active`).
     layer_events: u64,
+    /// Fault-aware routing enabled: RC masks dead output ports and
+    /// detours around them. Off (and free) unless fault injection with
+    /// rerouting is configured.
+    fault_routing: bool,
+    /// Output ports whose link has permanently died.
+    dead_out: Vec<bool>,
+    /// Output ports whose link is in retransmission backoff this cycle
+    /// (set by the network; SA pauses grants toward them and charges
+    /// the `LinkFault` stall cause).
+    link_paused: Vec<bool>,
+    /// Route computations diverted around a dead link (fault
+    /// telemetry).
+    reroutes: u64,
 }
 
 impl Router {
@@ -118,6 +135,10 @@ impl Router {
             port_flits_out: vec![0; ports],
             layer_active: vec![0; cfg.layers],
             layer_events: 0,
+            fault_routing: false,
+            dead_out: vec![false; ports],
+            link_paused: vec![false; ports],
+            reroutes: 0,
         }
     }
 
@@ -208,6 +229,115 @@ impl Router {
             layer_active: &self.layer_active,
             layer_events: self.layer_events,
         }
+    }
+
+    /// Enables fault-aware route computation: dead output ports are
+    /// masked out of the candidate set and detoured around.
+    pub(crate) fn set_fault_routing(&mut self, enabled: bool) {
+        self.fault_routing = enabled;
+    }
+
+    /// Marks an output port's link as permanently dead. Any VC whose
+    /// computed route crosses the port but has not yet been granted an
+    /// output VC is sent back to route computation so the mask (or the
+    /// detour fallback) can pick a live port. VCs already streaming
+    /// (`Active`) keep their route; the network black-holes their flits
+    /// at the dead link and refluxes the credits.
+    pub(crate) fn on_port_death(&mut self, port: PortId) {
+        self.dead_out[port.index()] = true;
+        for pvcs in &mut self.inputs {
+            for ivc in pvcs {
+                if ivc.state == (VcState::WaitingVc { out_port: port }) {
+                    ivc.state = VcState::Routing;
+                }
+            }
+        }
+    }
+
+    /// Marks an output port's link as paused (retransmission backoff in
+    /// progress) or live again. SA skips paused ports and charges the
+    /// [`StallCause::LinkFault`] cause.
+    pub(crate) fn set_link_paused(&mut self, port: PortId, paused: bool) {
+        self.link_paused[port.index()] = paused;
+    }
+
+    /// Route computations diverted around dead links so far.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// Minimal-detour fallback when the fault mask empties the candidate
+    /// set: among the live, wired output ports (excluding the u-turn back
+    /// out of the input port, which could ping-pong forever), pick the
+    /// one whose neighbour minimises the remaining hop distance, lowest
+    /// port on ties. Falls back to allowing the u-turn if it is the only
+    /// live port left.
+    fn detour_port(&self, topo: &dyn Topology, in_port: PortId, dst: NodeId) -> PortId {
+        let best = |allow_uturn: bool| -> Option<PortId> {
+            (1..self.ports)
+                .filter(|&p| !self.dead_out[p] && self.out_links[p].is_some())
+                .filter(|&p| allow_uturn || PortId(p) != in_port)
+                .filter_map(|p| {
+                    topo.neighbor(self.id, PortId(p)).map(|n| (topo.min_hops(n, dst), p))
+                })
+                .min()
+                .map(|(_, p)| PortId(p))
+        };
+        best(false)
+            .or_else(|| best(true))
+            .expect("no live output port left for detour: node is fully disconnected")
+    }
+
+    /// Returns `true` when (`ip`, `iv`) holds a switch grant scheduled
+    /// for the coming ST phase (the reaper must not purge such a VC —
+    /// ST would pop an empty buffer).
+    fn has_st_grant(&self, ip: usize, iv: usize) -> bool {
+        self.st_grants.iter().any(|g| g.in_port.index() == ip && g.in_vc.index() == iv)
+    }
+
+    /// Purges buffered flits belonging to severed (dropped) packets and
+    /// refluxes their credits upstream, releasing any held output VC.
+    /// Returns the number of flits purged. Called by the network's fault
+    /// layer before the router phase each cycle; VCs holding a pending
+    /// switch grant are skipped until the grant drains.
+    pub(crate) fn purge_severed(
+        &mut self,
+        severed: &HashSet<PacketId>,
+        cycle: u64,
+        links: &mut [Link],
+    ) -> u64 {
+        let mut purged = 0u64;
+        for ip in 0..self.ports {
+            for iv in 0..self.vcs {
+                let Some(pid) = self.inputs[ip][iv].current_packet else { continue };
+                if !severed.contains(&pid) || self.has_st_grant(ip, iv) {
+                    continue;
+                }
+                let state = self.inputs[ip][iv].state;
+                let mut popped = 0u64;
+                while self.inputs[ip][iv].buffer.front().is_some_and(|t| t.flit.packet == pid) {
+                    self.inputs[ip][iv].buffer.pop();
+                    popped += 1;
+                }
+                // Each popped flit frees a slot the upstream router
+                // already paid a credit for.
+                if let Some(li) = self.in_links[ip] {
+                    for _ in 0..popped {
+                        links[li].send_credit(VcId(iv), Link::delivery_cycle(cycle, 0));
+                    }
+                }
+                if let VcState::Active { out_port, out_vc } = state {
+                    let ovc = &mut self.outputs[out_port.index()][out_vc.index()];
+                    debug_assert_eq!(ovc.owner, Some((PortId(ip), VcId(iv))));
+                    ovc.owner = None;
+                }
+                purged += popped;
+                self.inputs[ip][iv].state = VcState::Idle;
+                self.inputs[ip][iv].current_packet = None;
+                self.inputs[ip][iv].on_flit_buffered();
+            }
+        }
+        purged
     }
 
     /// Advances the router by one cycle.
@@ -334,7 +464,7 @@ impl Router {
                     .expect("route led through a port with no link");
                 counters.record_link(links[li].length_mm, fraction);
                 activity.link_flit_mm += links[li].length_mm * fraction;
-                let deliver = cycle + 1 + self.pipeline.link_extra_cycles();
+                let deliver = Link::delivery_cycle(cycle, self.pipeline.link_extra_cycles());
                 links[li].send_flit(flit, g.out_vc, deliver);
             }
 
@@ -367,6 +497,12 @@ impl Router {
                 let ivc = &self.inputs[ip][iv];
                 if let VcState::Active { out_port, out_vc } = ivc.state {
                     if !ivc.buffer.front_ready(cycle) {
+                        continue;
+                    }
+                    if !out_port.is_local() && self.link_paused[out_port.index()] {
+                        // The outgoing link is replaying its window; new
+                        // traffic would interleave into the resent stream.
+                        self.stalls.record(StallCause::LinkFault);
                         continue;
                     }
                     if out_port.is_local()
@@ -531,11 +667,37 @@ impl Router {
                 if ivc.state != VcState::Routing || !ivc.buffer.front_ready(cycle) {
                     continue;
                 }
-                let head = &ivc.buffer.front().expect("routing VC holds a head flit").flit;
-                debug_assert!(head.is_head(), "routing state without a head flit");
-                let packet = head.packet.0;
-                let candidates = topo.route_candidates(self.id, head.dst);
+                let (packet, dst) = {
+                    let head = &ivc.buffer.front().expect("routing VC holds a head flit").flit;
+                    debug_assert!(head.is_head(), "routing state without a head flit");
+                    (head.packet.0, head.dst)
+                };
+                let mut candidates = topo.route_candidates(self.id, dst);
                 debug_assert!(!candidates.is_empty(), "routing produced no candidates");
+                if self.fault_routing {
+                    let masked = apply_fault_mask(&mut candidates, &self.dead_out);
+                    // Also mask the backtrack port (the reverse of the
+                    // edge the flit arrived on). Dimension-ordered routes
+                    // are monotone and never backtrack, so this only
+                    // fires for packets already detoured around a dead
+                    // link — and for those it is what breaks the
+                    // detour/return ping-pong livelock: the neighbour of
+                    // a dead link would otherwise XY-route the packet
+                    // straight back at the fault forever.
+                    let backtracked = if ip != PortId::LOCAL.index() {
+                        let before = candidates.len();
+                        candidates.retain(|p| p.index() != ip);
+                        candidates.len() != before
+                    } else {
+                        false
+                    };
+                    if candidates.is_empty() {
+                        candidates.push(self.detour_port(topo, PortId(ip), dst));
+                    }
+                    if masked || backtracked {
+                        self.reroutes += 1;
+                    }
+                }
                 let out_port = if candidates.len() == 1 {
                     candidates[0]
                 } else {
@@ -758,6 +920,142 @@ mod tests {
         assert!((counters.xbar_traversals - 0.25).abs() < 1e-12);
         // Non-separable logic is not gated: RC ran at full weight.
         assert_eq!(counters.rc_computations, 1);
+    }
+
+    /// With fault routing on, RC masks a dead output port and detours
+    /// through the best live neighbour instead.
+    #[test]
+    fn dead_port_detours_route_computation() {
+        let topo = Mesh2D::new(2, 2);
+        let cfg = mk_cfg();
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut counters = ActivityCounters::new();
+        let mut activity = RouterActivity::default();
+        let mut ejected = Vec::new();
+        // Node 0 of the 2x2 mesh is wired east (port 1) and north (port 3).
+        let mut links = vec![
+            Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1),
+            Link::new((NodeId(0), PortId(3)), (NodeId(2), PortId(4)), 3.1),
+        ];
+        r.set_out_link(PortId(1), 0);
+        r.set_out_link(PortId(3), 1);
+        r.set_fault_routing(true);
+        r.on_port_death(PortId(1));
+
+        // Destination east of us: the deterministic route is through the
+        // dead port, so the detour must pick north.
+        let f = mk_head(NodeId(1), PacketClass::Ack);
+        r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
+        r.step(0, &topo, &mut links, &mut counters, &mut activity, &mut ejected, &mut NullSink);
+        assert_eq!(
+            r.inputs[0][0].state,
+            VcState::WaitingVc { out_port: PortId(3) },
+            "masked route falls back to the live north port"
+        );
+        assert_eq!(r.reroutes(), 1);
+    }
+
+    /// A dead port invalidates already-computed-but-not-granted routes:
+    /// the VC is sent back to RC.
+    #[test]
+    fn port_death_restarts_waiting_vcs() {
+        let cfg = mk_cfg();
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        r.inputs[0][0].state = VcState::WaitingVc { out_port: PortId(1) };
+        r.inputs[2][1].state = VcState::WaitingVc { out_port: PortId(3) };
+        r.on_port_death(PortId(1));
+        assert_eq!(r.inputs[0][0].state, VcState::Routing, "route through dead port recomputed");
+        assert_eq!(
+            r.inputs[2][1].state,
+            VcState::WaitingVc { out_port: PortId(3) },
+            "routes through live ports keep their grant request"
+        );
+    }
+
+    /// A paused link (retransmission backoff) blocks switch allocation
+    /// toward it and charges the LinkFault stall cause.
+    #[test]
+    fn paused_link_stalls_sa_with_link_fault_cause() {
+        let topo = Mesh2D::new(2, 2);
+        let cfg = mk_cfg();
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut counters = ActivityCounters::new();
+        let mut activity = RouterActivity::default();
+        let mut ejected = Vec::new();
+        let mut links = vec![Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1)];
+        r.set_out_link(PortId(1), 0);
+        r.set_link_paused(PortId(1), true);
+
+        let f = mk_head(NodeId(1), PacketClass::Ack);
+        r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
+        for cycle in 0..6 {
+            r.step(
+                cycle,
+                &topo,
+                &mut links,
+                &mut counters,
+                &mut activity,
+                &mut ejected,
+                &mut NullSink,
+            );
+        }
+        assert_eq!(links[0].flits_in_flight(), 0, "paused link admits no traffic");
+        assert!(r.stall_counters().link_fault > 0, "stall attributed to the link fault");
+
+        r.set_link_paused(PortId(1), false);
+        for cycle in 6..10 {
+            r.step(
+                cycle,
+                &topo,
+                &mut links,
+                &mut counters,
+                &mut activity,
+                &mut ejected,
+                &mut NullSink,
+            );
+        }
+        assert_eq!(links[0].flits_in_flight(), 1, "unpausing releases the flit");
+    }
+
+    /// The severed-packet reaper drains buffered flits of a dropped
+    /// packet, refluxes their credits upstream, and releases the held
+    /// output VC.
+    #[test]
+    fn reaper_purges_severed_packet_and_refluxes_credits() {
+        let cfg = mk_cfg();
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut counters = ActivityCounters::new();
+        let mut activity = RouterActivity::default();
+        // Incoming link feeding port 2 (west side), for credit reflux.
+        let mut links = vec![Link::new((NodeId(1), PortId(2)), (NodeId(0), PortId(1)), 3.1)];
+        r.set_in_link(PortId(1), 0);
+
+        let mut head = mk_head(NodeId(3), PacketClass::ReadRequest);
+        head.kind = FlitKind::Head;
+        head.packet = PacketId(42);
+        let mut body = head.clone();
+        body.kind = FlitKind::Body;
+        body.seq = 1;
+        r.receive_flit(PortId(1), VcId(0), head, 0, &mut counters, &mut activity);
+        r.receive_flit(PortId(1), VcId(0), body, 0, &mut counters, &mut activity);
+        // Pretend VA granted the east output VC to this packet.
+        r.inputs[1][0].state = VcState::Active { out_port: PortId(1), out_vc: VcId(0) };
+        r.outputs[1][0].owner = Some((PortId(1), VcId(0)));
+
+        let severed: HashSet<PacketId> = [PacketId(42)].into_iter().collect();
+        let purged = r.purge_severed(&severed, 5, &mut links);
+        assert_eq!(purged, 2);
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.inputs[1][0].state, VcState::Idle);
+        assert_eq!(r.inputs[1][0].current_packet, None);
+        assert!(r.outputs[1][0].is_free(), "held output VC released");
+        assert_eq!(
+            links[0].take_due_credit(6).map(|c| c.vc),
+            Some(VcId(0)),
+            "credit refluxed per flit"
+        );
+        assert_eq!(links[0].take_due_credit(6).map(|c| c.vc), Some(VcId(0)));
+        assert!(links[0].take_due_credit(6).is_none());
     }
 }
 

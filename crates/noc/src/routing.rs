@@ -11,6 +11,24 @@
 //!
 //! These functions are pure; the topologies in [`crate::topology`]
 //! delegate to them.
+//!
+//! ## Fault-aware degradation
+//!
+//! Under fault injection ([`crate::fault`]) the router threads a
+//! per-port liveness mask through route computation:
+//! [`apply_fault_mask`] first strips dead output ports from the
+//! candidate set; when that empties the set (the deterministic route
+//! crossed the dead link, or an express channel died with no cardinal
+//! candidate offered), the router falls back to a minimal detour over
+//! the remaining live ports. Express links that die therefore degrade
+//! to the baseline mesh path automatically: the cardinal port whose
+//! neighbour minimises the remaining distance wins the detour.
+//!
+//! With a single failed link, the detour preserves deadlock freedom:
+//! the only routers that can introduce a turn outside the X-before-Y
+//! order are the (at most two) endpoints of the dead link, and a cycle
+//! in the channel-dependence graph would require at least two distinct
+//! illegal-turn sites in the same direction.
 
 /// One routing step along a single dimension: the signed distance to
 /// travel, reduced to a direction choice.
@@ -58,6 +76,18 @@ pub fn dim_hops_with_express(dist: usize, span: usize) -> usize {
     }
 }
 
+/// Removes route candidates whose output port is dead (`dead_out[p]`).
+///
+/// Returns `true` when the mask removed at least one candidate — the
+/// router counts these as reroutes and, when the set empties, engages
+/// its detour fallback. Candidate order (the model's preference order)
+/// is preserved.
+pub fn apply_fault_mask(candidates: &mut Vec<crate::ids::PortId>, dead_out: &[bool]) -> bool {
+    let before = candidates.len();
+    candidates.retain(|p| !dead_out[p.index()]);
+    candidates.len() != before
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +114,21 @@ mod tests {
         assert_eq!(hops, vec![0, 1, 1, 2, 2, 3]);
         // no express: identity
         assert_eq!(dim_hops_with_express(4, 1), 4);
+    }
+
+    #[test]
+    fn fault_mask_strips_dead_ports_in_order() {
+        use crate::ids::PortId;
+        let dead = vec![false, true, false, false, true];
+        let mut c = vec![PortId(1), PortId(3), PortId(4)];
+        assert!(apply_fault_mask(&mut c, &dead));
+        assert_eq!(c, vec![PortId(3)], "dead ports removed, order preserved");
+        let mut c = vec![PortId(2), PortId(3)];
+        assert!(!apply_fault_mask(&mut c, &dead), "no live candidate removed");
+        assert_eq!(c.len(), 2);
+        let mut c = vec![PortId(1)];
+        assert!(apply_fault_mask(&mut c, &dead));
+        assert!(c.is_empty(), "a fully dead set empties — the detour case");
     }
 
     #[test]

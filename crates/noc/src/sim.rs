@@ -19,6 +19,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::config::NetworkConfig;
+use crate::fault::{FaultConfig, FaultCounters};
 use crate::network::Network;
 use crate::packet::{Packet, PacketClass, PacketId, PacketSpec};
 use crate::stats::{
@@ -40,6 +41,9 @@ pub struct SimConfig {
     /// Telemetry switches (event tracing and windowed metrics; both off
     /// by default — the zero-overhead path).
     pub telemetry: TelemetryConfig,
+    /// Fault-injection switches (off by default — the zero-overhead
+    /// path, bit-identical to a build without the fault subsystem).
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -49,6 +53,7 @@ impl Default for SimConfig {
             measure_cycles: 5_000,
             drain_cycles: 20_000,
             telemetry: TelemetryConfig::disabled(),
+            faults: FaultConfig::disabled(),
         }
     }
 }
@@ -61,6 +66,7 @@ impl SimConfig {
             measure_cycles: 1_000,
             drain_cycles: 5_000,
             telemetry: TelemetryConfig::disabled(),
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -68,6 +74,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// The same phase lengths with fault injection configured.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -86,9 +99,16 @@ pub struct SimReport {
     pub packets_created: u64,
     /// Measured packets that fully ejected.
     pub packets_ejected: u64,
+    /// Measured packets dropped by the fault machinery (severed by a
+    /// dead link or an exhausted retry budget). Zero when faults are
+    /// off.
+    pub packets_dropped: u64,
     /// `true` when the drain budget expired with measured packets still
     /// in flight — the network is past saturation at this load.
     pub saturated: bool,
+    /// Fault and recovery accounting over the whole run (all zero when
+    /// fault injection is off).
+    pub faults: FaultCounters,
     /// Datapath activity during the measurement window only.
     pub counters: ActivityCounters,
     /// Latency statistics per packet class.
@@ -155,6 +175,7 @@ impl Simulator {
     pub fn new(topo: Box<dyn Topology>, net_cfg: NetworkConfig, cfg: SimConfig) -> Self {
         let mut network = Network::new(topo, net_cfg);
         network.set_telemetry(cfg.telemetry);
+        network.set_faults(cfg.faults).expect("invalid fault configuration");
         Simulator {
             network,
             cfg,
@@ -254,7 +275,12 @@ impl Simulator {
             if !e.flit.is_tail() {
                 continue;
             }
-            let meta = self.in_flight.remove(&e.flit.packet).expect("ejected packet was injected");
+            let Some(meta) = self.in_flight.remove(&e.flit.packet) else {
+                // Only the fault machinery removes in-flight entries
+                // early (packet drops); without it this is a bug.
+                debug_assert!(self.network.faults_enabled(), "ejected packet was injected");
+                continue;
+            };
             let latency = e.cycle - meta.created_at;
             if meta.measured {
                 per_class.record(meta.class, latency, e.flit.hops);
@@ -280,6 +306,20 @@ impl Simulator {
         completed
     }
 
+    /// Collects drop notifications from the fault machinery; returns
+    /// how many *measured* packets were severed.
+    fn process_drops(&mut self) -> u64 {
+        let mut measured = 0;
+        for pid in self.network.take_dropped() {
+            if let Some(meta) = self.in_flight.remove(&pid) {
+                if meta.measured {
+                    measured += 1;
+                }
+            }
+        }
+        measured
+    }
+
     /// Runs the workload through warm-up, measurement, and drain, and
     /// returns the report.
     pub fn run(&mut self, mut workload: Box<dyn Workload>) -> SimReport {
@@ -300,6 +340,7 @@ impl Simulator {
         let mut warm_snapshot_taken = warm_end == 0;
         let mut measured_created = 0u64;
         let mut measured_done = 0u64;
+        let mut measured_dropped = 0u64;
         let mut cycle = 0u64;
 
         while cycle < hard_end {
@@ -327,15 +368,16 @@ impl Simulator {
             self.inject_due_replies(cycle, measuring);
 
             self.network.step(cycle);
+            measured_dropped += self.process_drops();
             measured_done +=
                 self.process_ejections(cycle, &mut *workload, &mut per_class, &mut histogram);
 
             cycle += 1;
 
-            // Early exit once everything measured has drained and the
-            // measurement window is over.
+            // Early exit once everything measured has drained (delivered
+            // or dropped) and the measurement window is over.
             if cycle >= measure_end
-                && measured_done >= measured_created
+                && measured_done + measured_dropped >= measured_created
                 && self.network.is_drained()
             {
                 break;
@@ -375,7 +417,9 @@ impl Simulator {
             throughput,
             packets_created: measured_created,
             packets_ejected: measured_done,
-            saturated: measured_done < measured_created,
+            packets_dropped: measured_dropped,
+            saturated: measured_done + measured_dropped < measured_created,
+            faults: self.network.fault_counters(),
             counters,
             per_class,
             per_router,

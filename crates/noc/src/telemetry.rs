@@ -48,6 +48,14 @@ pub enum TraceEventKind {
     CreditReturn,
     /// Layer shutdown gated one or more datapath layers for a flit.
     LayerGate,
+    /// A fault fired: link corruption detected, a link died, or a stuck
+    /// gate corrupted a delivery (`detail` = link index).
+    FaultInject,
+    /// The sender-side ARQ replayed its window (`detail` = flits
+    /// resent).
+    Retransmit,
+    /// A packet was dropped: retries exhausted or lost to a dead link.
+    PacketDrop,
 }
 
 impl TraceEventKind {
@@ -61,6 +69,9 @@ impl TraceEventKind {
             TraceEventKind::SwitchTraversal => "ST",
             TraceEventKind::CreditReturn => "credit",
             TraceEventKind::LayerGate => "layer_gate",
+            TraceEventKind::FaultInject => "fault",
+            TraceEventKind::Retransmit => "retransmit",
+            TraceEventKind::PacketDrop => "drop",
         }
     }
 
@@ -69,6 +80,9 @@ impl TraceEventKind {
         match self {
             TraceEventKind::CreditReturn => "flow",
             TraceEventKind::LayerGate => "power",
+            TraceEventKind::FaultInject
+            | TraceEventKind::Retransmit
+            | TraceEventKind::PacketDrop => "fault",
             _ => "pipeline",
         }
     }
@@ -76,7 +90,14 @@ impl TraceEventKind {
     /// Whether the event occupies a cycle (rendered as a duration slice)
     /// or marks an instant.
     const fn is_duration(self) -> bool {
-        !matches!(self, TraceEventKind::CreditReturn | TraceEventKind::LayerGate)
+        !matches!(
+            self,
+            TraceEventKind::CreditReturn
+                | TraceEventKind::LayerGate
+                | TraceEventKind::FaultInject
+                | TraceEventKind::Retransmit
+                | TraceEventKind::PacketDrop
+        )
     }
 }
 
@@ -266,15 +287,20 @@ pub enum StallCause {
     SaLoss,
     /// Head flit's target output VC is owned by another in-flight packet.
     RouteBusy,
+    /// Active VC paused because its output link is in retransmission
+    /// backoff after a detected fault (fault injection only).
+    LinkFault,
 }
 
 /// Stall-cycle counters, attributed by cause.
 ///
 /// `stalled` counts every (input VC, cycle) pair in which a ready flit
-/// failed to advance; the router attributes exactly one cause per stalled
-/// VC-cycle, so `no_credit + va_loss + sa_loss + route_busy == stalled`
+/// failed to advance; the router attributes exactly one cause per
+/// stalled VC-cycle, so
+/// `no_credit + va_loss + sa_loss + route_busy + link_fault == stalled`
 /// holds at all times, across window splits, deltas, and merges (the
-/// telemetry property tests assert it).
+/// telemetry property tests assert it). `link_fault` stays zero unless
+/// fault injection is enabled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StallCounters {
     /// Stalled VC-cycles with no downstream credit.
@@ -285,7 +311,9 @@ pub struct StallCounters {
     pub sa_loss: u64,
     /// Stalled VC-cycles waiting for a busy output VC.
     pub route_busy: u64,
-    /// Total stalled VC-cycles (sum of the four causes).
+    /// Stalled VC-cycles paused on a link in retransmission backoff.
+    pub link_fault: u64,
+    /// Total stalled VC-cycles (sum of the five causes).
     pub stalled: u64,
 }
 
@@ -303,13 +331,14 @@ impl StallCounters {
             StallCause::VaLoss => self.va_loss += 1,
             StallCause::SaLoss => self.sa_loss += 1,
             StallCause::RouteBusy => self.route_busy += 1,
+            StallCause::LinkFault => self.link_fault += 1,
         }
         self.stalled += 1;
     }
 
     /// Sum of the per-cause counters (must equal `stalled`).
     pub fn cause_sum(&self) -> u64 {
-        self.no_credit + self.va_loss + self.sa_loss + self.route_busy
+        self.no_credit + self.va_loss + self.sa_loss + self.route_busy + self.link_fault
     }
 
     /// Element-wise difference `self - earlier` (window isolation).
@@ -320,6 +349,7 @@ impl StallCounters {
             va_loss: self.va_loss - earlier.va_loss,
             sa_loss: self.sa_loss - earlier.sa_loss,
             route_busy: self.route_busy - earlier.route_busy,
+            link_fault: self.link_fault - earlier.link_fault,
             stalled: self.stalled - earlier.stalled,
         }
     }
@@ -330,6 +360,7 @@ impl StallCounters {
         self.va_loss += other.va_loss;
         self.sa_loss += other.sa_loss;
         self.route_busy += other.route_busy;
+        self.link_fault += other.link_fault;
         self.stalled += other.stalled;
     }
 }
@@ -679,7 +710,8 @@ mod tests {
         s.record(StallCause::SaLoss);
         s.record(StallCause::SaLoss);
         s.record(StallCause::RouteBusy);
-        assert_eq!(s.stalled, 5);
+        s.record(StallCause::LinkFault);
+        assert_eq!(s.stalled, 6);
         assert_eq!(s.cause_sum(), s.stalled);
         let snap = s;
         s.record(StallCause::NoCredit);
@@ -725,6 +757,20 @@ mod tests {
         assert_eq!((w1.start_cycle, w1.end_cycle), (10, 20));
         assert_eq!(w1.stall_total().stalled, 0, "window deltas reset");
         assert_eq!(w1.routers[0].flits_out, 0, "cumulative counts are diffed");
+    }
+
+    #[test]
+    fn fault_events_render_as_instants() {
+        let mut s = TraceSink::new(8);
+        s.record(ev(2, TraceEventKind::FaultInject));
+        s.record(ev(3, TraceEventKind::Retransmit));
+        s.record(ev(4, TraceEventKind::PacketDrop));
+        let json = s.to_chrome_trace();
+        assert!(json.contains("\"name\":\"fault\""));
+        assert!(json.contains("\"name\":\"retransmit\""));
+        assert!(json.contains("\"name\":\"drop\""));
+        assert!(json.contains("\"cat\":\"fault\""));
+        assert!(!json.contains("\"ph\":\"X\""), "fault events are instants, not slices");
     }
 
     #[test]

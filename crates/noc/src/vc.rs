@@ -6,6 +6,7 @@
 
 use crate::buffer::VcBuffer;
 use crate::ids::{PortId, VcId};
+use crate::packet::PacketId;
 
 /// Pipeline state of an input virtual channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,12 +36,16 @@ pub struct InputVc {
     pub buffer: VcBuffer,
     /// Pipeline state.
     pub state: VcState,
+    /// Packet currently being serviced (owning the pipeline state);
+    /// `None` when idle. The fault reaper uses this to find and purge
+    /// the downstream stubs of a dropped packet.
+    pub current_packet: Option<PacketId>,
 }
 
 impl InputVc {
     /// Creates an idle VC with a buffer of `depth` flits.
     pub fn new(depth: usize) -> Self {
-        InputVc { buffer: VcBuffer::new(depth), state: VcState::Idle }
+        InputVc { buffer: VcBuffer::new(depth), state: VcState::Idle, current_packet: None }
     }
 
     /// Called after a flit lands in the buffer: an idle VC with a buffered
@@ -53,6 +58,7 @@ impl InputVc {
                     "an idle VC must only receive head flits first"
                 );
                 self.state = VcState::Routing;
+                self.current_packet = Some(front.flit.packet);
             }
         }
     }
@@ -62,6 +68,7 @@ impl InputVc {
     /// is already buffered.
     pub fn on_tail_departed(&mut self) {
         self.state = VcState::Idle;
+        self.current_packet = None;
         self.on_flit_buffered();
     }
 }
@@ -114,9 +121,11 @@ mod tests {
     fn idle_to_routing_on_head() {
         let mut vc = InputVc::new(4);
         assert_eq!(vc.state, VcState::Idle);
+        assert_eq!(vc.current_packet, None);
         vc.buffer.push(head_flit(), 0);
         vc.on_flit_buffered();
         assert_eq!(vc.state, VcState::Routing);
+        assert_eq!(vc.current_packet, Some(PacketId(7)), "the serviced packet is tracked");
     }
 
     #[test]
