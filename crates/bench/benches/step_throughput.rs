@@ -1,0 +1,32 @@
+//! Micro-benchmarks of `Network::step` itself: flits/sec and cycles/sec
+//! for the 2DB / 3DM / 3DM-E routers at a low and a saturated load,
+//! with no simulation-driver phases in the timed loop.
+//!
+//! The `bench_step` binary runs the same matrix without criterion and
+//! writes `BENCH_step.json` for CI trend tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mira::arch::Arch;
+use mira_bench::drive_network_step;
+
+const CYCLES: u64 = 2_000;
+
+fn bench_step_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_step");
+    for arch in [Arch::TwoDB, Arch::ThreeDM, Arch::ThreeDME] {
+        for (load_name, rate) in [("low", 0.05_f64), ("saturated", 0.60)] {
+            group.bench_with_input(
+                BenchmarkId::new(load_name, arch.name()),
+                &(arch, rate),
+                |b, &(arch, rate)| {
+                    b.iter(|| drive_network_step(arch, rate, CYCLES));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_matrix);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! `Network::step` throughput runner: times the same arch × load matrix
+//! as the `step_throughput` criterion bench with plain wall-clock
+//! timing and writes `BENCH_step.json` into the current directory (the
+//! repo root under CI) for trend tracking.
+//!
+//! `--quick` shortens the timed window; `--json` also prints the file's
+//! contents to stdout.
+use std::time::Instant;
+
+use mira::arch::Arch;
+use mira_bench::{drive_network_step, Cli};
+use serde::Serialize;
+
+/// One timed (architecture, load) cell.
+#[derive(Debug, Clone, Serialize)]
+struct StepPoint {
+    arch: String,
+    load: f64,
+    cycles: u64,
+    flits_ejected: u64,
+    wall_ms: f64,
+    cycles_per_sec: f64,
+    flits_per_sec: f64,
+}
+
+/// The whole matrix, as written to `BENCH_step.json`.
+#[derive(Debug, Clone, Serialize)]
+struct StepReport {
+    quick: bool,
+    cycles_per_point: u64,
+    points: Vec<StepPoint>,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let t0 = Instant::now();
+    let cycles: u64 = if cli.quick { 3_000 } else { 20_000 };
+
+    let mut points = Vec::new();
+    for arch in [Arch::TwoDB, Arch::ThreeDM, Arch::ThreeDME] {
+        for (load_name, rate) in [("low", 0.05_f64), ("saturated", 0.60)] {
+            // One untimed pass warms allocator and caches so the timed
+            // pass measures steady-state stepping.
+            drive_network_step(arch, rate, cycles.min(1_000));
+            let started = Instant::now();
+            let flits = drive_network_step(arch, rate, cycles);
+            let wall = started.elapsed().as_secs_f64();
+            let denom = wall.max(f64::MIN_POSITIVE);
+            points.push(StepPoint {
+                arch: arch.name().to_string(),
+                load: rate,
+                cycles,
+                flits_ejected: flits,
+                wall_ms: wall * 1e3,
+                cycles_per_sec: cycles as f64 / denom,
+                flits_per_sec: flits as f64 / denom,
+            });
+            eprintln!(
+                "[bench_step] {} {load_name} ({rate}): {:.0} cycles/s, {:.0} flits/s",
+                arch.name(),
+                points.last().expect("just pushed").cycles_per_sec,
+                points.last().expect("just pushed").flits_per_sec,
+            );
+        }
+    }
+
+    let report = StepReport { quick: cli.quick, cycles_per_point: cycles, points };
+    let json = serde_json::to_string_pretty(&report).expect("serialisable report");
+    let path = "BENCH_step.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    if cli.json {
+        println!("{json}");
+    } else {
+        println!("wrote {} points to {path}", report.points.len());
+    }
+    eprintln!("[done in {:.1?}]", t0.elapsed());
+}

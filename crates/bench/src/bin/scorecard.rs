@@ -1,12 +1,17 @@
 //! The reproduction scorecard: every headline claim of the paper checked
-//! against a live run, with PASS/FAIL verdicts.
+//! against a live run, with PASS/FAIL verdicts, plus journey-sourced
+//! tail columns (p99 / p99.9 latency and the dominant attribution
+//! component at p99, per architecture).
 //!
-//! `--json` emits the claims table as a machine-readable array (one
-//! object per claim: `name`, `source`, `expected`, `actual`, `band`,
-//! `passes`) so CI can archive it as an artifact.
+//! `--json` emits `{"claims": [...], "tail": [...]}`: one object per
+//! claim (`name`, `source`, `expected`, `actual`, `band`, `passes`) and
+//! one tail row per architecture, so CI can archive both as an
+//! artifact.
 use std::time::Instant;
 
-use mira::experiments::scorecard::{run_scorecard, scorecard_table, Claim};
+use mira::experiments::scorecard::{
+    run_scorecard, scorecard_table, tail_summaries, tail_table, Claim,
+};
 use mira_bench::{write_telemetry_artifacts, Cli};
 use serde::Serialize;
 
@@ -31,13 +36,19 @@ fn main() {
     let cli = Cli::parse();
     let t0 = Instant::now();
     let claims = run_scorecard(cli.sim_config(), cli.trace_cycles());
+    let tail = tail_summaries(cli.sim_config());
     let passed = claims.iter().filter(|c| c.passes()).count();
     if cli.json {
         let rows: Vec<ClaimRow> = claims.iter().map(ClaimRow).collect();
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable claims"));
+        let wrapped = serde::Value::Object(vec![
+            ("claims".to_string(), rows.to_value()),
+            ("tail".to_string(), tail.to_value()),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&wrapped).expect("serialisable claims"));
     } else {
         let table = scorecard_table(&claims);
         println!("{}", table.to_text());
+        println!("{}", tail_table(&tail).to_text());
         println!("{passed}/{} claims reproduced", claims.len());
     }
     write_telemetry_artifacts(cli);

@@ -1,12 +1,15 @@
 //! Trace utility: synthesise an application trace to a JSON-lines file,
-//! print the statistics of an existing trace file, or render a
-//! per-router congestion heatmap from a telemetry metrics dump.
+//! print the statistics of an existing trace file, render a per-router
+//! congestion heatmap from a telemetry metrics dump, or pretty-print one
+//! sampled packet's journey from a `--journeys-out` dump.
 //!
 //! ```console
 //! $ cargo run -p mira-bench --bin trace_tool -- generate tpcw /tmp/tpcw.jsonl
 //! $ cargo run -p mira-bench --bin trace_tool -- stats /tmp/tpcw.jsonl
 //! $ cargo run -p mira-bench --bin fig11a -- --quick --metrics-out /tmp/metrics.json
 //! $ cargo run -p mira-bench --bin trace_tool -- netview /tmp/metrics.json
+//! $ cargo run -p mira-bench --bin fig11a -- --quick --journeys-out /tmp/journeys.json
+//! $ cargo run -p mira-bench --bin trace_tool -- journey /tmp/journeys.json 1234
 //! ```
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -14,6 +17,7 @@ use std::io::{BufReader, BufWriter};
 use mira::arch::Arch;
 use mira::experiments::EXPERIMENT_SEED;
 use mira::noc::telemetry::{render_heatmap, MetricsWindow};
+use mira::noc::PacketJourney;
 use mira::nuca::cmp::{CmpConfig, CmpSystem, TraceStats};
 use mira::traffic::trace::{read_trace, TraceWriter};
 use mira::traffic::workloads::Application;
@@ -23,6 +27,7 @@ fn usage() -> ! {
     eprintln!("usage: trace_tool generate <app> <out.jsonl> [cycles] [--seed <u64>]");
     eprintln!("       trace_tool stats <in.jsonl>");
     eprintln!("       trace_tool netview <metrics.json> [window-index]");
+    eprintln!("       trace_tool journey <journeys.json> [packet-id]");
     eprintln!("apps: {}", Application::ALL.map(|a| a.name()).join(" "));
     std::process::exit(2);
 }
@@ -55,6 +60,75 @@ fn netview(window: &MetricsWindow) -> String {
     out.push_str(&format!("stall pressure (peak {peak_stall:.2} stall-cycles/cycle):\n"));
     out.push_str(&render_heatmap(&stalls));
     out.push_str("scale: ' ' (idle) . : - = + * # % @ (peak)\n");
+    out
+}
+
+/// Pretty-prints one packet's journey: the per-hop span table plus the
+/// end-to-end decomposition that sums exactly to the latency.
+fn journey_view(j: &PacketJourney) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "packet {} ({}, {}): created @{}, ejected @{}, latency {} cycles\n",
+        j.packet,
+        j.class.name(),
+        if j.measured { "measured" } else { "unmeasured" },
+        j.created_at,
+        j.ejected_at,
+        j.latency()
+    ));
+    out.push_str(&format!("  source queue : {:>6} cycles\n", j.source_queue));
+    for (i, h) in j.hops.iter().enumerate() {
+        if h.link_cycles + h.arq_cycles > 0 {
+            out.push_str(&format!(
+                "  wire         : {:>6} cycles{}\n",
+                h.link_cycles + h.arq_cycles,
+                if h.arq_cycles > 0 {
+                    format!(" ({} nominal + {} ARQ replay)", h.link_cycles, h.arq_cycles)
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        let mut causes = Vec::new();
+        for (name, v) in [
+            ("no-credit", h.stalls.no_credit),
+            ("va-loss", h.stalls.va_loss),
+            ("sa-loss", h.stalls.sa_loss),
+            ("route-busy", h.stalls.route_busy),
+            ("link-fault", h.stalls.link_fault),
+        ] {
+            if v > 0 {
+                causes.push(format!("{name} {v}"));
+            }
+        }
+        let stall_note = if causes.is_empty() {
+            String::new()
+        } else {
+            format!(", stalls: {}", causes.join(", "))
+        };
+        let body_note = if h.body_stalls.stalled > 0 {
+            format!(" [+{} body-flit stall cycles]", h.body_stalls.stalled)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  hop {i:<2} router {:<3}: in-port {} @{} -> out-port {} @{} \
+             ({} cycles: {} pipeline{stall_note}){body_note}\n",
+            h.router,
+            h.in_port,
+            h.arrived,
+            h.out_port,
+            h.departed,
+            h.residency(),
+            h.pipeline_cycles(),
+        ));
+    }
+    out.push_str(&format!("  serialization: {:>6} cycles\n", j.serialization));
+    out.push_str(&format!(
+        "  span sum {} == latency {} (exact attribution)\n",
+        j.span_sum(),
+        j.latency()
+    ));
     out
 }
 
@@ -147,6 +221,61 @@ fn main() -> std::io::Result<()> {
                 usage_error(format!("window index {index} out of range 0..{}", windows.len()))
             };
             print!("{}", netview(window));
+            Ok(())
+        }
+        Some("journey") => {
+            let Some(path) = args.get(1) else { usage() };
+            let text = std::fs::read_to_string(path)?;
+            let value: serde::Value = serde_json::from_str(&text)
+                .unwrap_or_else(|e| usage_error(format!("{path} is not valid JSON: {e:?}")));
+            // Accept either a full `--journeys-out` dump (object with a
+            // "journeys" array) or a bare array of journeys.
+            let journeys_value = match value.field("journeys") {
+                serde::Value::Null => &value,
+                w => w,
+            };
+            let Ok(items) = journeys_value.as_array() else {
+                usage_error(format!("{path} holds no journeys"))
+            };
+            let journeys: Vec<PacketJourney> = items
+                .iter()
+                .map(|v| {
+                    PacketJourney::from_value(v)
+                        .unwrap_or_else(|e| usage_error(format!("bad journey in {path}: {e:?}")))
+                })
+                .collect();
+            if journeys.is_empty() {
+                usage_error(format!("{path} holds no journeys"));
+            }
+            match args.get(2) {
+                Some(s) => {
+                    let id: u64 = s
+                        .parse()
+                        .unwrap_or_else(|_| usage_error(format!("invalid packet id {s:?}")));
+                    let Some(j) = journeys.iter().find(|j| j.packet == id) else {
+                        usage_error(format!(
+                            "packet {id} is not in {path} ({} sampled journeys)",
+                            journeys.len()
+                        ))
+                    };
+                    print!("{}", journey_view(j));
+                }
+                // No id: list what is available, slowest first.
+                None => {
+                    let mut sorted: Vec<&PacketJourney> = journeys.iter().collect();
+                    sorted.sort_by_key(|j| std::cmp::Reverse(j.latency()));
+                    println!("{} sampled journeys (slowest first):", sorted.len());
+                    for j in sorted.iter().take(20) {
+                        println!(
+                            "  packet {:<8} {:<8} {} hops, {} cycles",
+                            j.packet,
+                            j.class.name(),
+                            j.hops.len(),
+                            j.latency()
+                        );
+                    }
+                }
+            }
             Ok(())
         }
         _ => usage(),

@@ -29,6 +29,7 @@ pub use mira::experiments::runner::{RunSummary, Runner};
 
 const USAGE: &str = "usage: <bin> [--quick] [--json] [--metrics-window <cycles>] \
                      [--trace-out <path>] [--metrics-out <path>] \
+                     [--span-sample-rate <0..=1>] [--journeys-out <path>] \
                      [--fault-rate <fraction>] [--kill-link <node:port[@cycle]>] \
                      [--fault-seed <seed>]";
 
@@ -47,6 +48,15 @@ pub struct Cli {
     /// Write the representative run's metrics windows as JSON
     /// (`--metrics-out`).
     pub metrics_out: Option<&'static str>,
+    /// Packet-journey head-sampling rate in ppm, parsed from the
+    /// `--span-sample-rate <0..=1>` flag (`0.01` → 10000 ppm). `Some(0)`
+    /// (an explicit rate of 0) keeps the recorder uninstalled, exactly
+    /// like leaving the flag off.
+    pub span_sample_ppm: Option<u32>,
+    /// Write the representative run's sampled packet journeys as JSON
+    /// (`--journeys-out`); implies span sampling at rate 1 unless
+    /// `--span-sample-rate` narrows it.
+    pub journeys_out: Option<&'static str>,
     /// Transient link-fault rate in ppm of flit deliveries, parsed from
     /// the `--fault-rate <fraction>` flag (`0.001` → 1000 ppm).
     pub fault_rate_ppm: Option<u32>,
@@ -106,6 +116,22 @@ impl Cli {
                         args.next().unwrap_or_else(|| usage_error("--metrics-out needs a path"));
                     cli.metrics_out = Some(leak(v));
                 }
+                "--span-sample-rate" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--span-sample-rate needs a fraction"));
+                    match v.parse::<f64>() {
+                        Ok(f) if (0.0..=1.0).contains(&f) => {
+                            cli.span_sample_ppm = Some((f * 1_000_000.0).round() as u32);
+                        }
+                        _ => usage_error(&format!("invalid --span-sample-rate value {v:?}")),
+                    }
+                }
+                "--journeys-out" => {
+                    let v =
+                        args.next().unwrap_or_else(|| usage_error("--journeys-out needs a path"));
+                    cli.journeys_out = Some(leak(v));
+                }
                 "--fault-rate" => {
                     let v =
                         args.next().unwrap_or_else(|| usage_error("--fault-rate needs a fraction"));
@@ -155,10 +181,14 @@ impl Cli {
                 ..mira::noc::sim::SimConfig::default()
             }
         };
-        let base = match self.metrics_window {
-            Some(w) => base.with_telemetry(TelemetryConfig::windows(w)),
-            None => base,
+        let mut telemetry = match self.metrics_window {
+            Some(w) => TelemetryConfig::windows(w),
+            None => TelemetryConfig::disabled(),
         };
+        if let Some(ppm) = self.span_sample_ppm {
+            telemetry = telemetry.with_journeys(ppm);
+        }
+        let base = base.with_telemetry(telemetry);
         match self.fault_config() {
             Some(faults) => base.with_faults(faults),
             None => base,
@@ -204,6 +234,20 @@ impl Cli {
     }
 }
 
+/// The journeys dump written by `--journeys-out`: what the `journey`
+/// subcommand of `trace_tool` pretty-prints.
+#[derive(Debug, Clone, Serialize)]
+pub struct JourneysDump {
+    /// Architecture of the representative run.
+    pub arch: String,
+    /// Head-sampling rate in ppm.
+    pub sample_ppm: u32,
+    /// The tail-latency attribution report over the sampled journeys.
+    pub report: mira::noc::JourneyReport,
+    /// Every completed sampled journey, in completion order.
+    pub journeys: Vec<mira::noc::PacketJourney>,
+}
+
 /// The metrics dump written by `--metrics-out`: what the `netview`
 /// subcommand of `trace_tool` renders.
 #[derive(Debug, Clone, Serialize)]
@@ -223,14 +267,25 @@ pub struct MetricsDump {
 /// with 50% short flits and layer shutdown on — a load that exercises
 /// every pipeline stage, credit stalls, and layer gating.
 pub fn write_telemetry_artifacts(cli: Cli) {
-    if cli.trace_out.is_none() && cli.metrics_out.is_none() {
+    if cli.trace_out.is_none() && cli.metrics_out.is_none() && cli.journeys_out.is_none() {
         return;
     }
     let arch = Arch::ThreeDM;
     let window = cli.metrics_window.unwrap_or(1_000);
+    // `--journeys-out` without an explicit rate samples every packet;
+    // `--trace-out` alone keeps the plain trace unless a rate was given,
+    // so existing trace consumers see no flow events they did not ask
+    // for.
+    let journey_ppm = match (cli.span_sample_ppm, cli.journeys_out) {
+        (Some(ppm), _) => ppm,
+        (None, Some(_)) => 1_000_000,
+        (None, None) => 0,
+    };
     let telemetry = TelemetryConfig {
         metrics_window: window,
         trace_capacity: if cli.trace_out.is_some() { 1 << 16 } else { 0 },
+        journey_sample_ppm: journey_ppm,
+        journey_seed: 0,
     };
     let sim_cfg = cli.sim_config().with_telemetry(telemetry);
     let workload = UniformRandom::new(0.15, 5, EXPERIMENT_SEED)
@@ -260,6 +315,23 @@ pub fn write_telemetry_artifacts(cli: Cli) {
         eprintln!(
             "[telemetry] {} metrics windows written to {path} (render with `trace_tool netview`)",
             report.windows.len()
+        );
+    }
+    if let Some(path) = cli.journeys_out {
+        let dump = JourneysDump {
+            arch: arch.name().to_string(),
+            sample_ppm: journey_ppm,
+            report: report.journeys.clone().expect("journey recorder installed"),
+            journeys: sim.journeys().to_vec(),
+        };
+        let json = serde_json::to_string_pretty(&dump).expect("serialisable journeys");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write journeys to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[telemetry] {} packet journeys written to {path} (inspect with `trace_tool journey`)",
+            dump.journeys.len()
         );
     }
 }
@@ -298,6 +370,38 @@ pub fn emit_with_runner<T: serde::Serialize>(
     }
     write_telemetry_artifacts(cli);
     eprintln!("[done in {:.1?}]", started.elapsed());
+}
+
+/// Drives a bare [`Network`](mira::noc::network::Network) under
+/// uniform-random load for `cycles` cycles and returns the flits
+/// ejected — the measured unit of the `step_throughput` criterion bench
+/// and the `bench_step` binary. No warm-up, measurement, or drain
+/// phases: this times `Network::step` itself, not the simulation
+/// driver.
+pub fn drive_network_step(arch: Arch, rate: f64, cycles: u64) -> u64 {
+    use mira::noc::network::Network;
+    use mira::noc::packet::{Packet, PacketId};
+    use mira::noc::traffic::Workload;
+    let mut net = Network::new(arch.topology(), arch.network_config(false));
+    let mut workload = UniformRandom::new(rate, 5, EXPERIMENT_SEED);
+    workload.init(net.topology().num_nodes());
+    let mut next_packet = 0u64;
+    for cycle in 0..cycles {
+        for spec in workload.generate(cycle) {
+            net.enqueue_packet(Packet {
+                id: PacketId(next_packet),
+                src: spec.src,
+                dst: spec.dst,
+                class: spec.class,
+                payload: spec.payload,
+                created_at: cycle,
+            });
+            next_packet += 1;
+        }
+        net.step(cycle);
+        net.take_ejected();
+    }
+    net.counters().flits_ejected
 }
 
 /// Injection-rate grid for the uniform-random sweeps (flits/node/cycle).

@@ -51,6 +51,7 @@ pub mod error;
 pub mod fault;
 pub mod flit;
 pub mod ids;
+pub mod journey;
 pub mod layers;
 pub mod link;
 pub mod network;
@@ -70,6 +71,10 @@ pub use error::NocError;
 pub use fault::{FaultConfig, FaultCounters, FaultPlan, LinkKill, Verdict};
 pub use flit::{Flit, FlitData, FlitKind};
 pub use ids::{NodeId, PortId, VcId};
+pub use journey::{
+    AttributionShare, HopSpan, JourneyRecorder, JourneyReport, JourneySampler, PacketJourney,
+    TailBucket,
+};
 pub use packet::{Packet, PacketClass, PacketId};
 pub use sim::{SimConfig, SimReport, Simulator};
 pub use stats::{ActivityCounters, LatencyStats};

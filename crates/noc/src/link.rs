@@ -114,9 +114,17 @@ impl Link {
     /// through this check.
     pub fn delivery_cycle(cycle: u64, extra: u64) -> u64 {
         cycle
-            .checked_add(1)
-            .and_then(|c| c.checked_add(extra))
+            .checked_add(Link::nominal_latency(extra))
             .expect("cycle counter overflow: scheduled deliver_at would wrap")
+    }
+
+    /// Fault-free sender-to-receiver latency in cycles for a link with
+    /// `extra` additional LT cycles: `1 + extra`. This is the latency the
+    /// ARQ retransmitter replays at and the budget the journey recorder
+    /// charges to plain link traversal (anything beyond it is ARQ replay
+    /// time).
+    pub const fn nominal_latency(extra: u64) -> u64 {
+        1 + extra
     }
 
     /// Enables sender-side go-back-N retransmission with the given

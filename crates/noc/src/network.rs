@@ -13,6 +13,7 @@ use crate::error::NocError;
 use crate::fault::{FaultConfig, FaultCounters, FaultPlan, Verdict};
 use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
+use crate::journey::JourneyRecorder;
 use crate::link::Link;
 use crate::packet::{Packet, PacketId};
 use crate::router::{EjectedFlit, Router};
@@ -81,6 +82,9 @@ pub struct Network {
     /// Windowed metrics collector, present when a metrics window is
     /// configured.
     metrics: Option<MetricsCollector>,
+    /// Packet-journey recorder, present when journey sampling is
+    /// configured; purely observational.
+    journeys: Option<Box<JourneyRecorder>>,
     /// Fault-injection runtime, absent (and zero-cost) by default.
     faults: Option<Box<FaultRuntime>>,
 }
@@ -137,6 +141,7 @@ impl Network {
             activity: vec![RouterActivity::default(); n],
             sink: Box::new(NullSink),
             metrics: None,
+            journeys: None,
             faults: None,
         }
     }
@@ -225,6 +230,16 @@ impl Network {
                 .collect();
             self.metrics = Some(MetricsCollector::new(cfg.metrics_window, coords));
         }
+        if cfg.journey_sample_ppm > 0 {
+            // Nominal fault-free link latency: send at ST, deliver
+            // `1 + LT cycles` later (the same latency ARQ replays at).
+            let nominal = Link::nominal_latency(self.cfg.router.pipeline.link_extra_cycles());
+            self.journeys = Some(Box::new(JourneyRecorder::new(
+                cfg.journey_sample_ppm,
+                cfg.journey_seed,
+                nominal,
+            )));
+        }
     }
 
     /// Installs a custom event sink (replaces the current one).
@@ -240,6 +255,17 @@ impl Network {
     /// Metrics windows closed so far (empty when windows are disabled).
     pub fn metrics_windows(&self) -> &[MetricsWindow] {
         self.metrics.as_ref().map_or(&[], |m| m.windows())
+    }
+
+    /// The journey recorder, when journey sampling is enabled.
+    pub fn journeys(&self) -> Option<&JourneyRecorder> {
+        self.journeys.as_deref()
+    }
+
+    /// Mutable access to the journey recorder (the simulator feeds it
+    /// packet creations and ejections).
+    pub fn journeys_mut(&mut self) -> Option<&mut JourneyRecorder> {
+        self.journeys.as_deref_mut()
     }
 
     /// Cumulative stall-cause counters summed over every router.
@@ -320,6 +346,11 @@ impl Network {
                             detail: 0,
                         });
                     }
+                    if f.flit.is_head() {
+                        if let Some(j) = &mut self.journeys {
+                            j.on_link_arrival(f.flit.packet, dst, port, cycle);
+                        }
+                    }
                     self.routers[dst.index()].receive_flit(
                         port,
                         f.vc,
@@ -357,6 +388,7 @@ impl Network {
                 &mut self.activity[i],
                 &mut self.ejected,
                 self.sink.as_mut(),
+                self.journeys.as_deref_mut(),
             );
         }
 
@@ -393,6 +425,11 @@ impl Network {
                     }
                     let flit = self.nics[node].queues[vc].pop_front().expect("non-empty queue");
                     self.counters.flits_injected += 1;
+                    if flit.is_head() {
+                        if let Some(j) = &mut self.journeys {
+                            j.on_nic_inject(flit.packet, NodeId(node), cycle);
+                        }
+                    }
                     if traced {
                         self.sink.record(TraceEvent {
                             cycle,
@@ -614,6 +651,11 @@ impl Network {
                         packet: f.flit.packet.0,
                         detail: 0,
                     });
+                }
+                if f.flit.is_head() {
+                    if let Some(j) = &mut self.journeys {
+                        j.on_link_arrival(f.flit.packet, dst, port, cycle);
+                    }
                 }
                 self.routers[dst.index()].receive_flit(
                     port,

@@ -31,6 +31,7 @@ use crate::arbiter::RoundRobinArbiter;
 use crate::config::{NetworkConfig, PipelineConfig};
 use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
+use crate::journey::JourneyRecorder;
 use crate::link::Link;
 use crate::packet::PacketId;
 use crate::routing::apply_fault_mask;
@@ -364,28 +365,30 @@ impl Router {
         activity: &mut RouterActivity,
         ejected: &mut Vec<EjectedFlit>,
         sink: &mut dyn EventSink,
+        mut journeys: Option<&mut JourneyRecorder>,
     ) {
-        self.stage_st(cycle, links, counters, activity, ejected, sink);
+        self.stage_st(cycle, links, counters, activity, ejected, sink, journeys.as_deref_mut());
         match self.pipeline.depth {
             crate::config::PipelineDepth::FourStage => {
-                self.stage_sa(cycle, counters, sink);
-                self.stage_va(cycle, counters, sink);
+                self.stage_sa(cycle, counters, sink, journeys.as_deref_mut());
+                self.stage_va(cycle, counters, sink, journeys.as_deref_mut());
                 self.stage_rc(cycle, topo, counters, sink);
             }
             crate::config::PipelineDepth::ThreeStageSpeculative => {
-                self.stage_va(cycle, counters, sink);
-                self.stage_sa(cycle, counters, sink);
+                self.stage_va(cycle, counters, sink, journeys.as_deref_mut());
+                self.stage_sa(cycle, counters, sink, journeys.as_deref_mut());
                 self.stage_rc(cycle, topo, counters, sink);
             }
             crate::config::PipelineDepth::TwoStageLookahead => {
                 self.stage_rc(cycle, topo, counters, sink);
-                self.stage_va(cycle, counters, sink);
-                self.stage_sa(cycle, counters, sink);
+                self.stage_va(cycle, counters, sink, journeys.as_deref_mut());
+                self.stage_sa(cycle, counters, sink, journeys);
             }
         }
     }
 
     /// ST: execute last cycle's switch grants.
+    #[allow(clippy::too_many_arguments)]
     fn stage_st(
         &mut self,
         cycle: u64,
@@ -394,6 +397,7 @@ impl Router {
         activity: &mut RouterActivity,
         ejected: &mut Vec<EjectedFlit>,
         sink: &mut dyn EventSink,
+        mut journeys: Option<&mut JourneyRecorder>,
     ) {
         let traced = sink.enabled();
         let grants = std::mem::take(&mut self.st_grants);
@@ -401,6 +405,11 @@ impl Router {
             let ivc = &mut self.inputs[g.in_port.index()][g.in_vc.index()];
             let timed = ivc.buffer.pop().expect("SA granted an empty VC");
             let mut flit = timed.flit;
+            if flit.is_head() {
+                if let Some(rec) = journeys.as_deref_mut() {
+                    rec.on_st(flit.packet, g.out_port, cycle);
+                }
+            }
             let fraction = if self.layer_shutdown { flit.data.active_fraction() } else { 1.0 };
             counters.record_buffer_read(fraction);
             counters.record_xbar(fraction);
@@ -483,7 +492,13 @@ impl Router {
     /// an eligible VC that fails to receive an ST grant (lost SA1 or SA2)
     /// is charged `SaLoss`. The two sets are disjoint, so each stalled
     /// VC-cycle carries exactly one cause.
-    fn stage_sa(&mut self, cycle: u64, counters: &mut ActivityCounters, sink: &mut dyn EventSink) {
+    fn stage_sa(
+        &mut self,
+        cycle: u64,
+        counters: &mut ActivityCounters,
+        sink: &mut dyn EventSink,
+        mut journeys: Option<&mut JourneyRecorder>,
+    ) {
         let traced = sink.enabled();
         // SA1: one candidate VC per input port.
         let mut sa1: Vec<Option<(VcId, PortId, VcId)>> = vec![None; self.ports];
@@ -503,6 +518,16 @@ impl Router {
                         // The outgoing link is replaying its window; new
                         // traffic would interleave into the resent stream.
                         self.stalls.record(StallCause::LinkFault);
+                        if let Some(rec) = journeys.as_deref_mut() {
+                            if let Some(t) = ivc.buffer.front() {
+                                rec.on_stall(
+                                    t.flit.packet,
+                                    self.id,
+                                    StallCause::LinkFault,
+                                    t.flit.is_head(),
+                                );
+                            }
+                        }
                         continue;
                     }
                     if out_port.is_local()
@@ -511,6 +536,16 @@ impl Router {
                         eligible.push(iv);
                     } else {
                         self.stalls.record(StallCause::NoCredit);
+                        if let Some(rec) = journeys.as_deref_mut() {
+                            if let Some(t) = ivc.buffer.front() {
+                                rec.on_stall(
+                                    t.flit.packet,
+                                    self.id,
+                                    StallCause::NoCredit,
+                                    t.flit.is_head(),
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -566,6 +601,11 @@ impl Router {
         for pair in eligible_all {
             if !granted.contains(&pair) {
                 self.stalls.record(StallCause::SaLoss);
+                if let Some(rec) = journeys.as_deref_mut() {
+                    if let Some(t) = self.inputs[pair.0][pair.1].buffer.front() {
+                        rec.on_stall(t.flit.packet, self.id, StallCause::SaLoss, t.flit.is_head());
+                    }
+                }
             }
         }
     }
@@ -576,7 +616,13 @@ impl Router {
     /// Stall attribution for head flits waiting on a VC: requesters of an
     /// output VC still owned by another packet are charged `RouteBusy`;
     /// losers of the arbitration for a free VC are charged `VaLoss`.
-    fn stage_va(&mut self, cycle: u64, counters: &mut ActivityCounters, sink: &mut dyn EventSink) {
+    fn stage_va(
+        &mut self,
+        cycle: u64,
+        counters: &mut ActivityCounters,
+        sink: &mut dyn EventSink,
+        mut journeys: Option<&mut JourneyRecorder>,
+    ) {
         let traced = sink.enabled();
         // VA1: each waiting input VC selects its desired output VC — one
         // VC per traffic class (control / data), clamped to the available
@@ -609,8 +655,14 @@ impl Router {
                 if !self.outputs[op][ov].is_free() {
                     // The target VC is held by an in-flight packet: every
                     // requester stalls on route occupancy this cycle.
-                    for _ in reqs {
+                    for &(rip, riv) in reqs {
                         self.stalls.record(StallCause::RouteBusy);
+                        if let Some(rec) = journeys.as_deref_mut() {
+                            let front = self.inputs[rip.index()][riv.index()].buffer.front();
+                            if let Some(t) = front {
+                                rec.on_stall(t.flit.packet, self.id, StallCause::RouteBusy, true);
+                            }
+                        }
                     }
                     continue;
                 }
@@ -640,6 +692,12 @@ impl Router {
                     for &(rip, riv) in reqs {
                         if (rip, riv) != (ip, iv) {
                             self.stalls.record(StallCause::VaLoss);
+                            if let Some(rec) = journeys.as_deref_mut() {
+                                let front = self.inputs[rip.index()][riv.index()].buffer.front();
+                                if let Some(t) = front {
+                                    rec.on_stall(t.flit.packet, self.id, StallCause::VaLoss, true);
+                                }
+                            }
                         }
                     }
                 }
@@ -789,6 +847,7 @@ mod tests {
                 &mut activity,
                 &mut ejected,
                 &mut NullSink,
+                None,
             );
         }
         assert_eq!(ejected.len(), 1, "RC@0, VA@1, SA@2, ST@3");
@@ -830,6 +889,7 @@ mod tests {
                 &mut activity,
                 &mut ejected,
                 &mut NullSink,
+                None,
             );
         }
         assert_eq!(ejected.len(), 2);
@@ -866,6 +926,7 @@ mod tests {
                 &mut activity,
                 &mut ejected,
                 &mut NullSink,
+                None,
             );
         }
         assert_eq!(links[0].flits_in_flight(), 0, "no credit, no traversal");
@@ -881,6 +942,7 @@ mod tests {
                 &mut activity,
                 &mut ejected,
                 &mut NullSink,
+                None,
             );
         }
         assert_eq!(links[0].flits_in_flight(), 1);
@@ -912,6 +974,7 @@ mod tests {
                 &mut activity,
                 &mut ejected,
                 &mut NullSink,
+                None,
             );
         }
         assert_eq!(counters.buffer_writes_raw, 1);
@@ -946,7 +1009,16 @@ mod tests {
         // dead port, so the detour must pick north.
         let f = mk_head(NodeId(1), PacketClass::Ack);
         r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
-        r.step(0, &topo, &mut links, &mut counters, &mut activity, &mut ejected, &mut NullSink);
+        r.step(
+            0,
+            &topo,
+            &mut links,
+            &mut counters,
+            &mut activity,
+            &mut ejected,
+            &mut NullSink,
+            None,
+        );
         assert_eq!(
             r.inputs[0][0].state,
             VcState::WaitingVc { out_port: PortId(3) },
@@ -997,6 +1069,7 @@ mod tests {
                 &mut activity,
                 &mut ejected,
                 &mut NullSink,
+                None,
             );
         }
         assert_eq!(links[0].flits_in_flight(), 0, "paused link admits no traffic");
@@ -1012,6 +1085,7 @@ mod tests {
                 &mut activity,
                 &mut ejected,
                 &mut NullSink,
+                None,
             );
         }
         assert_eq!(links[0].flits_in_flight(), 1, "unpausing releases the flit");
@@ -1098,6 +1172,7 @@ mod pipeline_depth_tests {
                 &mut activity,
                 &mut ejected,
                 &mut NullSink,
+                None,
             );
             if let Some(e) = ejected.first() {
                 return e.cycle;

@@ -20,6 +20,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use crate::config::NetworkConfig;
 use crate::fault::{FaultConfig, FaultCounters};
+use crate::journey::{JourneyReport, PacketJourney};
 use crate::network::Network;
 use crate::packet::{Packet, PacketClass, PacketId, PacketSpec};
 use crate::stats::{
@@ -126,6 +127,9 @@ pub struct SimReport {
     /// Closed metrics windows, when `SimConfig::telemetry` enabled them
     /// (covers all phases, not just measurement).
     pub windows: Vec<MetricsWindow>,
+    /// Tail-latency attribution over sampled packet journeys, when
+    /// `SimConfig::telemetry` enabled span sampling (covers all phases).
+    pub journeys: Option<JourneyReport>,
 }
 
 impl SimReport {
@@ -199,9 +203,24 @@ impl Simulator {
     }
 
     /// The recorded event trace as Chrome trace-event JSON, when the run
-    /// was configured with a non-zero trace capacity.
+    /// was configured with a non-zero trace capacity. When span sampling
+    /// is also enabled, flow events linking each sampled packet's hops
+    /// across routers are appended to the trace.
     pub fn trace_chrome_json(&self) -> Option<String> {
-        self.network.trace_sink().map(|t| t.to_chrome_trace())
+        let journeys = self.journeys();
+        self.network.trace_sink().map(|t| {
+            if journeys.is_empty() {
+                t.to_chrome_trace()
+            } else {
+                t.to_chrome_trace_with_flows(journeys)
+            }
+        })
+    }
+
+    /// Completed journeys of sampled packets (empty when span sampling
+    /// is off).
+    pub fn journeys(&self) -> &[PacketJourney] {
+        self.network.journeys().map_or(&[], |j| j.finished())
     }
 
     /// Packets injected but not yet fully ejected.
@@ -219,6 +238,9 @@ impl Simulator {
     fn inject(&mut self, spec: PacketSpec, cycle: u64, measured: bool) {
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
+        if let Some(j) = self.network.journeys_mut() {
+            j.on_created(id, cycle, spec.class, measured);
+        }
         self.in_flight.insert(
             id,
             PacketMeta {
@@ -271,7 +293,15 @@ impl Simulator {
         histogram: &mut LatencyHistogram,
     ) -> u64 {
         let mut completed = 0;
-        for e in self.network.take_ejected() {
+        let ejected_flits = self.network.take_ejected();
+        for e in &ejected_flits {
+            if e.flit.is_tail() {
+                if let Some(j) = self.network.journeys_mut() {
+                    j.on_ejected(e.flit.packet, e.cycle);
+                }
+            }
+        }
+        for e in ejected_flits {
             if !e.flit.is_tail() {
                 continue;
             }
@@ -427,6 +457,7 @@ impl Simulator {
             cycles_simulated: cycle,
             stalls: self.network.stall_totals().delta_since(&stalls_at_start),
             windows: self.network.metrics_windows().to_vec(),
+            journeys: self.network.journeys().map(|j| j.report()),
         }
     }
 }

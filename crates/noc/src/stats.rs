@@ -499,6 +499,11 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
     /// Mean of the samples.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {

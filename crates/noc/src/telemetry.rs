@@ -30,6 +30,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{NodeId, PortId, VcId};
+use crate::journey::PacketJourney;
 
 /// What happened (one pipeline-stage occurrence).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -210,6 +211,19 @@ impl TraceSink {
     /// `ts` in cycles, `pid` = router, `tid` = port. Loads directly in
     /// Perfetto (ui.perfetto.dev) and `chrome://tracing`.
     pub fn to_chrome_trace(&self) -> String {
+        self.chrome_trace_impl(&[])
+    }
+
+    /// Like [`TraceSink::to_chrome_trace`], but additionally renders each
+    /// journey's hops as a Perfetto *flow* (`ph: "s"`/`"t"`/`"f"`, `id` =
+    /// packet id) bound to the `ST` slices at the hop's (router, input
+    /// port, cycle) — so a sampled packet's path lights up across router
+    /// tracks when a flow arrow is clicked.
+    pub fn to_chrome_trace_with_flows(&self, journeys: &[PacketJourney]) -> String {
+        self.chrome_trace_impl(journeys)
+    }
+
+    fn chrome_trace_impl(&self, journeys: &[PacketJourney]) -> String {
         let mut out = String::with_capacity(self.ring.len() * 96 + 256);
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
         // Metadata: name each router's process once.
@@ -250,6 +264,38 @@ impl TraceSink {
                 e.packet,
                 e.detail
             ));
+        }
+        // Flow events: one arrow chain per sampled journey, anchored to
+        // the ST slice of each hop. Perfetto binds a flow phase to the
+        // slice at the same (pid, tid) whose span covers `ts`.
+        for j in journeys {
+            let closed: Vec<_> = j.hops.iter().filter(|h| h.departed >= h.arrived).collect();
+            if closed.len() < 2 {
+                continue;
+            }
+            let last = closed.len() - 1;
+            for (i, h) in closed.iter().enumerate() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let ph = if i == 0 {
+                    "s"
+                } else if i == last {
+                    "f"
+                } else {
+                    "t"
+                };
+                out.push_str(&format!(
+                    "{{\"name\":\"journey\",\"cat\":\"journey\",\"ph\":\"{ph}\",\"id\":{},\
+                     \"pid\":{},\"tid\":{},\"ts\":{}",
+                    j.packet, h.router, h.in_port, h.departed
+                ));
+                if ph == "f" {
+                    out.push_str(",\"bp\":\"e\"");
+                }
+                out.push('}');
+            }
         }
         out.push_str("]}");
         out
@@ -367,7 +413,7 @@ impl StallCounters {
 
 /// Telemetry switches carried by [`crate::sim::SimConfig`].
 ///
-/// Both default to `0` = disabled, which keeps the simulator on the
+/// All default to `0` = disabled, which keeps the simulator on the
 /// [`NullSink`] zero-overhead path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TelemetryConfig {
@@ -377,17 +423,41 @@ pub struct TelemetryConfig {
     /// Install a [`TraceSink`] with this ring capacity (0 keeps the
     /// [`NullSink`]).
     pub trace_capacity: usize,
+    /// Journey-trace this fraction of packets, in parts per million
+    /// (`1_000_000` = every packet, 0 disables journey recording). The
+    /// sampled set is a deterministic function of packet id and
+    /// `journey_seed` (see [`crate::journey::JourneySampler`]).
+    pub journey_sample_ppm: u32,
+    /// Seed mixed into the journey-sampling hash.
+    pub journey_seed: u64,
 }
 
 impl TelemetryConfig {
     /// Telemetry fully off (the default).
     pub const fn disabled() -> Self {
-        TelemetryConfig { metrics_window: 0, trace_capacity: 0 }
+        TelemetryConfig {
+            metrics_window: 0,
+            trace_capacity: 0,
+            journey_sample_ppm: 0,
+            journey_seed: 0,
+        }
     }
 
     /// Windowed metrics every `cycles` cycles, no event trace.
     pub const fn windows(cycles: u64) -> Self {
-        TelemetryConfig { metrics_window: cycles, trace_capacity: 0 }
+        TelemetryConfig {
+            metrics_window: cycles,
+            trace_capacity: 0,
+            journey_sample_ppm: 0,
+            journey_seed: 0,
+        }
+    }
+
+    /// Returns `self` with journey sampling at `ppm` parts per million.
+    #[must_use]
+    pub const fn with_journeys(mut self, ppm: u32) -> Self {
+        self.journey_sample_ppm = ppm;
+        self
     }
 }
 

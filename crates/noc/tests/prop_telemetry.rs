@@ -104,7 +104,7 @@ proptest! {
             rate,
             seed,
             depth,
-            TelemetryConfig { metrics_window: 200, trace_capacity: 1 << 12 },
+            TelemetryConfig { metrics_window: 200, trace_capacity: 1 << 12, journey_sample_ppm: 0, journey_seed: 0 },
         );
         prop_assert_eq!(plain.avg_latency.to_bits(), traced.avg_latency.to_bits());
         prop_assert_eq!(plain.avg_hops.to_bits(), traced.avg_hops.to_bits());
@@ -157,7 +157,12 @@ fn ten_k_cycle_run_accounts_for_every_stall() {
         drain_cycles: 0,
         ..SimConfig::default()
     }
-    .with_telemetry(TelemetryConfig { metrics_window: 1_000, trace_capacity: 1 << 14 });
+    .with_telemetry(TelemetryConfig {
+        metrics_window: 1_000,
+        trace_capacity: 1 << 14,
+        journey_sample_ppm: 0,
+        journey_seed: 0,
+    });
     let mut sim = Simulator::new(Box::new(Mesh2D::new(4, 4)), cfg, sim_cfg);
     let report = sim.run(Box::new(UniformRandom::new(0.30, 5, 7)));
 

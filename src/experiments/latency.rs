@@ -349,7 +349,7 @@ mod tests {
     }
 }
 
-/// Tail-latency extension: p50/p95/p99 per architecture under UR
+/// Tail-latency extension: p50/p95/p99/p99.9 per architecture under UR
 /// traffic at one load (the mean the paper plots hides the tail the
 /// express channels flatten).
 pub fn tail_latency(rate: f64, sim_cfg: SimConfig) -> crate::report::BarFigure {
@@ -375,6 +375,7 @@ pub fn tail_latency(rate: f64, sim_cfg: SimConfig) -> crate::report::BarFigure {
                     h.p50().unwrap_or(0) as f64,
                     h.p95().unwrap_or(0) as f64,
                     h.p99().unwrap_or(0) as f64,
+                    h.p999().unwrap_or(0) as f64,
                 ],
             )
         })
@@ -383,9 +384,109 @@ pub fn tail_latency(rate: f64, sim_cfg: SimConfig) -> crate::report::BarFigure {
         id: "ext-tail-latency".into(),
         title: format!("Tail latency, uniform random at {rate} flits/node/cycle"),
         group_label: "architecture".into(),
-        bar_labels: vec!["p50".into(), "p95".into(), "p99".into()],
+        bar_labels: vec!["p50".into(), "p95".into(), "p99".into(), "p99.9".into()],
         groups,
         unit: "cycles".into(),
+    }
+}
+
+/// One architecture's journey-based tail attribution.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ArchAttribution {
+    /// Architecture name.
+    pub arch: String,
+    /// The tail-attribution report over sampled journeys.
+    pub report: mira_noc::JourneyReport,
+}
+
+/// Tail-latency *attribution* extension: where packets in each latency
+/// bucket spend their cycles, per architecture, from sampled packet
+/// journeys.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TailAttribution {
+    /// Offered load of the runs, flits/node/cycle.
+    pub rate: f64,
+    /// Per-architecture attribution reports, in [`Arch::ALL`] order.
+    pub archs: Vec<ArchAttribution>,
+}
+
+impl TailAttribution {
+    /// Renders the attribution as a table: one row per (architecture,
+    /// bucket) with the dominant component and the top of the
+    /// per-component breakdown.
+    pub fn to_text(&self) -> String {
+        let mut table = crate::report::TextTable {
+            id: "ext-tail-attribution".into(),
+            title: format!(
+                "Tail-latency attribution, uniform random at {} flits/node/cycle",
+                self.rate
+            ),
+            headers: vec![
+                "arch".into(),
+                "bucket".into(),
+                "packets".into(),
+                "mean cycles".into(),
+                "dominant".into(),
+                "breakdown".into(),
+            ],
+            rows: Vec::new(),
+        };
+        for a in &self.archs {
+            for b in &a.report.buckets {
+                let (dom, dom_cycles) = b.mean.dominant();
+                let total = b.mean.total().max(f64::MIN_POSITIVE);
+                let mut parts: Vec<(&str, f64)> = b.mean.parts().to_vec();
+                parts.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite means"));
+                let breakdown = parts
+                    .iter()
+                    .take(3)
+                    .filter(|(_, v)| *v > 0.0)
+                    .map(|(name, v)| format!("{name} {:.0}%", v / total * 100.0))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                table.rows.push(vec![
+                    a.arch.clone(),
+                    b.label.clone(),
+                    b.count.to_string(),
+                    format!("{:.1}", b.mean_latency),
+                    format!("{dom} ({:.0}%)", dom_cycles / total * 100.0),
+                    breakdown,
+                ]);
+            }
+        }
+        table.to_text()
+    }
+}
+
+/// Runs the UR tail sweep with journey sampling enabled and aggregates
+/// each architecture's journeys into its attribution report.
+///
+/// `sample_ppm` is the head-sampling rate in ppm (clamped to 1e6); the
+/// runs are separate from [`tail_latency`]'s so enabling sampling never
+/// perturbs the published percentile bars.
+pub fn tail_attribution(rate: f64, sample_ppm: u32, sim_cfg: SimConfig) -> TailAttribution {
+    use mira_noc::traffic::UniformRandom;
+    let sim_cfg = sim_cfg.with_telemetry(sim_cfg.telemetry.with_journeys(sample_ppm.max(1)));
+    let points = Arch::ALL
+        .iter()
+        .map(|&arch| {
+            SimPoint::new(format!("attr {arch} @ {rate}"), EXPERIMENT_SEED, move |s| {
+                let w = UniformRandom::new(rate, 5, s);
+                run_arch(arch, false, Box::new(w), sim_cfg)
+            })
+        })
+        .collect();
+    let batch = Runner::from_env().run(points);
+    TailAttribution {
+        rate,
+        archs: batch
+            .outcomes
+            .into_iter()
+            .map(|o| ArchAttribution {
+                arch: o.result.arch.name().to_string(),
+                report: o.result.report.journeys.expect("journey sampling enabled"),
+            })
+            .collect(),
     }
 }
 
@@ -401,11 +502,42 @@ mod tail_tests {
             let p50 = fig.value(arch.name(), "p50").unwrap();
             let p95 = fig.value(arch.name(), "p95").unwrap();
             let p99 = fig.value(arch.name(), "p99").unwrap();
-            assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99, "{arch}: {p50} {p95} {p99}");
+            let p999 = fig.value(arch.name(), "p99.9").unwrap();
+            assert!(
+                p50 > 0.0 && p50 <= p95 && p95 <= p99 && p99 <= p999,
+                "{arch}: {p50} {p95} {p99} {p999}"
+            );
         }
         // The express design flattens the tail relative to 2DB.
         let e99 = fig.value("3DM-E", "p99").unwrap();
         let b99 = fig.value("2DB", "p99").unwrap();
         assert!(e99 < b99, "3DM-E p99 {e99} vs 2DB {b99}");
+    }
+
+    #[test]
+    fn attribution_accounts_for_bucket_means() {
+        let attr = tail_attribution(0.10, 1_000_000, quick_sim_config());
+        assert_eq!(attr.archs.len(), Arch::ALL.len());
+        for a in &attr.archs {
+            assert_eq!(a.report.sample_ppm, 1_000_000);
+            assert!(a.report.sampled > 0, "{}: sampled journeys", a.arch);
+            assert_eq!(a.report.buckets.len(), 4, "{}: p50/p95/p99/p99.9", a.arch);
+            for b in &a.report.buckets {
+                assert!(b.count > 0, "{} {}", a.arch, b.label);
+                // The per-component means sum to the bucket's mean
+                // latency: every cycle of every sampled packet is
+                // attributed somewhere.
+                assert!(
+                    (b.mean.total() - b.mean_latency).abs() < 1e-6,
+                    "{} {}: {} vs {}",
+                    a.arch,
+                    b.label,
+                    b.mean.total(),
+                    b.mean_latency
+                );
+            }
+        }
+        let text = attr.to_text();
+        assert!(text.contains("p99.9"), "table lists the deepest bucket:\n{text}");
     }
 }

@@ -149,6 +149,13 @@ pub struct RunSummary {
     pub cycles_simulated: u64,
     /// Total measured packets ejected across all points.
     pub packets_ejected: u64,
+    /// Simulation rate over the batch: thousands of simulated cycles
+    /// per wall-clock second (worker-parallel, so this can exceed any
+    /// single point's rate).
+    pub kcycles_per_sec: f64,
+    /// Simulation rate over the batch: millions of flits ejected in
+    /// measurement windows per wall-clock second.
+    pub mflits_per_sec: f64,
     /// How many points hit saturation (drain budget expired).
     pub saturated_points: usize,
     /// Mean latency over the merged per-point histograms, cycles.
@@ -235,6 +242,8 @@ impl Serialize for RunSummary {
             ("busy_ms".to_string(), self.busy_ms.to_value()),
             ("cycles_simulated".to_string(), self.cycles_simulated.to_value()),
             ("packets_ejected".to_string(), self.packets_ejected.to_value()),
+            ("kcycles_per_sec".to_string(), self.kcycles_per_sec.to_value()),
+            ("mflits_per_sec".to_string(), self.mflits_per_sec.to_value()),
             ("saturated_points".to_string(), self.saturated_points.to_value()),
             ("agg_latency_mean".to_string(), self.agg_latency_mean.to_value()),
             ("agg_latency_p50".to_string(), self.agg_latency_p50.to_value()),
@@ -264,6 +273,22 @@ pub struct PointSummary {
     pub avg_latency: f64,
     /// Whether the point saturated.
     pub saturated: bool,
+    /// Simulation rate of this point: thousands of simulated cycles per
+    /// wall-clock second on its worker.
+    pub kcycles_per_sec: f64,
+    /// Simulation rate of this point: millions of flits ejected in the
+    /// measurement window per wall-clock second.
+    pub mflits_per_sec: f64,
+}
+
+/// `numerator / seconds`, zero when the denominator rounds to zero (a
+/// degenerate timer, not a fast simulator).
+fn per_sec(numerator: f64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        numerator / seconds
+    } else {
+        0.0
+    }
 }
 
 impl RunSummary {
@@ -278,13 +303,19 @@ impl RunSummary {
             merged_stats.merge(&o.result.report.latency());
             merged_hist.merge(&o.result.report.histogram);
         }
+        let wall_s = wall.as_secs_f64();
+        let total_cycles: u64 = outcomes.iter().map(|o| o.result.report.cycles_simulated).sum();
+        let total_flits: u64 =
+            outcomes.iter().map(|o| o.result.report.counters.flits_ejected).sum();
         RunSummary {
             jobs,
             points: outcomes.len(),
             wall_ms: wall.as_secs_f64() * 1e3,
             busy_ms: outcomes.iter().map(|o| o.wall.as_secs_f64() * 1e3).sum(),
-            cycles_simulated: outcomes.iter().map(|o| o.result.report.cycles_simulated).sum(),
+            cycles_simulated: total_cycles,
             packets_ejected: outcomes.iter().map(|o| o.result.report.packets_ejected).sum(),
+            kcycles_per_sec: per_sec(total_cycles as f64 / 1e3, wall_s),
+            mflits_per_sec: per_sec(total_flits as f64 / 1e6, wall_s),
             saturated_points: outcomes.iter().filter(|o| o.result.report.saturated).count(),
             agg_latency_mean: merged_stats.mean(),
             agg_latency_p50: merged_hist.p50(),
@@ -299,6 +330,14 @@ impl RunSummary {
                     cycles: o.result.report.cycles_simulated,
                     avg_latency: o.result.report.avg_latency,
                     saturated: o.result.report.saturated,
+                    kcycles_per_sec: per_sec(
+                        o.result.report.cycles_simulated as f64 / 1e3,
+                        o.wall.as_secs_f64(),
+                    ),
+                    mflits_per_sec: per_sec(
+                        o.result.report.counters.flits_ejected as f64 / 1e6,
+                        o.wall.as_secs_f64(),
+                    ),
                 })
                 .collect(),
             windows: aggregate_windows(outcomes),
@@ -309,12 +348,15 @@ impl RunSummary {
     /// text mode).
     pub fn one_line(&self) -> String {
         format!(
-            "{} points on {} workers: {:.2} s wall, {:.2} s busy, {} cycles, {} saturated",
+            "{} points on {} workers: {:.2} s wall, {:.2} s busy, {} cycles \
+             ({:.0} Kcyc/s, {:.2} Mflit/s), {} saturated",
             self.points,
             self.jobs,
             self.wall_ms / 1e3,
             self.busy_ms / 1e3,
             self.cycles_simulated,
+            self.kcycles_per_sec,
+            self.mflits_per_sec,
             self.saturated_points,
         )
     }
@@ -382,6 +424,7 @@ impl Runner {
                     let t0 = Instant::now();
                     let result = (p.run)(p.seed);
                     let wall = t0.elapsed();
+                    let cycles = result.report.cycles_simulated;
                     *slots[i].lock().expect("outcome slot") = Some(PointOutcome {
                         label: p.label.clone(),
                         seed: p.seed,
@@ -392,8 +435,9 @@ impl Runner {
                     if self.progress {
                         let elapsed = started.elapsed();
                         let eta = elapsed.mul_f64((total - finished) as f64 / finished as f64);
+                        let rate = per_sec(cycles as f64 / 1e3, wall.as_secs_f64());
                         eprintln!(
-                            "[runner] {finished}/{total} done, {elapsed:.1?} elapsed, ~{eta:.1?} left (last: {} in {wall:.1?})",
+                            "[runner] {finished}/{total} done, {elapsed:.1?} elapsed, ~{eta:.1?} left (last: {} in {wall:.1?}, {rate:.0} Kcyc/s)",
                             p.label,
                         );
                     }
@@ -481,6 +525,15 @@ mod tests {
         assert!(s.wall_ms > 0.0 && s.busy_ms > 0.0);
         assert_eq!(s.point_details.len(), 2);
         assert_eq!(s.point_details[0].label, "x");
+        // Self-metrics: the sim rate ties out against cycles and wall.
+        assert!(s.kcycles_per_sec > 0.0);
+        let expected = s.cycles_simulated as f64 / 1e3 / (s.wall_ms / 1e3);
+        assert!((s.kcycles_per_sec - expected).abs() < 1e-6 * expected.max(1.0));
+        assert!(s.mflits_per_sec > 0.0);
+        for d in &s.point_details {
+            assert!(d.kcycles_per_sec > 0.0, "{}", d.label);
+        }
+        assert!(s.one_line().contains("Kcyc/s"));
     }
 
     #[test]

@@ -190,6 +190,72 @@ pub fn run_scorecard(sim_cfg: SimConfig, trace_cycles: u64) -> Vec<Claim> {
     claims
 }
 
+/// One architecture's journey-sourced tail row of the scorecard: the
+/// deep percentiles and which latency component dominates at p99.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TailSummary {
+    /// Architecture name.
+    pub arch: String,
+    /// 99th-percentile packet latency, cycles.
+    pub p99: u64,
+    /// 99.9th-percentile packet latency, cycles.
+    pub p999: u64,
+    /// The component contributing the most cycles to the mean latency
+    /// of packets at or beyond p99 (see
+    /// [`AttributionShare`](mira_noc::AttributionShare)).
+    pub dominant_p99: String,
+    /// The dominant component's share of those packets' mean latency,
+    /// in [0, 1].
+    pub dominant_share: f64,
+}
+
+/// Builds the tail rows from journey-sampled UR runs at the scorecard's
+/// headline load (0.15): every packet is sampled, so the aggregates are
+/// exact, not estimates.
+pub fn tail_summaries(sim_cfg: SimConfig) -> Vec<TailSummary> {
+    let attr = crate::experiments::latency::tail_attribution(0.15, 1_000_000, sim_cfg);
+    attr.archs
+        .iter()
+        .map(|a| {
+            let p99 = a.report.bucket("p99").expect("p99 bucket present");
+            let p999 = a.report.bucket("p99.9").expect("p99.9 bucket present");
+            let (dominant, cycles) = p99.mean.dominant();
+            TailSummary {
+                arch: a.arch.clone(),
+                p99: p99.threshold,
+                p999: p999.threshold,
+                dominant_p99: dominant.to_string(),
+                dominant_share: cycles / p99.mean.total().max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+/// Renders the tail rows as a table.
+pub fn tail_table(rows: &[TailSummary]) -> TextTable {
+    TextTable {
+        id: "scorecard-tail".into(),
+        title: "Tail latency at UR 0.15 (journey-sampled)".into(),
+        headers: vec![
+            "arch".into(),
+            "p99 (cycles)".into(),
+            "p99.9 (cycles)".into(),
+            "dominant @ p99".into(),
+        ],
+        rows: rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.arch.clone(),
+                    r.p99.to_string(),
+                    r.p999.to_string(),
+                    format!("{} ({:.0}%)", r.dominant_p99, r.dominant_share * 100.0),
+                ]
+            })
+            .collect(),
+    }
+}
+
 /// Renders the scorecard as a table.
 pub fn scorecard_table(claims: &[Claim]) -> TextTable {
     TextTable {
@@ -232,5 +298,23 @@ mod tests {
             .map(|c| format!("{}: measured {:.1} outside {:?}", c.what, c.measured, c.band))
             .collect();
         assert!(failures.is_empty(), "failing claims:\n{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn tail_rows_cover_every_arch() {
+        let rows = tail_summaries(quick_sim_config());
+        assert_eq!(rows.len(), crate::arch::Arch::ALL.len());
+        for r in &rows {
+            assert!(r.p99 > 0 && r.p99 <= r.p999, "{}: {} vs {}", r.arch, r.p99, r.p999);
+            assert!(!r.dominant_p99.is_empty());
+            assert!(
+                r.dominant_share > 0.0 && r.dominant_share <= 1.0,
+                "{}: share {}",
+                r.arch,
+                r.dominant_share
+            );
+        }
+        let text = tail_table(&rows).to_text();
+        assert!(text.contains("p99.9"), "{text}");
     }
 }

@@ -1,0 +1,75 @@
+//! Acceptance tests for the packet-journey subsystem on the paper's
+//! architectures: on a *saturated* 3DM run every sampled packet's spans
+//! account for 100% of its measured latency, and the aggregated
+//! tail-attribution buckets account for 100% of their mean latency.
+
+use mira::arch::Arch;
+use mira::experiments::common::EXPERIMENT_SEED;
+use mira_noc::sim::{SimConfig, Simulator};
+use mira_noc::telemetry::TelemetryConfig;
+use mira_noc::traffic::UniformRandom;
+
+/// A 3DM run past saturation with every packet sampled.
+fn saturated_3dm() -> Simulator {
+    let arch = Arch::ThreeDM;
+    let sim_cfg = SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 1_000,
+        drain_cycles: 500,
+        ..SimConfig::default()
+    }
+    .with_telemetry(TelemetryConfig::disabled().with_journeys(1_000_000));
+    let mut sim = Simulator::new(arch.topology(), arch.network_config(false), sim_cfg);
+    let report = sim.run(Box::new(UniformRandom::new(0.9, 5, EXPERIMENT_SEED)));
+    assert!(report.saturated, "0.9 flits/node/cycle must saturate 3DM");
+    sim
+}
+
+#[test]
+fn saturated_3dm_journeys_account_for_full_latency() {
+    let sim = saturated_3dm();
+    let journeys = sim.journeys();
+    assert!(journeys.len() > 100, "a saturated run completes many sampled journeys");
+    for j in journeys {
+        assert_eq!(
+            j.span_sum(),
+            j.latency(),
+            "packet {}: journey spans must account for 100% of its latency",
+            j.packet
+        );
+    }
+    // Packets still in flight at the drain deadline stay pending, they
+    // are not mis-closed.
+    let recorder = sim.network().journeys().expect("recorder installed");
+    assert!(recorder.pending() > 0, "a saturated run strands packets in flight");
+}
+
+#[test]
+fn saturated_3dm_attribution_sums_to_bucket_means() {
+    let sim = saturated_3dm();
+    let report = sim.network().journeys().expect("recorder installed").report();
+    assert_eq!(report.sample_ppm, 1_000_000);
+    assert!(report.sampled > 0);
+    assert_eq!(report.buckets.len(), 4);
+    for b in &report.buckets {
+        assert!(b.count > 0, "{}: bucket populated", b.label);
+        assert!(
+            (b.mean.total() - b.mean_latency).abs() < 1e-6,
+            "{}: component means {} must sum to the bucket mean {}",
+            b.label,
+            b.mean.total(),
+            b.mean_latency
+        );
+        for c in &b.per_class {
+            assert!(c.count > 0, "{}: class rows are populated", b.label);
+        }
+    }
+    // Saturation means queueing dominates the tail far beyond the
+    // pipeline floor.
+    let p99 = report.bucket("p99").expect("p99 bucket");
+    let (dominant, _) = p99.mean.dominant();
+    assert!(
+        dominant == "source_queue" || dominant == "no_credit" || dominant == "sa_loss",
+        "a saturated tail is queue-dominated, got {dominant}"
+    );
+}

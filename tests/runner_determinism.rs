@@ -71,6 +71,32 @@ fn repeated_runs_with_same_experiment_seed_are_identical() {
     assert_outcomes_identical(&first, &second);
 }
 
+/// The journey sampler's packet set is a pure function of packet ids
+/// and the sampling seed: the same sweep run on 1 worker and on 4
+/// returns identical sampled sets (order-independent `packets_hash`)
+/// and identical attribution reports, per point.
+#[test]
+fn sampled_journey_set_is_identical_across_worker_counts() {
+    use mira_noc::telemetry::TelemetryConfig;
+    let journey_cfg =
+        quick_sim_config().with_telemetry(TelemetryConfig::disabled().with_journeys(250_000));
+    let run = |jobs: usize| {
+        let points = sweep_ur_points(&[0.05, 0.20], 0.0, journey_cfg);
+        Runner::with_jobs(jobs).run(points).outcomes
+    };
+    let serial = run(1);
+    let four = run(4);
+    assert_eq!(serial.len(), four.len());
+    for (x, y) in serial.iter().zip(&four) {
+        let jx = x.result.report.journeys.as_ref().expect("journeys enabled");
+        let jy = y.result.report.journeys.as_ref().expect("journeys enabled");
+        assert!(jx.sampled > 0, "{}: partial sampling still catches packets", x.label);
+        assert_eq!(jx.sampled, jy.sampled, "sampled count differs at {}", x.label);
+        assert_eq!(jx.packets_hash, jy.packets_hash, "sampled packet set differs at {}", x.label);
+        assert_eq!(jx, jy, "attribution report differs at {}", x.label);
+    }
+}
+
 #[test]
 fn seed_derivation_is_a_pure_function() {
     // The per-point seeds come from (EXPERIMENT_SEED, rate index) and

@@ -119,13 +119,48 @@ fn null_sink_is_bit_identical_to_pre_telemetry_build() {
 #[test]
 fn enabled_telemetry_is_bit_identical_to_disabled() {
     for g in &EXPECTED {
-        let traced_cfg = quick_sim_config()
-            .with_telemetry(TelemetryConfig { metrics_window: 500, trace_capacity: 1 << 14 });
+        let traced_cfg = quick_sim_config().with_telemetry(TelemetryConfig {
+            metrics_window: 500,
+            trace_capacity: 1 << 14,
+            journey_sample_ppm: 0,
+            journey_seed: 0,
+        });
         let traced = run_point(g, traced_cfg);
         check(g, &traced, "traced");
         assert!(!traced.report.windows.is_empty(), "{}: windows were collected", g.name);
         let plain = run_point(g, quick_sim_config());
         assert_eq!(plain.report.counters, traced.report.counters, "{}: counters", g.name);
         assert_eq!(plain.pdp.to_bits(), traced.pdp.to_bits(), "{}: pdp", g.name);
+    }
+}
+
+/// A span-sample rate of zero leaves the journey recorder uninstalled:
+/// the run reproduces the pre-journey golden bits exactly (the
+/// `--span-sample-rate 0` acceptance criterion).
+#[test]
+fn zero_span_rate_is_bit_identical_to_pre_journey_build() {
+    for g in &EXPECTED {
+        let cfg = quick_sim_config().with_telemetry(TelemetryConfig::disabled().with_journeys(0));
+        let r = run_point(g, cfg);
+        check(g, &r, "span-rate-0");
+    }
+}
+
+/// The journey recorder is purely observational: sampling every packet
+/// still reproduces the golden bits, counters included.
+#[test]
+fn journey_sampling_is_bit_identical_to_disabled() {
+    for g in &EXPECTED {
+        let cfg =
+            quick_sim_config().with_telemetry(TelemetryConfig::disabled().with_journeys(1_000_000));
+        let sampled = run_point(g, cfg);
+        check(g, &sampled, "journeys");
+        let plain = run_point(g, quick_sim_config());
+        assert_eq!(plain.report.counters, sampled.report.counters, "{}: counters", g.name);
+        assert!(
+            sampled.report.journeys.as_ref().is_some_and(|j| j.sampled > 0),
+            "{}: journeys were recorded",
+            g.name
+        );
     }
 }
