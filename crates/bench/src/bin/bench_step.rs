@@ -5,14 +5,23 @@
 //!
 //! `--quick` shortens the timed window; `--json` also prints the file's
 //! contents to stdout.
+//!
+//! `--compare <baseline.json>` turns the run into a regression gate: the
+//! baseline (a previously committed `BENCH_step.json`) is read *before*
+//! the fresh report overwrites it, each measured point is matched to its
+//! baseline point by (arch, load), and the process exits non-zero if any
+//! point's `cycles_per_sec` falls more than 20% below the baseline.
 use std::time::Instant;
 
 use mira::arch::Arch;
 use mira_bench::{drive_network_step, Cli};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+/// Fractional slowdown vs the baseline that fails the `--compare` gate.
+const COMPARE_TOLERANCE: f64 = 0.20;
 
 /// One timed (architecture, load) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct StepPoint {
     arch: String,
     load: f64,
@@ -24,16 +33,57 @@ struct StepPoint {
 }
 
 /// The whole matrix, as written to `BENCH_step.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct StepReport {
     quick: bool,
     cycles_per_point: u64,
     points: Vec<StepPoint>,
 }
 
+/// Compares the fresh report against `baseline`, returning the points
+/// that regressed past [`COMPARE_TOLERANCE`]. Baseline points with no
+/// measured counterpart are reported as regressions too — a silently
+/// dropped point must not pass the gate.
+fn regressions(baseline: &StepReport, fresh: &StepReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in &baseline.points {
+        let Some(point) =
+            fresh.points.iter().find(|p| p.arch == base.arch && (p.load - base.load).abs() < 1e-9)
+        else {
+            failures.push(format!("{} @ load {}: missing from fresh run", base.arch, base.load));
+            continue;
+        };
+        let floor = base.cycles_per_sec * (1.0 - COMPARE_TOLERANCE);
+        if point.cycles_per_sec < floor {
+            failures.push(format!(
+                "{} @ load {}: {:.0} cycles/s is {:.1}% below baseline {:.0}",
+                base.arch,
+                base.load,
+                point.cycles_per_sec,
+                (1.0 - point.cycles_per_sec / base.cycles_per_sec) * 100.0,
+                base.cycles_per_sec,
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let cli = Cli::parse();
     let t0 = Instant::now();
+    // Read the baseline before the fresh report overwrites the file (the
+    // common case is comparing against the committed BENCH_step.json that
+    // this run replaces).
+    let baseline: Option<StepReport> = cli.compare.map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {path}: {e:?}");
+            std::process::exit(1);
+        })
+    });
     let cycles: u64 = if cli.quick { 3_000 } else { 20_000 };
 
     let mut points = Vec::new();
@@ -75,6 +125,22 @@ fn main() {
         println!("{json}");
     } else {
         println!("wrote {} points to {path}", report.points.len());
+    }
+    if let Some(baseline) = &baseline {
+        let failures = regressions(baseline, &report);
+        if failures.is_empty() {
+            eprintln!(
+                "[bench_step] regression gate passed: all {} points within {:.0}% of baseline",
+                baseline.points.len(),
+                COMPARE_TOLERANCE * 100.0,
+            );
+        } else {
+            for f in &failures {
+                eprintln!("[bench_step] REGRESSION: {f}");
+            }
+            eprintln!("[done in {:.1?}]", t0.elapsed());
+            std::process::exit(1);
+        }
     }
     eprintln!("[done in {:.1?}]", t0.elapsed());
 }

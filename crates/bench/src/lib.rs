@@ -31,7 +31,7 @@ const USAGE: &str = "usage: <bin> [--quick] [--json] [--metrics-window <cycles>]
                      [--trace-out <path>] [--metrics-out <path>] \
                      [--span-sample-rate <0..=1>] [--journeys-out <path>] \
                      [--fault-rate <fraction>] [--kill-link <node:port[@cycle]>] \
-                     [--fault-seed <seed>]";
+                     [--fault-seed <seed>] [--compare <baseline.json>]";
 
 /// Shared CLI handling for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +66,10 @@ pub struct Cli {
     /// Seed for the fault plan (`--fault-seed`); defaults to the fault
     /// subsystem's own default when unset.
     pub fault_seed: Option<u64>,
+    /// Baseline report to regression-gate against (`--compare <path>`):
+    /// binaries that support it exit non-zero when a measured point falls
+    /// too far below the baseline.
+    pub compare: Option<&'static str>,
 }
 
 /// Parses `node:port[@cycle]` (e.g. `7:3@250`) for `--kill-link`.
@@ -150,6 +154,12 @@ impl Cli {
                         Some(kill) => cli.kill_link = Some(kill),
                         None => usage_error(&format!("invalid --kill-link spec {v:?}")),
                     }
+                }
+                "--compare" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--compare needs a baseline path"));
+                    cli.compare = Some(leak(v));
                 }
                 "--fault-seed" => {
                     let v = args.next().unwrap_or_else(|| usage_error("--fault-seed needs a seed"));
@@ -386,6 +396,7 @@ pub fn drive_network_step(arch: Arch, rate: f64, cycles: u64) -> u64 {
     let mut workload = UniformRandom::new(rate, 5, EXPERIMENT_SEED);
     workload.init(net.topology().num_nodes());
     let mut next_packet = 0u64;
+    let mut ejected = Vec::new();
     for cycle in 0..cycles {
         for spec in workload.generate(cycle) {
             net.enqueue_packet(Packet {
@@ -399,7 +410,8 @@ pub fn drive_network_step(arch: Arch, rate: f64, cycles: u64) -> u64 {
             next_packet += 1;
         }
         net.step(cycle);
-        net.take_ejected();
+        net.drain_ejected(&mut ejected);
+        ejected.clear();
     }
     net.counters().flits_ejected
 }

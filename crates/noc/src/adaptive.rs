@@ -52,39 +52,40 @@ impl TurnModel {
 
     /// Productive, turn-legal output ports towards `(dx, dy)` steps, in
     /// preference order. At least one port is always returned for a
-    /// non-zero displacement.
-    fn candidates(self, x_step: DimStep, y_step: DimStep) -> Vec<PortId> {
+    /// non-zero displacement. Returns a static slice so the RC hot path
+    /// copies ports without allocating.
+    fn candidates(self, x_step: DimStep, y_step: DimStep) -> &'static [PortId] {
         use DimStep::{Done, Negative, Positive};
         match self {
             TurnModel::WestFirst => match (x_step, y_step) {
                 // Westward component: west only, first.
-                (Negative, _) => vec![port::WEST],
-                (Positive, Positive) => vec![port::EAST, port::NORTH],
-                (Positive, Negative) => vec![port::EAST, port::SOUTH],
-                (Positive, Done) => vec![port::EAST],
-                (Done, Positive) => vec![port::NORTH],
-                (Done, Negative) => vec![port::SOUTH],
-                (Done, Done) => vec![port::LOCAL],
+                (Negative, _) => &[port::WEST],
+                (Positive, Positive) => &[port::EAST, port::NORTH],
+                (Positive, Negative) => &[port::EAST, port::SOUTH],
+                (Positive, Done) => &[port::EAST],
+                (Done, Positive) => &[port::NORTH],
+                (Done, Negative) => &[port::SOUTH],
+                (Done, Done) => &[port::LOCAL],
             },
             TurnModel::NorthLast => match (x_step, y_step) {
                 // North only when nothing else remains.
-                (Done, Positive) => vec![port::NORTH],
-                (Positive, Negative) => vec![port::EAST, port::SOUTH],
-                (Negative, Negative) => vec![port::WEST, port::SOUTH],
-                (Positive, _) => vec![port::EAST],
-                (Negative, _) => vec![port::WEST],
-                (Done, Negative) => vec![port::SOUTH],
-                (Done, Done) => vec![port::LOCAL],
+                (Done, Positive) => &[port::NORTH],
+                (Positive, Negative) => &[port::EAST, port::SOUTH],
+                (Negative, Negative) => &[port::WEST, port::SOUTH],
+                (Positive, _) => &[port::EAST],
+                (Negative, _) => &[port::WEST],
+                (Done, Negative) => &[port::SOUTH],
+                (Done, Done) => &[port::LOCAL],
             },
             TurnModel::NegativeFirst => match (x_step, y_step) {
                 // Negative moves (W, S) first — adaptive among them.
-                (Negative, Negative) => vec![port::WEST, port::SOUTH],
-                (Negative, _) => vec![port::WEST],
-                (_, Negative) => vec![port::SOUTH],
-                (Positive, Positive) => vec![port::EAST, port::NORTH],
-                (Positive, Done) => vec![port::EAST],
-                (Done, Positive) => vec![port::NORTH],
-                (Done, Done) => vec![port::LOCAL],
+                (Negative, Negative) => &[port::WEST, port::SOUTH],
+                (Negative, _) => &[port::WEST],
+                (_, Negative) => &[port::SOUTH],
+                (Positive, Positive) => &[port::EAST, port::NORTH],
+                (Positive, Done) => &[port::EAST],
+                (Done, Positive) => &[port::NORTH],
+                (Done, Done) => &[port::LOCAL],
             },
         }
     }
@@ -144,9 +145,9 @@ impl Topology for AdaptiveMesh2D {
         self.model.candidates(xs, ys)[0]
     }
 
-    fn route_candidates(&self, current: NodeId, dst: NodeId) -> Vec<PortId> {
+    fn route_candidates_into(&self, current: NodeId, dst: NodeId, out: &mut Vec<PortId>) {
         let (xs, ys) = self.steps(current, dst);
-        self.model.candidates(xs, ys)
+        out.extend_from_slice(self.model.candidates(xs, ys));
     }
 
     fn link_length_mm(&self, node: NodeId, out_port: PortId) -> f64 {

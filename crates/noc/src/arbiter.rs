@@ -60,6 +60,31 @@ impl RoundRobinArbiter {
     pub fn arbitrate_among(&mut self, lines: &[usize]) -> Option<usize> {
         self.arbitrate(|i| lines.contains(&i))
     }
+
+    /// Arbitrates among the request lines set in `mask` (bit `i` = line
+    /// `i`). Produces exactly the same grant sequence as
+    /// `arbitrate(|i| mask & (1 << i) != 0)` — the first requesting line
+    /// at or after the priority pointer, wrapping — but in O(1) via
+    /// count-trailing-zeros, which is what the per-cycle hot path uses.
+    ///
+    /// Only valid for arbiters of up to 64 lines; bits at or above
+    /// `size` are ignored.
+    #[inline]
+    pub fn arbitrate_mask(&mut self, mask: u64) -> Option<usize> {
+        debug_assert!(self.size <= 64, "mask arbitration supports at most 64 lines");
+        let mask = if self.size < 64 { mask & ((1u64 << self.size) - 1) } else { mask };
+        if mask == 0 {
+            return None;
+        }
+        let shifted = mask >> self.next_priority;
+        let line = if shifted != 0 {
+            self.next_priority + shifted.trailing_zeros() as usize
+        } else {
+            mask.trailing_zeros() as usize
+        };
+        self.next_priority = (line + 1) % self.size;
+        Some(line)
+    }
 }
 
 #[cfg(test)]

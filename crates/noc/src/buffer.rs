@@ -1,160 +1,229 @@
-//! Flit buffers with cycle-accurate readiness tracking.
+//! Flat flit buffering for the data-oriented router core.
 //!
-//! Each virtual channel owns one [`VcBuffer`] of `depth` flits. In the
-//! multi-layered router the buffer is bit-sliced across layers
-//! (paper §3.2.1): word-lines span layers, bit-lines stay within a layer.
-//! That split is *physical*, not logical — the buffer still holds whole
-//! flits — so the simulator models it through the activity accounting
-//! (a short flit only charges the active slices), not through the data
-//! structure.
+//! One [`FlitSlab`] holds *every* virtual-channel FIFO of a router in a
+//! single contiguous ring-buffer slab, keyed by the flat `(port, vc)`
+//! index. In the multi-layered router the buffer is bit-sliced across
+//! layers (paper §3.2.1): word-lines span layers, bit-lines stay within
+//! a layer. That split is *physical*, not logical — the buffer still
+//! holds whole flits — so the simulator models it through the activity
+//! accounting (a short flit only charges the active slices), not
+//! through the data structure.
+//!
+//! Buffered entries are [`BufSlot`]s: a [`FlitRef`] into the network's
+//! flit arena plus the header fields the pipeline stages read every
+//! cycle (packet, destination, class, head/tail flags, readiness).
+//! Denormalising those fields into the slab keeps the SA/VA/RC hot
+//! loops free of arena derefs; the payload is only touched at switch
+//! traversal.
 
-use std::collections::VecDeque;
+use crate::arena::FlitRef;
+use crate::ids::NodeId;
+use crate::packet::{PacketClass, PacketId};
 
-use crate::flit::Flit;
-
-/// A flit annotated with the earliest cycle at which it may participate in
-/// a pipeline stage (models link/pipeline latches).
-#[derive(Debug, Clone)]
-pub struct TimedFlit {
-    /// The buffered flit.
-    pub flit: Flit,
-    /// Earliest cycle this flit is visible to the pipeline.
+/// One buffered flit: its arena reference plus the denormalised header
+/// fields the allocation stages poll each cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct BufSlot {
+    /// Arena reference to the flit itself.
+    pub fref: FlitRef,
+    /// Earliest cycle this flit is visible to the pipeline (models
+    /// link/pipeline latches).
     pub ready_at: u64,
+    /// Packet this flit belongs to.
+    pub packet: PacketId,
+    /// Destination node (read by RC on head flits).
+    pub dst: NodeId,
+    /// Traffic class (selects the output VC in VA1).
+    pub class: PacketClass,
+    /// `true` when the flit carries the packet header.
+    pub head: bool,
+    /// `true` when the flit terminates the packet.
+    pub tail: bool,
 }
 
-/// A fixed-capacity FIFO buffer for one virtual channel.
+/// All virtual-channel FIFOs of one router, as a single flat ring
+/// buffer slab: `pvs` FIFOs of `depth` slots each, FIFO `pv` occupying
+/// slots `pv*depth .. (pv+1)*depth`.
 #[derive(Debug, Clone)]
-pub struct VcBuffer {
-    slots: VecDeque<TimedFlit>,
+pub struct FlitSlab {
+    slots: Box<[Option<BufSlot>]>,
+    head: Box<[u32]>,
+    len: Box<[u32]>,
     depth: usize,
+    occupied: usize,
 }
 
-impl VcBuffer {
-    /// Creates a buffer holding up to `depth` flits.
+impl FlitSlab {
+    /// Creates a slab of `pvs` FIFOs holding up to `depth` flits each.
     ///
     /// # Panics
     ///
     /// Panics if `depth` is zero.
-    pub fn new(depth: usize) -> Self {
+    pub fn new(pvs: usize, depth: usize) -> Self {
         assert!(depth > 0, "buffer depth must be positive");
-        VcBuffer { slots: VecDeque::with_capacity(depth), depth }
+        FlitSlab {
+            slots: vec![None; pvs * depth].into_boxed_slice(),
+            head: vec![0; pvs].into_boxed_slice(),
+            len: vec![0; pvs].into_boxed_slice(),
+            depth,
+            occupied: 0,
+        }
     }
 
-    /// Capacity in flits.
+    /// Capacity in flits of each FIFO.
+    #[inline]
     pub fn depth(&self) -> usize {
         self.depth
     }
 
-    /// Current occupancy in flits.
-    pub fn len(&self) -> usize {
-        self.slots.len()
+    /// Current occupancy of FIFO `pv` in flits.
+    #[inline]
+    pub fn len(&self, pv: usize) -> usize {
+        self.len[pv] as usize
     }
 
-    /// Returns `true` if no flits are buffered.
-    pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+    /// Returns `true` if FIFO `pv` holds no flits.
+    #[inline]
+    pub fn is_empty(&self, pv: usize) -> bool {
+        self.len[pv] == 0
     }
 
-    /// Returns `true` if a write would overflow.
-    pub fn is_full(&self) -> bool {
-        self.slots.len() >= self.depth
+    /// Free slots in FIFO `pv` (the quantity credits track).
+    #[inline]
+    pub fn free_slots(&self, pv: usize) -> usize {
+        self.depth - self.len[pv] as usize
     }
 
-    /// Free slots (the quantity credits track).
-    pub fn free_slots(&self) -> usize {
-        self.depth - self.slots.len()
+    /// Total flits buffered across every FIFO (maintained incrementally;
+    /// this is the O(1) occupancy read of the data-oriented core).
+    #[inline]
+    pub fn occupied(&self) -> usize {
+        self.occupied
     }
 
-    /// Writes a flit into the buffer.
+    /// Writes a flit into FIFO `pv`.
     ///
     /// # Panics
     ///
     /// Panics on overflow — credits must guarantee space, so overflow is a
     /// flow-control bug, not a recoverable condition.
-    pub fn push(&mut self, flit: Flit, ready_at: u64) {
-        assert!(!self.is_full(), "VC buffer overflow: credit accounting is broken");
-        self.slots.push_back(TimedFlit { flit, ready_at });
+    pub fn push(&mut self, pv: usize, slot: BufSlot) {
+        let len = self.len[pv] as usize;
+        assert!(len < self.depth, "VC buffer overflow: credit accounting is broken");
+        let idx = pv * self.depth + (self.head[pv] as usize + len) % self.depth;
+        debug_assert!(self.slots[idx].is_none(), "ring slot already occupied");
+        self.slots[idx] = Some(slot);
+        self.len[pv] += 1;
+        self.occupied += 1;
     }
 
-    /// The flit at the head of the FIFO, if any.
-    pub fn front(&self) -> Option<&TimedFlit> {
-        self.slots.front()
+    /// The flit at the head of FIFO `pv`, if any.
+    #[inline]
+    pub fn front(&self, pv: usize) -> Option<&BufSlot> {
+        if self.len[pv] == 0 {
+            return None;
+        }
+        self.slots[pv * self.depth + self.head[pv] as usize].as_ref()
     }
 
-    /// Returns `true` if the head flit exists and is ready at `cycle`.
-    pub fn front_ready(&self, cycle: u64) -> bool {
-        self.front().is_some_and(|t| t.ready_at <= cycle)
+    /// Returns `true` if the head flit of FIFO `pv` exists and is ready
+    /// at `cycle`.
+    #[inline]
+    pub fn front_ready(&self, pv: usize, cycle: u64) -> bool {
+        self.front(pv).is_some_and(|t| t.ready_at <= cycle)
     }
 
-    /// Removes and returns the head flit.
-    pub fn pop(&mut self) -> Option<TimedFlit> {
-        self.slots.pop_front()
+    /// Removes and returns the head flit of FIFO `pv`.
+    pub fn pop(&mut self, pv: usize) -> Option<BufSlot> {
+        if self.len[pv] == 0 {
+            return None;
+        }
+        let idx = pv * self.depth + self.head[pv] as usize;
+        let slot = self.slots[idx].take();
+        debug_assert!(slot.is_some(), "ring bookkeeping out of sync");
+        self.head[pv] = ((self.head[pv] as usize + 1) % self.depth) as u32;
+        self.len[pv] -= 1;
+        self.occupied -= 1;
+        slot
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{FlitData, FlitKind};
-    use crate::ids::NodeId;
-    use crate::packet::{PacketClass, PacketId};
 
-    fn mk_flit(seq: u32) -> Flit {
-        Flit {
+    fn mk_slot(seq: u32) -> BufSlot {
+        BufSlot {
+            fref: FlitRef(seq),
+            ready_at: 0,
             packet: PacketId(1),
-            seq,
-            kind: FlitKind::Body,
-            src: NodeId(0),
             dst: NodeId(1),
             class: PacketClass::DataResponse,
-            data: FlitData::dense(4),
-            created_at: 0,
-            hops: 0,
+            head: false,
+            tail: false,
         }
     }
 
     #[test]
     fn fifo_order() {
-        let mut b = VcBuffer::new(4);
-        b.push(mk_flit(0), 0);
-        b.push(mk_flit(1), 0);
-        assert_eq!(b.len(), 2);
-        assert_eq!(b.pop().unwrap().flit.seq, 0);
-        assert_eq!(b.pop().unwrap().flit.seq, 1);
-        assert!(b.pop().is_none());
+        let mut b = FlitSlab::new(2, 4);
+        b.push(1, mk_slot(0));
+        b.push(1, mk_slot(1));
+        assert_eq!(b.len(1), 2);
+        assert_eq!(b.len(0), 0, "FIFOs are independent");
+        assert_eq!(b.pop(1).unwrap().fref, FlitRef(0));
+        assert_eq!(b.pop(1).unwrap().fref, FlitRef(1));
+        assert!(b.pop(1).is_none());
+    }
+
+    #[test]
+    fn ring_wraps_past_depth() {
+        let mut b = FlitSlab::new(1, 3);
+        for round in 0..4u32 {
+            b.push(0, mk_slot(3 * round));
+            b.push(0, mk_slot(3 * round + 1));
+            assert_eq!(b.pop(0).unwrap().fref, FlitRef(3 * round));
+            assert_eq!(b.pop(0).unwrap().fref, FlitRef(3 * round + 1));
+        }
+        assert!(b.is_empty(0));
     }
 
     #[test]
     fn readiness_gates_front() {
-        let mut b = VcBuffer::new(2);
-        b.push(mk_flit(0), 5);
-        assert!(!b.front_ready(4));
-        assert!(b.front_ready(5));
-        assert!(b.front_ready(6));
+        let mut b = FlitSlab::new(1, 2);
+        let mut s = mk_slot(0);
+        s.ready_at = 5;
+        b.push(0, s);
+        assert!(!b.front_ready(0, 4));
+        assert!(b.front_ready(0, 5));
+        assert!(b.front_ready(0, 6));
     }
 
     #[test]
     fn capacity_accounting() {
-        let mut b = VcBuffer::new(2);
-        assert_eq!(b.free_slots(), 2);
-        assert!(b.is_empty() && !b.is_full());
-        b.push(mk_flit(0), 0);
-        b.push(mk_flit(1), 0);
-        assert!(b.is_full());
-        assert_eq!(b.free_slots(), 0);
+        let mut b = FlitSlab::new(2, 2);
+        assert_eq!(b.free_slots(0), 2);
+        assert!(b.is_empty(0));
+        b.push(0, mk_slot(0));
+        b.push(0, mk_slot(1));
+        assert_eq!(b.free_slots(0), 0);
+        assert_eq!(b.free_slots(1), 2);
+        assert_eq!(b.occupied(), 2);
+        let _ = b.pop(0);
+        assert_eq!(b.occupied(), 1);
     }
 
     #[test]
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
-        let mut b = VcBuffer::new(1);
-        b.push(mk_flit(0), 0);
-        b.push(mk_flit(1), 0);
+        let mut b = FlitSlab::new(1, 1);
+        b.push(0, mk_slot(0));
+        b.push(0, mk_slot(1));
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_depth_panics() {
-        let _ = VcBuffer::new(0);
+        let _ = FlitSlab::new(4, 0);
     }
 }

@@ -19,6 +19,12 @@ use crate::packet::{PacketClass, PacketId};
 /// Number of bits per payload word (one word per silicon layer).
 pub const WORD_BITS: usize = 32;
 
+/// Maximum payload words a flit can carry. Payloads are stored inline
+/// (no heap allocation per flit), so the widest supported flit is
+/// `MAX_FLIT_WORDS * WORD_BITS` bits — 256 bits, double the paper's
+/// 128-bit evaluation point.
+pub const MAX_FLIT_WORDS: usize = 8;
+
 /// Position of a flit within its packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FlitKind {
@@ -86,9 +92,37 @@ impl WordPattern {
 /// 128-bit flits (4 words, 4 layers). Word 0 is the least-significant word
 /// and lives on the **top** layer (closest to the heat sink), so layer
 /// shutdown always retains word 0.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlitData {
-    words: Vec<u32>,
+    /// Inline word storage; only `words[..len]` is meaningful, and every
+    /// word past `len` is kept zero so the derived `Eq`/`Hash` agree
+    /// with logical payload equality.
+    words: [u32; MAX_FLIT_WORDS],
+    len: u8,
+    /// Cached zero-detector output (`active_words`). A pure function of
+    /// `words[..len]`, maintained by every constructor and by
+    /// [`FlitData::flip_bits`], so equality stays consistent with the
+    /// payload. The switch-traversal path reads it once per hop.
+    active: u8,
+}
+
+impl Serialize for FlitData {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("words".to_string(), self.words().to_value())])
+    }
+}
+
+impl Deserialize for FlitData {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let words = Vec::<u32>::from_value(v.field("words"))?;
+        if words.is_empty() || words.len() > MAX_FLIT_WORDS {
+            return Err(serde::Error::msg(format!(
+                "flit payload must have 1..={MAX_FLIT_WORDS} words, got {}",
+                words.len()
+            )));
+        }
+        Ok(FlitData::new(words))
+    }
 }
 
 impl FlitData {
@@ -96,44 +130,83 @@ impl FlitData {
     ///
     /// # Panics
     ///
-    /// Panics if `words` is empty.
+    /// Panics if `words` is empty or wider than [`MAX_FLIT_WORDS`].
     pub fn new(words: Vec<u32>) -> Self {
+        FlitData::from_words(&words)
+    }
+
+    /// Creates a payload from a word slice without consuming a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty or wider than [`MAX_FLIT_WORDS`].
+    pub fn from_words(words: &[u32]) -> Self {
         assert!(!words.is_empty(), "flit payload must have at least one word");
-        FlitData { words }
+        assert!(
+            words.len() <= MAX_FLIT_WORDS,
+            "flit payload is limited to {MAX_FLIT_WORDS} words, got {}",
+            words.len()
+        );
+        let mut w = [0u32; MAX_FLIT_WORDS];
+        w[..words.len()].copy_from_slice(words);
+        let mut d = FlitData { words: w, len: words.len() as u8, active: 0 };
+        d.recompute_active();
+        d
     }
 
     /// An all-zero payload of `num_words` words — the maximally short flit.
     pub fn zeroed(num_words: usize) -> Self {
-        FlitData::new(vec![0; num_words])
+        assert!(num_words >= 1, "flit payload must have at least one word");
+        assert!(
+            num_words <= MAX_FLIT_WORDS,
+            "flit payload is limited to {MAX_FLIT_WORDS} words, got {num_words}"
+        );
+        FlitData { words: [0; MAX_FLIT_WORDS], len: num_words as u8, active: 1 }
     }
 
     /// A payload in which every word is distinct and non-redundant — the
     /// maximally long flit (all layers active).
     pub fn dense(num_words: usize) -> Self {
-        FlitData::new((0..num_words).map(|i| 0xDEAD_0001_u32.wrapping_mul(i as u32 + 1)).collect())
+        let mut d = FlitData::zeroed(num_words);
+        for i in 0..num_words {
+            d.words[i] = 0xDEAD_0001_u32.wrapping_mul(i as u32 + 1);
+        }
+        d.recompute_active();
+        d
     }
 
     /// Builds a payload with exactly `active` meaningful low words; all
     /// higher words are zero. `active` is clamped to `1..=num_words`.
     pub fn with_active_words(num_words: usize, active: usize) -> Self {
         let active = active.clamp(1, num_words);
-        let mut words = vec![0u32; num_words];
-        for (i, w) in words.iter_mut().enumerate().take(active) {
-            *w = 0xA5A5_0001_u32.wrapping_mul(i as u32 + 1);
+        let mut d = FlitData::zeroed(num_words);
+        for i in 0..active {
+            d.words[i] = 0xA5A5_0001_u32.wrapping_mul(i as u32 + 1);
         }
-        FlitData::new(words)
+        d.recompute_active();
+        d
+    }
+
+    /// Re-runs the zero-detector over the stored words (constructors and
+    /// payload mutation call this; everything else reads the cache).
+    fn recompute_active(&mut self) {
+        let mut active = self.len as usize;
+        while active > 1 && WordPattern::of(self.words[active - 1]).is_redundant() {
+            active -= 1;
+        }
+        self.active = active as u8;
     }
 
     /// Number of payload words (= number of datapath layers it spans).
     #[inline]
     pub fn num_words(&self) -> usize {
-        self.words.len()
+        self.len as usize
     }
 
     /// Borrow the payload words (word 0 = LSB = top layer).
     #[inline]
     pub fn words(&self) -> &[u32] {
-        &self.words
+        &self.words[..self.len as usize]
     }
 
     /// The zero-detector: number of low-order words that must stay
@@ -142,12 +215,9 @@ impl FlitData {
     ///
     /// The result is always at least 1: the top layer (word 0) is never
     /// gated, because the header travels with it.
+    #[inline]
     pub fn active_words(&self) -> usize {
-        let mut active = self.words.len();
-        while active > 1 && WordPattern::of(self.words[active - 1]).is_redundant() {
-            active -= 1;
-        }
-        active
+        self.active as usize
     }
 
     /// A *short flit* in the paper's sense: every word except the top-layer
@@ -162,12 +232,12 @@ impl FlitData {
     /// separable-module energy under layer shutdown.
     #[inline]
     pub fn active_fraction(&self) -> f64 {
-        self.active_words() as f64 / self.words.len() as f64
+        self.active_words() as f64 / self.len as f64
     }
 
     /// Per-word pattern classification (drives the Fig. 1 reproduction).
     pub fn patterns(&self) -> impl Iterator<Item = WordPattern> + '_ {
-        self.words.iter().map(|&w| WordPattern::of(w))
+        self.words().iter().map(|&w| WordPattern::of(w))
     }
 
     /// Per-slice parity: one even-parity bit per payload word, packed
@@ -178,7 +248,7 @@ impl FlitData {
     /// escapes detection.
     pub fn slice_parity(&self) -> u8 {
         let mut p = 0u8;
-        for (i, w) in self.words.iter().enumerate() {
+        for (i, w) in self.words().iter().enumerate() {
             p ^= ((w.count_ones() & 1) as u8) << (i & 7);
         }
         p
@@ -191,7 +261,9 @@ impl FlitData {
     ///
     /// Panics if `word` is out of range.
     pub fn flip_bits(&mut self, word: usize, mask: u32) {
-        self.words[word] ^= mask;
+        let len = self.len as usize;
+        self.words[..len][word] ^= mask;
+        self.recompute_active();
     }
 }
 
@@ -301,7 +373,7 @@ mod tests {
         let before = d.slice_parity();
         for word in 0..4 {
             for bit in [0u32, 13, 31] {
-                let mut c = d.clone();
+                let mut c = d;
                 c.flip_bits(word, 1 << bit);
                 assert_ne!(c.slice_parity(), before, "flip in word {word} bit {bit} must show");
             }
@@ -312,7 +384,7 @@ mod tests {
     fn slice_parity_misses_double_flips_in_one_word() {
         let d = FlitData::dense(4);
         let before = d.slice_parity();
-        let mut c = d.clone();
+        let mut c = d;
         c.flip_bits(2, (1 << 5) | (1 << 19));
         assert_eq!(c.slice_parity(), before, "double flip cancels: the escape path");
         assert_ne!(c, d, "payload is still corrupted");

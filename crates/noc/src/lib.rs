@@ -45,6 +45,7 @@
 
 pub mod adaptive;
 pub mod arbiter;
+pub mod arena;
 pub mod buffer;
 pub mod config;
 pub mod error;
@@ -66,6 +67,7 @@ pub mod traffic;
 pub mod vc;
 
 pub use adaptive::{AdaptiveMesh2D, TurnModel};
+pub use arena::{FlitArena, FlitRef};
 pub use config::{NetworkConfig, PipelineConfig, RouterConfig};
 pub use error::NocError;
 pub use fault::{FaultConfig, FaultCounters, FaultPlan, LinkKill, Verdict};

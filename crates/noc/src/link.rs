@@ -10,9 +10,17 @@
 //! In the multi-layered designs the link is bit-sliced like the rest of
 //! the datapath (paper §3.2.3); the slice accounting happens in the
 //! activity counters, keyed by the per-flit active-layer fraction.
+//!
+//! Since the data-oriented core rewrite (DESIGN.md §14) the wire carries
+//! [`FlitRef`] arena indices, not owned flits — sending a flit moves a
+//! 4-byte index. The only place a link clones payloads is the ARQ
+//! retransmit window, which by design must hold a pristine copy that
+//! survives corruption of the in-flight original; ARQ is off unless
+//! fault injection enables it, so the default path stays copy-free.
 
 use std::collections::VecDeque;
 
+use crate::arena::{FlitArena, FlitRef};
 use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
 use crate::packet::PacketId;
@@ -27,7 +35,7 @@ use crate::packet::PacketId;
 /// counter stays far below `u64::MAX`; the checked arithmetic turns a
 /// hypothetical wrap (which would silently violate the FIFO ordering
 /// below) into a panic at the injection seam.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct FlitInFlight {
     /// Cycle at which the flit becomes visible to the downstream router.
     pub deliver_at: u64,
@@ -39,8 +47,8 @@ pub struct FlitInFlight {
     /// Sender-computed slice parity ([`crate::flit::FlitData::slice_parity`]);
     /// only meaningful when ARQ is on.
     pub parity: u8,
-    /// The flit itself.
-    pub flit: Flit,
+    /// Arena reference to the flit itself.
+    pub flit: FlitRef,
 }
 
 /// A credit return in flight on a link (towards the upstream router).
@@ -53,6 +61,10 @@ pub struct CreditInFlight {
 }
 
 /// One unacknowledged flit held by the sender-side retransmit buffer.
+///
+/// The window owns a full [`Flit`] copy rather than a [`FlitRef`]: a
+/// resend must replay the *pristine* payload even after the in-flight
+/// original was corrupted, delivered, or freed.
 #[derive(Debug, Clone)]
 struct ArqEntry {
     seq: u64,
@@ -144,7 +156,9 @@ impl Link {
         self.arq.is_some()
     }
 
-    /// Sends a flit downstream, to be delivered at `deliver_at`.
+    /// Sends the flit at `fref` downstream, to be delivered at
+    /// `deliver_at`. Ownership of the reference moves to the link (and
+    /// back out through [`Link::take_due_flit`]).
     ///
     /// Delivery times must be non-decreasing across calls (links are
     /// FIFOs); this holds by construction because the per-link latency is
@@ -152,12 +166,13 @@ impl Link {
     /// on, a NACK purges the wire before any resend is pushed, and new
     /// sends during a pending resend go to the window only, so the
     /// invariant survives retransmission too.
-    pub fn send_flit(&mut self, flit: Flit, vc: VcId, deliver_at: u64) {
+    pub fn send_flit(&mut self, arena: &mut FlitArena, fref: FlitRef, vc: VcId, deliver_at: u64) {
         let (seq, parity) = match &mut self.arq {
             None => (0, 0),
             Some(a) => {
                 let seq = a.next_seq;
                 a.next_seq += 1;
+                let flit = arena.get(fref);
                 let parity = flit.data.slice_parity();
                 a.window.push_back(ArqEntry { seq, vc, flit: flit.clone() });
                 if a.resend_at.is_some() {
@@ -165,6 +180,7 @@ impl Link {
                     // will be repopulated (including this flit) when
                     // the backoff expires. Pushing now would deliver
                     // this flit ahead of its predecessors.
+                    arena.free(fref);
                     return;
                 }
                 (seq, parity)
@@ -174,7 +190,7 @@ impl Link {
             self.flits.back().is_none_or(|f| f.deliver_at <= deliver_at),
             "link is not a FIFO"
         );
-        self.flits.push_back(FlitInFlight { deliver_at, vc, seq, parity, flit });
+        self.flits.push_back(FlitInFlight { deliver_at, vc, seq, parity, flit: fref });
     }
 
     /// Cumulative acknowledgement: drops every retransmit-window entry
@@ -191,13 +207,16 @@ impl Link {
 
     /// Negative acknowledgement: the receiver detected corruption.
     /// Purges the physical wire (go-back-N: everything after the bad
-    /// flit is dropped and will be resent in order) and schedules a
+    /// flit is dropped and will be resent in order; their arena slots
+    /// are freed — the window clones are authoritative) and schedules a
     /// full-window resend after an exponential backoff capped at 64
     /// cycles. Returns the consecutive-retry count for the current
     /// window head.
-    pub fn arq_nack(&mut self, cycle: u64) -> u32 {
+    pub fn arq_nack(&mut self, cycle: u64, arena: &mut FlitArena) -> u32 {
         let a = self.arq.as_mut().expect("NACK on a link without ARQ");
-        self.flits.clear();
+        for f in self.flits.drain(..) {
+            arena.free(f.flit);
+        }
         a.retries += 1;
         let backoff = 1u64 << a.retries.min(6);
         a.resend_at = Some(Link::delivery_cycle(cycle, backoff));
@@ -229,9 +248,10 @@ impl Link {
     }
 
     /// Executes a due scheduled resend: pushes every window entry back
-    /// onto the wire in order. Returns the number of flits resent (0
-    /// when no resend was due).
-    pub fn arq_service(&mut self, cycle: u64) -> u64 {
+    /// onto the wire in order (re-allocating each pristine copy into
+    /// the arena). Returns the number of flits resent (0 when no resend
+    /// was due).
+    pub fn arq_service(&mut self, cycle: u64, arena: &mut FlitArena) -> u64 {
         let Some(a) = &mut self.arq else { return 0 };
         if a.resend_at.is_none_or(|at| at > cycle) {
             return 0;
@@ -245,7 +265,7 @@ impl Link {
                 vc: e.vc,
                 seq: e.seq,
                 parity: e.flit.data.slice_parity(),
-                flit: e.flit.clone(),
+                flit: arena.alloc(e.flit.clone()),
             });
         }
         a.window.len() as u64
@@ -264,11 +284,12 @@ impl Link {
     }
 
     /// Permanently kills the link: purges the wire and the retransmit
-    /// window, returning the `(packet, downstream VC)` of every lost
+    /// window (freeing the arena slots of everything on the wire),
+    /// returning the `(packet, downstream VC)` of every lost
     /// unacknowledged flit so the caller can account the drops. With
     /// ARQ on, the window is a superset of the wire, so the returned
     /// list covers every in-flight flit exactly once.
-    pub fn kill(&mut self) -> Vec<(PacketId, VcId)> {
+    pub fn kill(&mut self, arena: &mut FlitArena) -> Vec<(PacketId, VcId)> {
         let mut lost: Vec<(PacketId, VcId)> = Vec::new();
         match &mut self.arq {
             Some(a) => {
@@ -276,9 +297,11 @@ impl Link {
                 a.resend_at = None;
                 a.retries = 0;
             }
-            None => lost.extend(self.flits.iter().map(|f| (f.flit.packet, f.vc))),
+            None => lost.extend(self.flits.iter().map(|f| (arena.get(f.flit).packet, f.vc))),
         }
-        self.flits.clear();
+        for f in self.flits.drain(..) {
+            arena.free(f.flit);
+        }
         lost
     }
 
@@ -349,13 +372,20 @@ mod tests {
         Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1)
     }
 
+    fn send(l: &mut Link, a: &mut FlitArena, flit: Flit, vc: VcId, deliver_at: u64) {
+        let fref = a.alloc(flit);
+        l.send_flit(a, fref, vc, deliver_at);
+    }
+
     #[test]
     fn flit_delivery_respects_time() {
+        let mut a = FlitArena::new();
         let mut l = mk_link();
-        l.send_flit(mk_flit(), VcId(0), 5);
+        send(&mut l, &mut a, mk_flit(), VcId(0), 5);
         assert!(l.take_due_flit(4).is_none());
         let f = l.take_due_flit(5).unwrap();
         assert_eq!(f.vc, VcId(0));
+        assert!(a.is_live(f.flit), "delivered ref is live until the receiver consumes it");
         assert!(l.take_due_flit(6).is_none());
     }
 
@@ -369,9 +399,10 @@ mod tests {
 
     #[test]
     fn quiescence() {
+        let mut a = FlitArena::new();
         let mut l = mk_link();
         assert!(l.is_quiescent());
-        l.send_flit(mk_flit(), VcId(0), 1);
+        send(&mut l, &mut a, mk_flit(), VcId(0), 1);
         assert!(!l.is_quiescent());
         assert_eq!(l.flits_in_flight(), 1);
         let _ = l.take_due_flit(1);
@@ -380,15 +411,16 @@ mod tests {
 
     #[test]
     fn fifo_order_preserved() {
+        let mut a = FlitArena::new();
         let mut l = mk_link();
         let mut f0 = mk_flit();
         f0.seq = 0;
         let mut f1 = mk_flit();
         f1.seq = 1;
-        l.send_flit(f0, VcId(0), 2);
-        l.send_flit(f1, VcId(0), 3);
-        assert_eq!(l.take_due_flit(3).unwrap().flit.seq, 0);
-        assert_eq!(l.take_due_flit(3).unwrap().flit.seq, 1);
+        send(&mut l, &mut a, f0, VcId(0), 2);
+        send(&mut l, &mut a, f1, VcId(0), 3);
+        assert_eq!(a.get(l.take_due_flit(3).unwrap().flit).seq, 0);
+        assert_eq!(a.get(l.take_due_flit(3).unwrap().flit).seq, 1);
     }
 
     #[test]
@@ -405,14 +437,15 @@ mod tests {
 
     #[test]
     fn arq_stamps_sequence_numbers_and_parity() {
+        let mut ar = FlitArena::new();
         let mut l = mk_link();
         l.enable_arq(1);
-        l.send_flit(mk_flit(), VcId(0), 1);
-        l.send_flit(mk_flit(), VcId(1), 2);
+        send(&mut l, &mut ar, mk_flit(), VcId(0), 1);
+        send(&mut l, &mut ar, mk_flit(), VcId(1), 2);
         let a = l.take_due_flit(1).unwrap();
         let b = l.take_due_flit(2).unwrap();
         assert_eq!((a.seq, b.seq), (0, 1));
-        assert_eq!(a.parity, a.flit.data.slice_parity());
+        assert_eq!(a.parity, ar.get(a.flit).data.slice_parity());
         assert_eq!(l.arq_window_len(), 2, "unacked flits stay in the window");
         l.arq_ack(0);
         assert_eq!(l.arq_window_len(), 1);
@@ -422,34 +455,39 @@ mod tests {
 
     #[test]
     fn nack_purges_wire_and_resend_replays_in_order() {
+        let mut ar = FlitArena::new();
         let mut l = mk_link();
         l.enable_arq(1);
         let mut f0 = mk_flit();
         f0.seq = 10;
         let mut f1 = mk_flit();
         f1.seq = 11;
-        l.send_flit(f0, VcId(0), 5);
-        l.send_flit(f1, VcId(0), 6);
-        let retries = l.arq_nack(5);
+        send(&mut l, &mut ar, f0, VcId(0), 5);
+        send(&mut l, &mut ar, f1, VcId(0), 6);
+        let retries = l.arq_nack(5, &mut ar);
         assert_eq!(retries, 1);
         assert!(l.take_due_flit(100).is_none(), "wire was purged");
+        assert_eq!(ar.allocated(), 0, "purged wire refs were freed");
         assert!(l.arq_resend_pending());
         assert!(!l.is_quiescent(), "unacked flits keep the link busy");
         // A new send during backoff must not jump the queue.
         let mut f2 = mk_flit();
         f2.seq = 12;
-        l.send_flit(f2, VcId(0), 6);
+        send(&mut l, &mut ar, f2, VcId(0), 6);
         assert!(l.take_due_flit(100).is_none(), "send during backoff rides the resend");
+        assert_eq!(ar.allocated(), 0, "backoff send is swallowed into the window");
         // Backoff = 1 << 1 = 2 cycles: due at cycle 5 + 1 + 2 = 8.
-        assert_eq!(l.arq_service(7), 0, "not due yet");
-        assert_eq!(l.arq_service(8), 3, "whole window resent");
-        let seqs: Vec<u64> =
-            std::iter::from_fn(|| l.take_due_flit(100)).map(|f| f.flit.seq as u64).collect();
+        assert_eq!(l.arq_service(7, &mut ar), 0, "not due yet");
+        assert_eq!(l.arq_service(8, &mut ar), 3, "whole window resent");
+        let seqs: Vec<u64> = std::iter::from_fn(|| l.take_due_flit(100))
+            .map(|f| ar.get(f.flit).seq as u64)
+            .collect();
         assert_eq!(seqs, vec![10, 11, 12], "resend preserves order");
     }
 
     #[test]
     fn drop_front_packet_strips_the_window() {
+        let mut ar = FlitArena::new();
         let mut l = mk_link();
         l.enable_arq(1);
         let mut f0 = mk_flit();
@@ -458,10 +496,10 @@ mod tests {
         other.packet = PacketId(2);
         let mut f1 = mk_flit();
         f1.packet = PacketId(1);
-        l.send_flit(f0, VcId(0), 1);
-        l.send_flit(other, VcId(1), 2);
-        l.send_flit(f1, VcId(0), 3);
-        l.arq_nack(3);
+        send(&mut l, &mut ar, f0, VcId(0), 1);
+        send(&mut l, &mut ar, other, VcId(1), 2);
+        send(&mut l, &mut ar, f1, VcId(0), 3);
+        l.arq_nack(3, &mut ar);
         let (pid, vcs) = l.arq_drop_front_packet().unwrap();
         assert_eq!(pid, PacketId(1));
         assert_eq!(vcs, vec![VcId(0), VcId(0)], "both entries of the packet stripped");
@@ -471,12 +509,13 @@ mod tests {
 
     #[test]
     fn kill_returns_every_unacked_flit_once() {
+        let mut ar = FlitArena::new();
         let mut l = mk_link();
         l.enable_arq(1);
-        l.send_flit(mk_flit(), VcId(0), 1);
-        l.send_flit(mk_flit(), VcId(1), 2);
+        send(&mut l, &mut ar, mk_flit(), VcId(0), 1);
+        send(&mut l, &mut ar, mk_flit(), VcId(1), 2);
         let _ = l.take_due_flit(1); // one delivered but not acked
-        let lost = l.kill();
+        let lost = l.kill(&mut ar);
         assert_eq!(lost.len(), 2, "window covers wire and delivered-unacked alike");
         assert!(l.is_quiescent());
     }

@@ -8,15 +8,15 @@
 
 use std::collections::{HashSet, VecDeque};
 
+use crate::arena::{FlitArena, FlitRef};
 use crate::config::NetworkConfig;
 use crate::error::NocError;
 use crate::fault::{FaultConfig, FaultCounters, FaultPlan, Verdict};
-use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
 use crate::journey::JourneyRecorder;
 use crate::link::Link;
 use crate::packet::{Packet, PacketId};
-use crate::router::{EjectedFlit, Router};
+use crate::router::{EjectedFlit, Router, StepScratch};
 use crate::stats::{ActivityCounters, RouterActivity};
 use crate::telemetry::{
     EventSink, MetricsCollector, MetricsWindow, NullSink, StallCounters, TelemetryConfig,
@@ -24,10 +24,12 @@ use crate::telemetry::{
 };
 use crate::topology::Topology;
 
-/// Per-node network interface: one unbounded source queue per VC.
+/// Per-node network interface: one unbounded source queue per VC. The
+/// queues hold [`FlitRef`]s into the network's arena, so moving a flit
+/// from the queue into a router buffer moves a 4-byte index.
 #[derive(Debug)]
 struct Nic {
-    queues: Vec<VecDeque<Flit>>,
+    queues: Vec<VecDeque<FlitRef>>,
 }
 
 impl Nic {
@@ -73,6 +75,13 @@ pub struct Network {
     routers: Vec<Router>,
     links: Vec<Link>,
     nics: Vec<Nic>,
+    /// The single flit store: every flit anywhere in the network (source
+    /// queues, router buffers, link wires) lives in one slot here and
+    /// moves as a [`FlitRef`].
+    arena: FlitArena,
+    /// Reusable per-step scratch space shared by every router (router
+    /// steps are sequential, so one set suffices for the whole network).
+    scratch: StepScratch,
     ejected: Vec<EjectedFlit>,
     counters: ActivityCounters,
     activity: Vec<RouterActivity>,
@@ -130,7 +139,13 @@ impl Network {
         }
 
         let vcs = cfg.router.vcs_per_port;
+        // Pre-size the arena for the fabric's worst case (every buffer
+        // slot full) plus headroom for wires and source queues; it still
+        // grows on demand past this.
+        let fabric_slots = n * radix * vcs * cfg.router.buffer_depth;
         Network {
+            scratch: StepScratch::new(radix, vcs),
+            arena: FlitArena::with_capacity(2 * fabric_slots),
             topo,
             cfg,
             routers,
@@ -314,9 +329,10 @@ impl Network {
         assert!(packet.src.index() < self.routers.len(), "unknown source {}", packet.src);
         assert!(packet.dst.index() < self.routers.len(), "unknown destination {}", packet.dst);
         let vc = packet.class.vc_index().min(self.cfg.router.vcs_per_port - 1);
-        let nic = &mut self.nics[packet.src.index()];
-        for flit in packet.into_flits() {
-            nic.queues[vc].push_back(flit);
+        let src = packet.src.index();
+        for flit in packet.into_flit_iter() {
+            let fref = self.arena.alloc(flit);
+            self.nics[src].queues[vc].push_back(fref);
         }
     }
 
@@ -335,6 +351,10 @@ impl Network {
             for li in 0..self.links.len() {
                 while let Some(f) = self.links[li].take_due_flit(cycle) {
                     let (dst, port) = self.links[li].to;
+                    let (packet, is_head) = {
+                        let flit = self.arena.get(f.flit);
+                        (flit.packet, flit.is_head())
+                    };
                     if traced {
                         self.sink.record(TraceEvent {
                             cycle,
@@ -342,19 +362,20 @@ impl Network {
                             port,
                             vc: f.vc,
                             kind: TraceEventKind::BufferWrite,
-                            packet: f.flit.packet.0,
+                            packet: packet.0,
                             detail: 0,
                         });
                     }
-                    if f.flit.is_head() {
+                    if is_head {
                         if let Some(j) = &mut self.journeys {
-                            j.on_link_arrival(f.flit.packet, dst, port, cycle);
+                            j.on_link_arrival(packet, dst, port, cycle);
                         }
                     }
                     self.routers[dst.index()].receive_flit(
                         port,
                         f.vc,
                         f.flit,
+                        &self.arena,
                         cycle,
                         &mut self.counters,
                         &mut self.activity[dst.index()],
@@ -378,12 +399,20 @@ impl Network {
             }
         }
 
-        // 2. Router pipelines.
+        // 2. Router pipelines. Quiescent routers (no buffered flit, no
+        // pending switch grant) are provably no-ops — no counter, stall,
+        // trace, or arbiter state can change — so the active-set skip
+        // costs nothing in fidelity and most of the fabric at low load.
         for (i, r) in self.routers.iter_mut().enumerate() {
+            if r.is_quiescent() {
+                continue;
+            }
             r.step(
                 cycle,
                 &*self.topo,
+                &mut self.arena,
                 &mut self.links,
+                &mut self.scratch,
                 &mut self.counters,
                 &mut self.activity[i],
                 &mut self.ejected,
@@ -410,12 +439,13 @@ impl Network {
         // an upstream pipeline latch, keeping wormhole streaming gapless.
         for node in 0..self.nics.len() {
             for vc in 0..self.cfg.router.vcs_per_port {
-                while let Some(front) = self.nics[node].queues[vc].front() {
+                while let Some(&fref) = self.nics[node].queues[vc].front() {
                     // Flits of a severed packet die at the source: the
                     // packet can no longer be delivered whole.
                     if let Some(fr) = &mut self.faults {
-                        if fr.severed.contains(&front.packet) {
+                        if fr.severed.contains(&self.arena.get(fref).packet) {
                             self.nics[node].queues[vc].pop_front();
+                            self.arena.free(fref);
                             fr.counters.flits_dropped += 1;
                             continue;
                         }
@@ -423,11 +453,15 @@ impl Network {
                     if self.routers[node].local_free_slots(VcId(vc)) == 0 {
                         break;
                     }
-                    let flit = self.nics[node].queues[vc].pop_front().expect("non-empty queue");
+                    self.nics[node].queues[vc].pop_front();
                     self.counters.flits_injected += 1;
-                    if flit.is_head() {
+                    let (packet, is_head) = {
+                        let flit = self.arena.get(fref);
+                        (flit.packet, flit.is_head())
+                    };
+                    if is_head {
                         if let Some(j) = &mut self.journeys {
-                            j.on_nic_inject(flit.packet, NodeId(node), cycle);
+                            j.on_nic_inject(packet, NodeId(node), cycle);
                         }
                     }
                     if traced {
@@ -437,14 +471,15 @@ impl Network {
                             port: PortId::LOCAL,
                             vc: VcId(vc),
                             kind: TraceEventKind::BufferWrite,
-                            packet: flit.packet.0,
+                            packet: packet.0,
                             detail: 0,
                         });
                     }
                     self.routers[node].receive_flit(
                         PortId::LOCAL,
                         VcId(vc),
-                        flit,
+                        fref,
+                        &self.arena,
                         cycle,
                         &mut self.counters,
                         &mut self.activity[node],
@@ -501,7 +536,7 @@ impl Network {
             fr.dead[li] = true;
             fr.counters.links_killed += 1;
             let (node, port) = self.links[li].from;
-            for (pid, vc) in self.links[li].kill() {
+            for (pid, vc) in self.links[li].kill(&mut self.arena) {
                 fr.counters.flits_dropped += 1;
                 self.links[li].send_credit(vc, Link::delivery_cycle(cycle, 0));
                 self.sever(fr, pid, (node, port), cycle);
@@ -524,13 +559,14 @@ impl Network {
         // a pending switch grant; they purge next cycle).
         if !fr.severed.is_empty() {
             for r in &mut self.routers {
-                fr.counters.flits_dropped += r.purge_severed(&fr.severed, cycle, &mut self.links);
+                fr.counters.flits_dropped +=
+                    r.purge_severed(&fr.severed, cycle, &mut self.arena, &mut self.links);
             }
         }
 
         // (c) Per link: execute due retransmissions, then deliver.
         for li in 0..self.links.len() {
-            let resent = self.links[li].arq_service(cycle);
+            let resent = self.links[li].arq_service(cycle, &mut self.arena);
             if resent > 0 {
                 fr.counters.retransmissions += resent;
                 if traced {
@@ -546,10 +582,11 @@ impl Network {
                     });
                 }
             }
-            'deliver: while let Some(mut f) = self.links[li].take_due_flit(cycle) {
+            'deliver: while let Some(f) = self.links[li].take_due_flit(cycle) {
                 let (dst, port) = self.links[li].to;
                 let upstream = self.links[li].from;
-                if fr.dead[li] || fr.severed.contains(&f.flit.packet) {
+                let pid = self.arena.get(f.flit).packet;
+                if fr.dead[li] || fr.severed.contains(&pid) {
                     // Black hole (the link died under the flit) or a
                     // stub of an already-dropped packet: swallow it,
                     // acknowledge so the window drains, and credit the
@@ -557,17 +594,22 @@ impl Network {
                     self.links[li].arq_ack(f.seq);
                     fr.counters.flits_dropped += 1;
                     self.links[li].send_credit(f.vc, Link::delivery_cycle(cycle, 0));
+                    self.arena.free(f.flit);
                     if fr.dead[li] {
-                        self.sever(fr, f.flit.packet, upstream, cycle);
+                        self.sever(fr, pid, upstream, cycle);
                     }
                     continue;
                 }
+                let (num_words, active_words) = {
+                    let data = &self.arena.get(f.flit).data;
+                    (data.num_words(), data.active_words())
+                };
                 let verdict = fr.plan.verdict(
                     li,
                     f.seq,
                     cycle,
-                    f.flit.data.num_words(),
-                    f.flit.data.active_words(),
+                    num_words,
+                    active_words,
                     self.cfg.layer_shutdown,
                 );
                 match verdict {
@@ -583,7 +625,7 @@ impl Network {
                     Verdict::Escaped { word, mask } => {
                         fr.counters.transient_faults += 1;
                         fr.counters.escaped += 1;
-                        f.flit.data.flip_bits(word, mask);
+                        self.arena.get_mut(f.flit).data.flip_bits(word, mask);
                         self.links[li].arq_ack(f.seq);
                         if traced {
                             self.sink.record(TraceEvent {
@@ -592,14 +634,14 @@ impl Network {
                                 port,
                                 vc: f.vc,
                                 kind: TraceEventKind::FaultInject,
-                                packet: f.flit.packet.0,
+                                packet: pid.0,
                                 detail: li as u32,
                             });
                         }
                     }
                     Verdict::Detected => {
                         let stuck = fr.plan.stuck_gate(li).is_some_and(|(onset, healthy)| {
-                            cycle >= onset && f.flit.data.active_words() > healthy
+                            cycle >= onset && active_words > healthy
                         });
                         if stuck {
                             fr.counters.stuck_faults += 1;
@@ -614,11 +656,14 @@ impl Network {
                                 port,
                                 vc: f.vc,
                                 kind: TraceEventKind::FaultInject,
-                                packet: f.flit.packet.0,
+                                packet: pid.0,
                                 detail: li as u32,
                             });
                         }
-                        let retries = self.links[li].arq_nack(cycle);
+                        // The popped copy is discarded (the pristine
+                        // window clone replays later); its slot dies here.
+                        self.arena.free(f.flit);
+                        let retries = self.links[li].arq_nack(cycle, &mut self.arena);
                         let budget = fr.plan.config().max_retries;
                         if budget > 0 && retries > budget {
                             if let Some((pid, vcs)) = self.links[li].arq_drop_front_packet() {
@@ -648,19 +693,20 @@ impl Network {
                         port,
                         vc: f.vc,
                         kind: TraceEventKind::BufferWrite,
-                        packet: f.flit.packet.0,
+                        packet: pid.0,
                         detail: 0,
                     });
                 }
-                if f.flit.is_head() {
+                if self.arena.get(f.flit).is_head() {
                     if let Some(j) = &mut self.journeys {
-                        j.on_link_arrival(f.flit.packet, dst, port, cycle);
+                        j.on_link_arrival(pid, dst, port, cycle);
                     }
                 }
                 self.routers[dst.index()].receive_flit(
                     port,
                     f.vc,
                     f.flit,
+                    &self.arena,
                     cycle,
                     &mut self.counters,
                     &mut self.activity[dst.index()],
@@ -699,6 +745,18 @@ impl Network {
         std::mem::take(&mut self.ejected)
     }
 
+    /// Moves the flits ejected so far into `out`, reusing its capacity —
+    /// the allocation-free alternative to [`Network::take_ejected`].
+    pub fn drain_ejected(&mut self, out: &mut Vec<EjectedFlit>) {
+        out.append(&mut self.ejected);
+    }
+
+    /// Read access to the flit arena (slot-conservation checks in tests
+    /// and diagnostics; the simulation itself never needs this).
+    pub fn arena(&self) -> &FlitArena {
+        &self.arena
+    }
+
     /// Flits inside the network fabric (router buffers + links), excluding
     /// source queues.
     pub fn flits_in_fabric(&self) -> usize {
@@ -709,6 +767,15 @@ impl Network {
     /// Flits waiting in source queues.
     pub fn flits_in_source_queues(&self) -> usize {
         self.nics.iter().map(Nic::queued_flits).sum()
+    }
+
+    /// Runs [`Router::assert_worklists_consistent`] on every router —
+    /// the active-set invariant check the property-test suite applies
+    /// after every simulated cycle.
+    pub fn assert_worklists_consistent(&self) {
+        for r in &self.routers {
+            r.assert_worklists_consistent();
+        }
     }
 
     /// Returns `true` when no flit remains anywhere (fabric and sources).

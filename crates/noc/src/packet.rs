@@ -137,31 +137,24 @@ impl Packet {
 
     /// Splits the packet into its flits, in order.
     pub fn into_flits(self) -> Vec<Flit> {
-        let n = self.payload.len();
+        self.into_flit_iter().collect()
+    }
+
+    /// Iterates the packet's flits in order without collecting them —
+    /// the allocation-free path the injection fast path uses.
+    pub fn into_flit_iter(self) -> impl Iterator<Item = Flit> {
+        let Packet { id, src, dst, class, payload, created_at } = self;
+        let n = payload.len();
         assert!(n > 0, "packet must have at least one flit");
-        self.payload
-            .into_iter()
-            .enumerate()
-            .map(|(i, data)| {
-                let kind = match (n, i) {
-                    (1, _) => FlitKind::HeadTail,
-                    (_, 0) => FlitKind::Head,
-                    (_, i) if i == n - 1 => FlitKind::Tail,
-                    _ => FlitKind::Body,
-                };
-                Flit {
-                    packet: self.id,
-                    seq: i as u32,
-                    kind,
-                    src: self.src,
-                    dst: self.dst,
-                    class: self.class,
-                    data,
-                    created_at: self.created_at,
-                    hops: 0,
-                }
-            })
-            .collect()
+        payload.into_iter().enumerate().map(move |(i, data)| {
+            let kind = match (n, i) {
+                (1, _) => FlitKind::HeadTail,
+                (_, 0) => FlitKind::Head,
+                (_, i) if i == n - 1 => FlitKind::Tail,
+                _ => FlitKind::Body,
+            };
+            Flit { packet: id, seq: i as u32, kind, src, dst, class, data, created_at, hops: 0 }
+        })
     }
 
     /// Average active-layer fraction across the packet's flits (1.0 when

@@ -24,10 +24,25 @@
 //! Every energy-relevant event is reported to [`ActivityCounters`]; events
 //! on the separable datapath carry the flit's active-layer fraction when
 //! short-flit shutdown is enabled (paper §3.2.1).
+//!
+//! # Data-oriented layout (DESIGN.md §14)
+//!
+//! Router state is struct-of-arrays: per-VC pipeline state, serviced
+//! packet, buffered flits, output-VC ownership, and credits all live in
+//! flat arrays keyed by the `(port, vc)` index `pv = port*vcs + vc`.
+//! Flits themselves live in the network's [`FlitArena`]; the router's
+//! buffers hold [`BufSlot`]s (a [`crate::arena::FlitRef`] plus
+//! denormalised header fields), so the allocation stages never chase a
+//! pointer into payload data. The per-cycle transient vectors the
+//! stages need are borrowed from a caller-owned [`StepScratch`] and
+//! reach a steady capacity after warmup — the pipeline allocates
+//! nothing per cycle.
 
 use std::collections::HashSet;
 
 use crate::arbiter::RoundRobinArbiter;
+use crate::arena::{FlitArena, FlitRef};
+use crate::buffer::{BufSlot, FlitSlab};
 use crate::config::{NetworkConfig, PipelineConfig};
 use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
@@ -40,7 +55,7 @@ use crate::telemetry::{
     EventSink, RouterTelemetry, StallCause, StallCounters, TraceEvent, TraceEventKind,
 };
 use crate::topology::Topology;
-use crate::vc::{InputVc, OutputVc, VcState};
+use crate::vc::VcState;
 
 /// A flit that reached its destination, with arrival metadata.
 #[derive(Debug, Clone)]
@@ -62,6 +77,49 @@ struct StGrant {
     out_vc: VcId,
 }
 
+/// Reusable per-cycle working memory for [`Router::step`].
+///
+/// Every transient collection the pipeline stages need lives here and is
+/// cleared (capacity kept) instead of reallocated, which is what makes
+/// the steady-state step loop allocation-free. One scratch, sized for
+/// the largest router, is shared across all routers of a network.
+#[derive(Debug)]
+pub struct StepScratch {
+    /// SA1 winners: one candidate `(vc, out_port, out_vc)` per input port.
+    sa1: Vec<Option<(VcId, PortId, VcId)>>,
+    /// All switch-eligible `(port, vc)` pairs, for SA-loss attribution.
+    eligible_all: Vec<(usize, usize)>,
+    /// `(port, vc)` pairs granted the switch this cycle.
+    granted: Vec<(usize, usize)>,
+    /// SA2 request masks bucketed by output port: bit `ip` requests on
+    /// behalf of input port `ip` (set by SA1 winners, drained and
+    /// re-zeroed by SA2).
+    sa2_req: Vec<u64>,
+    /// VA requests bucketed by flat `(out_port, out_vc)` index.
+    va_requests: Vec<Vec<(PortId, VcId)>>,
+    /// Arbiter line masks mirroring `va_requests`: bit `pv` requests on
+    /// behalf of input VC `pv`.
+    va_line_masks: Vec<u64>,
+    /// Route candidates of the head flit under consideration.
+    candidates: Vec<PortId>,
+}
+
+impl StepScratch {
+    /// Creates scratch space for routers of up to `ports` ports and
+    /// `vcs` VCs per port.
+    pub fn new(ports: usize, vcs: usize) -> Self {
+        StepScratch {
+            sa1: Vec::with_capacity(ports),
+            eligible_all: Vec::with_capacity(ports * vcs),
+            granted: Vec::with_capacity(ports),
+            sa2_req: vec![0; ports],
+            va_requests: (0..ports * vcs).map(|_| Vec::with_capacity(ports * vcs)).collect(),
+            va_line_masks: vec![0; ports * vcs],
+            candidates: Vec::with_capacity(8),
+        }
+    }
+}
+
 /// One router: input VCs, output VC state, allocators, and the pipeline.
 #[derive(Debug)]
 pub struct Router {
@@ -70,15 +128,32 @@ pub struct Router {
     vcs: usize,
     pipeline: PipelineConfig,
     layer_shutdown: bool,
-    inputs: Vec<Vec<InputVc>>,
-    outputs: Vec<Vec<OutputVc>>,
+    /// Pipeline state per input VC, keyed by `pv = port*vcs + vc`.
+    vc_state: Box<[VcState]>,
+    /// Bit per `pv` in `Routing` state — the RC stage iterates set bits
+    /// instead of scanning every VC (see [`Router::set_state`]).
+    routing_mask: u64,
+    /// Bit per `pv` in `WaitingVc` state (VA1 work list).
+    waiting_mask: u64,
+    /// Bit per `pv` in `Active` state (SA1 work list).
+    active_mask: u64,
+    /// Packet currently serviced per input VC (same key).
+    vc_packet: Box<[Option<PacketId>]>,
+    /// Every input-VC FIFO, as one flat ring-buffer slab (same key).
+    buf: FlitSlab,
+    /// Output-VC ownership, keyed by `out_port*vcs + out_vc`.
+    out_owner: Box<[Option<(PortId, VcId)>]>,
+    /// Downstream credits per output VC (same key).
+    out_credits: Box<[usize]>,
     /// Link index carrying flits *out of* each output port (`None` for the
     /// local port and edge ports).
     out_links: Vec<Option<usize>>,
     /// Link index feeding each input port (`None` for the local port),
     /// used for upstream credit returns.
     in_links: Vec<Option<usize>>,
-    va2_arbiters: Vec<Vec<RoundRobinArbiter>>,
+    /// VA2 arbiters, keyed by `out_port*vcs + out_vc`; lines are flat
+    /// input `pv` indices.
+    va2_arbiters: Box<[RoundRobinArbiter]>,
     sa1_arbiters: Vec<RoundRobinArbiter>,
     sa2_arbiters: Vec<RoundRobinArbiter>,
     st_grants: Vec<StGrant>,
@@ -115,22 +190,28 @@ impl Router {
     pub fn new(id: NodeId, ports: usize, cfg: &NetworkConfig) -> Self {
         let vcs = cfg.router.vcs_per_port;
         let depth = cfg.router.buffer_depth;
+        let pvs = ports * vcs;
+        assert!(pvs <= 64, "router supports at most 64 (port, vc) pairs");
         Router {
             id,
             ports,
             vcs,
             pipeline: cfg.router.pipeline,
             layer_shutdown: cfg.layer_shutdown,
-            inputs: (0..ports).map(|_| (0..vcs).map(|_| InputVc::new(depth)).collect()).collect(),
-            outputs: (0..ports).map(|_| (0..vcs).map(|_| OutputVc::new(depth)).collect()).collect(),
+            vc_state: vec![VcState::Idle; pvs].into_boxed_slice(),
+            routing_mask: 0,
+            waiting_mask: 0,
+            active_mask: 0,
+            vc_packet: vec![None; pvs].into_boxed_slice(),
+            buf: FlitSlab::new(pvs, depth),
+            out_owner: vec![None; pvs].into_boxed_slice(),
+            out_credits: vec![depth; pvs].into_boxed_slice(),
             out_links: vec![None; ports],
             in_links: vec![None; ports],
-            va2_arbiters: (0..ports)
-                .map(|_| (0..vcs).map(|_| RoundRobinArbiter::new(ports * vcs)).collect())
-                .collect(),
+            va2_arbiters: (0..pvs).map(|_| RoundRobinArbiter::new(pvs)).collect(),
             sa1_arbiters: (0..ports).map(|_| RoundRobinArbiter::new(vcs)).collect(),
             sa2_arbiters: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
-            st_grants: Vec::new(),
+            st_grants: Vec::with_capacity(ports),
             layers: cfg.layers,
             stalls: StallCounters::new(),
             port_flits_out: vec![0; ports],
@@ -153,6 +234,12 @@ impl Router {
         self.ports
     }
 
+    /// Flat `(port, vc)` index into the per-VC parallel arrays.
+    #[inline]
+    fn pv(&self, port: PortId, vc: VcId) -> usize {
+        port.index() * self.vcs + vc.index()
+    }
+
     /// Attaches the outgoing link at `port` (wiring pass).
     pub(crate) fn set_out_link(&mut self, port: PortId, link: usize) {
         self.out_links[port.index()] = Some(link);
@@ -171,49 +258,158 @@ impl Router {
         }
     }
 
-    /// Accepts a flit into the input buffer at (`port`, `vc`).
+    /// The single write path for per-VC pipeline state: keeps the
+    /// per-state bitmasks (the stage work lists) exactly in sync with
+    /// `vc_state`.
+    #[inline]
+    fn set_state(&mut self, pv: usize, state: VcState) {
+        let bit = 1u64 << pv;
+        self.routing_mask &= !bit;
+        self.waiting_mask &= !bit;
+        self.active_mask &= !bit;
+        match state {
+            VcState::Idle => {}
+            VcState::Routing => self.routing_mask |= bit,
+            VcState::WaitingVc { .. } => self.waiting_mask |= bit,
+            VcState::Active { .. } => self.active_mask |= bit,
+        }
+        self.vc_state[pv] = state;
+    }
+
+    /// A head flit buffered into an idle VC starts the next packet's
+    /// pipeline occupancy: the VC enters `Routing` and records the
+    /// packet it now services.
+    fn on_flit_buffered(&mut self, pv: usize) {
+        if self.vc_state[pv] == VcState::Idle {
+            if let Some(front) = self.buf.front(pv) {
+                debug_assert!(front.head, "an idle VC must only receive head flits first");
+                self.vc_packet[pv] = Some(front.packet);
+                self.set_state(pv, VcState::Routing);
+            }
+        }
+    }
+
+    /// The tail's switch traversal frees the VC; if the next packet's
+    /// head is already buffered the VC re-enters `Routing` immediately.
+    fn on_tail_departed(&mut self, pv: usize) {
+        self.set_state(pv, VcState::Idle);
+        self.vc_packet[pv] = None;
+        self.on_flit_buffered(pv);
+    }
+
+    /// Accepts the flit at `fref` into the input buffer at (`port`, `vc`).
     ///
     /// # Panics
     ///
     /// Panics if the buffer is full (credit-accounting violation).
+    #[allow(clippy::too_many_arguments)]
     pub fn receive_flit(
         &mut self,
         port: PortId,
         vc: VcId,
-        flit: Flit,
+        fref: FlitRef,
+        arena: &FlitArena,
         cycle: u64,
         counters: &mut ActivityCounters,
         activity: &mut RouterActivity,
     ) {
-        let fraction = self.layer_fraction(&flit);
+        let flit = arena.get(fref);
+        let fraction = self.layer_fraction(flit);
         counters.record_buffer_write(fraction);
         activity.buffer_events += fraction;
-        let ivc = &mut self.inputs[port.index()][vc.index()];
-        ivc.buffer.push(flit, cycle);
-        ivc.on_flit_buffered();
+        let slot = BufSlot {
+            fref,
+            ready_at: cycle,
+            packet: flit.packet,
+            dst: flit.dst,
+            class: flit.class,
+            head: flit.is_head(),
+            tail: flit.is_tail(),
+        };
+        let pv = self.pv(port, vc);
+        self.buf.push(pv, slot);
+        self.on_flit_buffered(pv);
     }
 
     /// Accepts a returned credit for output VC (`port`, `vc`).
     pub fn receive_credit(&mut self, port: PortId, vc: VcId) {
-        self.outputs[port.index()][vc.index()].credits += 1;
+        let pv = self.pv(port, vc);
+        self.out_credits[pv] += 1;
     }
 
     /// Free slots in the local input buffer for VC `vc` (used by the
     /// network interface to pace injection).
     pub fn local_free_slots(&self, vc: VcId) -> usize {
-        self.inputs[PortId::LOCAL.index()][vc.index()].buffer.free_slots()
+        self.buf.free_slots(self.pv(PortId::LOCAL, vc))
     }
 
     /// Total flits currently buffered in this router (conservation
-    /// checks).
+    /// checks; O(1) — the slab tracks occupancy incrementally).
     pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().flatten().map(|vc| vc.buffer.len()).sum()
+        self.buf.occupied()
     }
 
     /// Returns `true` if the router holds no flits and has no pending
-    /// switch grants.
+    /// switch grants. A quiescent router's [`Router::step`] is a
+    /// provable no-op — no counter, stall, trace, or arbiter mutation —
+    /// which is what lets the network skip it entirely (the active-set
+    /// optimisation; see DESIGN.md §14).
     pub fn is_quiescent(&self) -> bool {
-        self.buffered_flits() == 0 && self.st_grants.is_empty()
+        self.buf.occupied() == 0 && self.st_grants.is_empty()
+    }
+
+    /// Verifies the data-oriented core's work-list invariants, panicking
+    /// with a diagnostic on the first violation. Checked properties:
+    ///
+    /// * each per-state mask (`routing`/`waiting`/`active`) holds exactly
+    ///   the VCs whose `vc_state` carries that state — the stages iterate
+    ///   the masks, so a desync would silently skip pipeline work;
+    /// * `Routing` and `WaitingVc` VCs hold a buffered head flit (which
+    ///   is what makes the quiescence skip sound: an empty router can
+    ///   have no routable or waiting VC);
+    /// * a quiescent router has empty routing and waiting masks.
+    ///
+    /// This is a test/debug facility; it walks every VC and is not meant
+    /// for per-cycle production use.
+    pub fn assert_worklists_consistent(&self) {
+        for pv in 0..self.vc_state.len() {
+            let bit = 1u64 << pv;
+            let (r, w, a) = (
+                self.routing_mask & bit != 0,
+                self.waiting_mask & bit != 0,
+                self.active_mask & bit != 0,
+            );
+            let expect = match self.vc_state[pv] {
+                VcState::Idle => (false, false, false),
+                VcState::Routing => (true, false, false),
+                VcState::WaitingVc { .. } => (false, true, false),
+                VcState::Active { .. } => (false, false, true),
+            };
+            assert_eq!(
+                (r, w, a),
+                expect,
+                "router {}: pv {pv} state {:?} disagrees with work-list masks",
+                self.id,
+                self.vc_state[pv]
+            );
+            if matches!(self.vc_state[pv], VcState::Routing | VcState::WaitingVc { .. }) {
+                let front = self.buf.front(pv);
+                assert!(
+                    front.is_some_and(|t| t.head),
+                    "router {}: pv {pv} is {:?} without a buffered head flit",
+                    self.id,
+                    self.vc_state[pv]
+                );
+            }
+        }
+        if self.is_quiescent() {
+            assert_eq!(
+                self.routing_mask | self.waiting_mask,
+                0,
+                "router {}: quiescent but holds routable or waiting VCs",
+                self.id
+            );
+        }
     }
 
     /// Cumulative stall-cause counters since construction.
@@ -246,11 +442,9 @@ impl Router {
     /// at the dead link and refluxes the credits.
     pub(crate) fn on_port_death(&mut self, port: PortId) {
         self.dead_out[port.index()] = true;
-        for pvcs in &mut self.inputs {
-            for ivc in pvcs {
-                if ivc.state == (VcState::WaitingVc { out_port: port }) {
-                    ivc.state = VcState::Routing;
-                }
+        for pv in 0..self.vc_state.len() {
+            if self.vc_state[pv] == (VcState::WaitingVc { out_port: port }) {
+                self.set_state(pv, VcState::Routing);
             }
         }
     }
@@ -305,19 +499,22 @@ impl Router {
         &mut self,
         severed: &HashSet<PacketId>,
         cycle: u64,
+        arena: &mut FlitArena,
         links: &mut [Link],
     ) -> u64 {
         let mut purged = 0u64;
         for ip in 0..self.ports {
             for iv in 0..self.vcs {
-                let Some(pid) = self.inputs[ip][iv].current_packet else { continue };
+                let pv = ip * self.vcs + iv;
+                let Some(pid) = self.vc_packet[pv] else { continue };
                 if !severed.contains(&pid) || self.has_st_grant(ip, iv) {
                     continue;
                 }
-                let state = self.inputs[ip][iv].state;
+                let state = self.vc_state[pv];
                 let mut popped = 0u64;
-                while self.inputs[ip][iv].buffer.front().is_some_and(|t| t.flit.packet == pid) {
-                    self.inputs[ip][iv].buffer.pop();
+                while self.buf.front(pv).is_some_and(|s| s.packet == pid) {
+                    let slot = self.buf.pop(pv).expect("front exists");
+                    arena.free(slot.fref);
                     popped += 1;
                 }
                 // Each popped flit frees a slot the upstream router
@@ -328,14 +525,14 @@ impl Router {
                     }
                 }
                 if let VcState::Active { out_port, out_vc } = state {
-                    let ovc = &mut self.outputs[out_port.index()][out_vc.index()];
-                    debug_assert_eq!(ovc.owner, Some((PortId(ip), VcId(iv))));
-                    ovc.owner = None;
+                    let ov = self.pv(out_port, out_vc);
+                    debug_assert_eq!(self.out_owner[ov], Some((PortId(ip), VcId(iv))));
+                    self.out_owner[ov] = None;
                 }
                 purged += popped;
-                self.inputs[ip][iv].state = VcState::Idle;
-                self.inputs[ip][iv].current_packet = None;
-                self.inputs[ip][iv].on_flit_buffered();
+                self.set_state(pv, VcState::Idle);
+                self.vc_packet[pv] = None;
+                self.on_flit_buffered(pv);
             }
         }
         purged
@@ -360,38 +557,55 @@ impl Router {
         &mut self,
         cycle: u64,
         topo: &dyn Topology,
+        arena: &mut FlitArena,
         links: &mut [Link],
+        scratch: &mut StepScratch,
         counters: &mut ActivityCounters,
         activity: &mut RouterActivity,
         ejected: &mut Vec<EjectedFlit>,
         sink: &mut dyn EventSink,
         mut journeys: Option<&mut JourneyRecorder>,
     ) {
-        self.stage_st(cycle, links, counters, activity, ejected, sink, journeys.as_deref_mut());
+        self.stage_st(
+            cycle,
+            arena,
+            links,
+            counters,
+            activity,
+            ejected,
+            sink,
+            journeys.as_deref_mut(),
+        );
         match self.pipeline.depth {
             crate::config::PipelineDepth::FourStage => {
-                self.stage_sa(cycle, counters, sink, journeys.as_deref_mut());
-                self.stage_va(cycle, counters, sink, journeys.as_deref_mut());
-                self.stage_rc(cycle, topo, counters, sink);
+                self.stage_sa(cycle, scratch, counters, sink, journeys.as_deref_mut());
+                self.stage_va(cycle, scratch, counters, sink, journeys.as_deref_mut());
+                self.stage_rc(cycle, topo, scratch, counters, sink);
             }
             crate::config::PipelineDepth::ThreeStageSpeculative => {
-                self.stage_va(cycle, counters, sink, journeys.as_deref_mut());
-                self.stage_sa(cycle, counters, sink, journeys.as_deref_mut());
-                self.stage_rc(cycle, topo, counters, sink);
+                self.stage_va(cycle, scratch, counters, sink, journeys.as_deref_mut());
+                self.stage_sa(cycle, scratch, counters, sink, journeys.as_deref_mut());
+                self.stage_rc(cycle, topo, scratch, counters, sink);
             }
             crate::config::PipelineDepth::TwoStageLookahead => {
-                self.stage_rc(cycle, topo, counters, sink);
-                self.stage_va(cycle, counters, sink, journeys.as_deref_mut());
-                self.stage_sa(cycle, counters, sink, journeys);
+                self.stage_rc(cycle, topo, scratch, counters, sink);
+                self.stage_va(cycle, scratch, counters, sink, journeys.as_deref_mut());
+                self.stage_sa(cycle, scratch, counters, sink, journeys);
             }
         }
     }
 
     /// ST: execute last cycle's switch grants.
+    ///
+    /// ST always runs first within the cycle, and SA (which is what
+    /// refills `st_grants`) always runs after it, so iterating the grant
+    /// list by index and clearing it at the end is safe and keeps the
+    /// vector's capacity.
     #[allow(clippy::too_many_arguments)]
     fn stage_st(
         &mut self,
         cycle: u64,
+        arena: &mut FlitArena,
         links: &mut [Link],
         counters: &mut ActivityCounters,
         activity: &mut RouterActivity,
@@ -399,18 +613,32 @@ impl Router {
         sink: &mut dyn EventSink,
         mut journeys: Option<&mut JourneyRecorder>,
     ) {
+        if self.st_grants.is_empty() {
+            return;
+        }
         let traced = sink.enabled();
-        let grants = std::mem::take(&mut self.st_grants);
-        for g in grants {
-            let ivc = &mut self.inputs[g.in_port.index()][g.in_vc.index()];
-            let timed = ivc.buffer.pop().expect("SA granted an empty VC");
-            let mut flit = timed.flit;
-            if flit.is_head() {
+        for gi in 0..self.st_grants.len() {
+            let g = self.st_grants[gi];
+            let pv = self.pv(g.in_port, g.in_vc);
+            let slot = self.buf.pop(pv).expect("SA granted an empty VC");
+            if slot.head {
                 if let Some(rec) = journeys.as_deref_mut() {
-                    rec.on_st(flit.packet, g.out_port, cycle);
+                    rec.on_st(slot.packet, g.out_port, cycle);
                 }
             }
-            let fraction = if self.layer_shutdown { flit.data.active_fraction() } else { 1.0 };
+            // The only payload touch on the traversal path: one arena
+            // read for the activity fractions.
+            let (fraction, active_layers) = {
+                let data = &arena.get(slot.fref).data;
+                if self.layer_shutdown {
+                    let words = data.num_words();
+                    let active =
+                        (data.active_words() * self.layers).div_ceil(words).min(self.layers);
+                    (data.active_fraction(), active)
+                } else {
+                    (1.0, self.layers)
+                }
+            };
             counters.record_buffer_read(fraction);
             counters.record_xbar(fraction);
             activity.buffer_events += fraction;
@@ -421,12 +649,6 @@ impl Router {
             // traversal. Flit words map onto layers MSB-down, so the
             // first `active_layers` layers carry the active words.
             self.port_flits_out[g.out_port.index()] += 1;
-            let active_layers = if self.layer_shutdown {
-                let words = flit.data.num_words();
-                (flit.data.active_words() * self.layers).div_ceil(words).min(self.layers)
-            } else {
-                self.layers
-            };
             for l in &mut self.layer_active[..active_layers] {
                 *l += 1;
             }
@@ -438,7 +660,7 @@ impl Router {
                     port: g.in_port,
                     vc: g.in_vc,
                     kind: TraceEventKind::SwitchTraversal,
-                    packet: flit.packet.0,
+                    packet: slot.packet.0,
                     detail: g.out_port.index() as u32,
                 });
                 if active_layers < self.layers {
@@ -448,13 +670,11 @@ impl Router {
                         port: g.out_port,
                         vc: g.out_vc,
                         kind: TraceEventKind::LayerGate,
-                        packet: flit.packet.0,
+                        packet: slot.packet.0,
                         detail: (self.layers - active_layers) as u32,
                     });
                 }
             }
-
-            let is_tail = flit.is_tail();
 
             // Return a credit upstream for the freed buffer slot.
             if let Some(li) = self.in_links[g.in_port.index()] {
@@ -463,25 +683,27 @@ impl Router {
 
             if g.out_port.is_local() {
                 counters.flits_ejected += 1;
-                if is_tail {
+                if slot.tail {
                     counters.packets_ejected += 1;
                 }
-                ejected.push(EjectedFlit { flit, node: self.id, cycle });
+                ejected.push(EjectedFlit { flit: arena.take(slot.fref), node: self.id, cycle });
             } else {
-                flit.hops += 1;
+                arena.get_mut(slot.fref).hops += 1;
                 let li = self.out_links[g.out_port.index()]
                     .expect("route led through a port with no link");
                 counters.record_link(links[li].length_mm, fraction);
                 activity.link_flit_mm += links[li].length_mm * fraction;
                 let deliver = Link::delivery_cycle(cycle, self.pipeline.link_extra_cycles());
-                links[li].send_flit(flit, g.out_vc, deliver);
+                links[li].send_flit(arena, slot.fref, g.out_vc, deliver);
             }
 
-            if is_tail {
-                self.outputs[g.out_port.index()][g.out_vc.index()].owner = None;
-                ivc.on_tail_departed();
+            if slot.tail {
+                let ov = self.pv(g.out_port, g.out_vc);
+                self.out_owner[ov] = None;
+                self.on_tail_departed(pv);
             }
         }
+        self.st_grants.clear();
     }
 
     /// SA: separable two-stage switch allocation; winners traverse next
@@ -495,92 +717,97 @@ impl Router {
     fn stage_sa(
         &mut self,
         cycle: u64,
+        scratch: &mut StepScratch,
         counters: &mut ActivityCounters,
         sink: &mut dyn EventSink,
         mut journeys: Option<&mut JourneyRecorder>,
     ) {
+        if self.active_mask == 0 {
+            // No VC holds the switch: both allocation stages are no-ops.
+            return;
+        }
         let traced = sink.enabled();
-        // SA1: one candidate VC per input port.
-        let mut sa1: Vec<Option<(VcId, PortId, VcId)>> = vec![None; self.ports];
-        // All switch-eligible (input port, input VC) pairs, for SA-loss
-        // attribution after SA2 resolves.
-        let mut eligible_all: Vec<(usize, usize)> = Vec::new();
-        #[allow(clippy::needless_range_loop)] // ip indexes three parallel arrays
+        // SA1: one candidate VC per input port. Only ports with an
+        // `Active` VC (a set bit in the work-list mask) do any work.
+        scratch.sa1.clear();
+        scratch.sa1.resize(self.ports, None);
+        scratch.eligible_all.clear();
+        let vc_bits = (1u64 << self.vcs) - 1;
+        let mut sa2_used: u64 = 0;
         for ip in 0..self.ports {
-            let mut eligible: Vec<usize> = Vec::new();
-            for iv in 0..self.vcs {
-                let ivc = &self.inputs[ip][iv];
-                if let VcState::Active { out_port, out_vc } = ivc.state {
-                    if !ivc.buffer.front_ready(cycle) {
-                        continue;
-                    }
-                    if !out_port.is_local() && self.link_paused[out_port.index()] {
-                        // The outgoing link is replaying its window; new
-                        // traffic would interleave into the resent stream.
-                        self.stalls.record(StallCause::LinkFault);
-                        if let Some(rec) = journeys.as_deref_mut() {
-                            if let Some(t) = ivc.buffer.front() {
-                                rec.on_stall(
-                                    t.flit.packet,
-                                    self.id,
-                                    StallCause::LinkFault,
-                                    t.flit.is_head(),
-                                );
-                            }
+            let mut port_active = (self.active_mask >> (ip * self.vcs)) & vc_bits;
+            if port_active == 0 {
+                continue;
+            }
+            let mut elig_mask: u64 = 0;
+            while port_active != 0 {
+                let iv = port_active.trailing_zeros() as usize;
+                port_active &= port_active - 1;
+                let pv = ip * self.vcs + iv;
+                let VcState::Active { out_port, out_vc } = self.vc_state[pv] else {
+                    debug_assert!(false, "active_mask out of sync with vc_state");
+                    continue;
+                };
+                if !self.buf.front_ready(pv, cycle) {
+                    continue;
+                }
+                if !out_port.is_local() && self.link_paused[out_port.index()] {
+                    // The outgoing link is replaying its window; new
+                    // traffic would interleave into the resent stream.
+                    self.stalls.record(StallCause::LinkFault);
+                    if let Some(rec) = journeys.as_deref_mut() {
+                        if let Some(t) = self.buf.front(pv) {
+                            rec.on_stall(t.packet, self.id, StallCause::LinkFault, t.head);
                         }
-                        continue;
                     }
-                    if out_port.is_local()
-                        || self.outputs[out_port.index()][out_vc.index()].credits > 0
-                    {
-                        eligible.push(iv);
-                    } else {
-                        self.stalls.record(StallCause::NoCredit);
-                        if let Some(rec) = journeys.as_deref_mut() {
-                            if let Some(t) = ivc.buffer.front() {
-                                rec.on_stall(
-                                    t.flit.packet,
-                                    self.id,
-                                    StallCause::NoCredit,
-                                    t.flit.is_head(),
-                                );
-                            }
+                    continue;
+                }
+                if out_port.is_local() || self.out_credits[self.pv(out_port, out_vc)] > 0 {
+                    elig_mask |= 1u64 << iv;
+                } else {
+                    self.stalls.record(StallCause::NoCredit);
+                    if let Some(rec) = journeys.as_deref_mut() {
+                        if let Some(t) = self.buf.front(pv) {
+                            rec.on_stall(t.packet, self.id, StallCause::NoCredit, t.head);
                         }
                     }
                 }
             }
-            if eligible.is_empty() {
+            if elig_mask == 0 {
                 continue;
             }
             counters.sa1_arbitrations += 1;
-            if let Some(iv) = self.sa1_arbiters[ip].arbitrate_among(&eligible) {
-                if let VcState::Active { out_port, out_vc } = self.inputs[ip][iv].state {
-                    sa1[ip] = Some((VcId(iv), out_port, out_vc));
+            if let Some(iv) = self.sa1_arbiters[ip].arbitrate_mask(elig_mask) {
+                if let VcState::Active { out_port, out_vc } = self.vc_state[ip * self.vcs + iv] {
+                    scratch.sa1[ip] = Some((VcId(iv), out_port, out_vc));
+                    scratch.sa2_req[out_port.index()] |= 1u64 << ip;
+                    sa2_used |= 1u64 << out_port.index();
                 }
             }
-            eligible_all.extend(eligible.into_iter().map(|iv| (ip, iv)));
+            while elig_mask != 0 {
+                let iv = elig_mask.trailing_zeros() as usize;
+                elig_mask &= elig_mask - 1;
+                scratch.eligible_all.push((ip, iv));
+            }
         }
 
-        // SA2: one input port per output port.
-        let mut granted: Vec<(usize, usize)> = Vec::new();
-        for op in 0..self.ports {
-            let requesters: Vec<usize> = (0..self.ports)
-                .filter(|&ip| sa1[ip].is_some_and(|(_, p, _)| p.index() == op))
-                .collect();
-            if requesters.is_empty() {
-                continue;
-            }
+        // SA2: one input port per output port, over the requested output
+        // ports only (ascending, via the bucket-usage mask).
+        scratch.granted.clear();
+        while sa2_used != 0 {
+            let op = sa2_used.trailing_zeros() as usize;
+            sa2_used &= sa2_used - 1;
             counters.sa2_arbitrations += 1;
-            if let Some(ip) = self.sa2_arbiters[op].arbitrate_among(&requesters) {
-                let (iv, out_port, out_vc) = sa1[ip].expect("requester has an SA1 grant");
+            if let Some(ip) = self.sa2_arbiters[op].arbitrate_mask(scratch.sa2_req[op]) {
+                let (iv, out_port, out_vc) = scratch.sa1[ip].expect("requester has an SA1 grant");
                 if !out_port.is_local() {
-                    let ovc = &mut self.outputs[out_port.index()][out_vc.index()];
-                    debug_assert!(ovc.credits > 0, "SA granted without credit");
-                    ovc.credits -= 1;
+                    let ov = self.pv(out_port, out_vc);
+                    debug_assert!(self.out_credits[ov] > 0, "SA granted without credit");
+                    self.out_credits[ov] -= 1;
                 }
                 if traced {
                     let packet =
-                        self.inputs[ip][iv.index()].buffer.front().map_or(0, |t| t.flit.packet.0);
+                        self.buf.front(ip * self.vcs + iv.index()).map_or(0, |t| t.packet.0);
                     sink.record(TraceEvent {
                         cycle,
                         router: self.id,
@@ -591,19 +818,20 @@ impl Router {
                         detail: out_port.index() as u32,
                     });
                 }
-                granted.push((ip, iv.index()));
+                scratch.granted.push((ip, iv.index()));
                 self.st_grants.push(StGrant { in_port: PortId(ip), in_vc: iv, out_port, out_vc });
             }
+            scratch.sa2_req[op] = 0;
         }
 
         // Every eligible VC that did not get the switch stalled on
         // arbitration this cycle.
-        for pair in eligible_all {
-            if !granted.contains(&pair) {
+        for &pair in &scratch.eligible_all {
+            if !scratch.granted.contains(&pair) {
                 self.stalls.record(StallCause::SaLoss);
                 if let Some(rec) = journeys.as_deref_mut() {
-                    if let Some(t) = self.inputs[pair.0][pair.1].buffer.front() {
-                        rec.on_stall(t.flit.packet, self.id, StallCause::SaLoss, t.flit.is_head());
+                    if let Some(t) = self.buf.front(pair.0 * self.vcs + pair.1) {
+                        rec.on_stall(t.packet, self.id, StallCause::SaLoss, t.head);
                     }
                 }
             }
@@ -619,121 +847,137 @@ impl Router {
     fn stage_va(
         &mut self,
         cycle: u64,
+        scratch: &mut StepScratch,
         counters: &mut ActivityCounters,
         sink: &mut dyn EventSink,
         mut journeys: Option<&mut JourneyRecorder>,
     ) {
+        if self.waiting_mask == 0 {
+            return;
+        }
         let traced = sink.enabled();
-        // VA1: each waiting input VC selects its desired output VC — one
-        // VC per traffic class (control / data), clamped to the available
-        // VC count.
-        let mut requests: Vec<Vec<(PortId, VcId)>> = vec![Vec::new(); self.ports * self.vcs];
-        for ip in 0..self.ports {
-            for iv in 0..self.vcs {
-                let ivc = &self.inputs[ip][iv];
-                if let VcState::WaitingVc { out_port } = ivc.state {
-                    if !ivc.buffer.front_ready(cycle) {
-                        continue;
-                    }
-                    let class =
-                        ivc.buffer.front().expect("waiting VC holds a head flit").flit.class;
-                    let out_vc = class.vc_index().min(self.vcs - 1);
-                    counters.va1_arbitrations += 1;
-                    requests[out_port.index() * self.vcs + out_vc].push((PortId(ip), VcId(iv)));
-                }
+        // VA1: each waiting input VC (a set bit in the work-list mask)
+        // selects its desired output VC — one VC per traffic class
+        // (control / data), clamped to the available VC count. Buckets
+        // are left empty by VA2, so no clearing pass is needed here.
+        let mut waiting = self.waiting_mask;
+        let mut va2_used: u64 = 0;
+        while waiting != 0 {
+            let pv = waiting.trailing_zeros() as usize;
+            waiting &= waiting - 1;
+            let VcState::WaitingVc { out_port } = self.vc_state[pv] else {
+                debug_assert!(false, "waiting_mask out of sync with vc_state");
+                continue;
+            };
+            if !self.buf.front_ready(pv, cycle) {
+                continue;
             }
+            let class = self.buf.front(pv).expect("waiting VC holds a head flit").class;
+            let out_vc = class.vc_index().min(self.vcs - 1);
+            counters.va1_arbitrations += 1;
+            let b = out_port.index() * self.vcs + out_vc;
+            scratch.va_requests[b].push((PortId(pv / self.vcs), VcId(pv % self.vcs)));
+            scratch.va_line_masks[b] |= 1u64 << pv;
+            va2_used |= 1u64 << b;
         }
 
-        // VA2: arbitrate per (output port, output VC) among requesters.
-        for op in 0..self.ports {
-            for ov in 0..self.vcs {
-                let reqs = &requests[op * self.vcs + ov];
-                if reqs.is_empty() {
-                    continue;
-                }
-                counters.va2_arbitrations += 1;
-                if !self.outputs[op][ov].is_free() {
-                    // The target VC is held by an in-flight packet: every
-                    // requester stalls on route occupancy this cycle.
-                    for &(rip, riv) in reqs {
-                        self.stalls.record(StallCause::RouteBusy);
-                        if let Some(rec) = journeys.as_deref_mut() {
-                            let front = self.inputs[rip.index()][riv.index()].buffer.front();
-                            if let Some(t) = front {
-                                rec.on_stall(t.flit.packet, self.id, StallCause::RouteBusy, true);
-                            }
+        // VA2: arbitrate per (output port, output VC) among requesters —
+        // requested buckets only, ascending flat index.
+        while va2_used != 0 {
+            let b = va2_used.trailing_zeros() as usize;
+            va2_used &= va2_used - 1;
+            let (op, ov) = (b / self.vcs, b % self.vcs);
+            counters.va2_arbitrations += 1;
+            if self.out_owner[b].is_some() {
+                // The target VC is held by an in-flight packet: every
+                // requester stalls on route occupancy this cycle.
+                for ri in 0..scratch.va_requests[b].len() {
+                    let (rip, riv) = scratch.va_requests[b][ri];
+                    self.stalls.record(StallCause::RouteBusy);
+                    if let Some(rec) = journeys.as_deref_mut() {
+                        let front = self.buf.front(rip.index() * self.vcs + riv.index());
+                        if let Some(t) = front {
+                            rec.on_stall(t.packet, self.id, StallCause::RouteBusy, true);
                         }
                     }
-                    continue;
                 }
-                let lines: Vec<usize> =
-                    reqs.iter().map(|(ip, iv)| ip.index() * self.vcs + iv.index()).collect();
-                if let Some(line) = self.va2_arbiters[op][ov].arbitrate_among(&lines) {
-                    let (ip, iv) = (PortId(line / self.vcs), VcId(line % self.vcs));
-                    self.outputs[op][ov].owner = Some((ip, iv));
-                    self.inputs[ip.index()][iv.index()].state =
-                        VcState::Active { out_port: PortId(op), out_vc: VcId(ov) };
-                    if traced {
-                        let packet = self.inputs[ip.index()][iv.index()]
-                            .buffer
-                            .front()
-                            .map_or(0, |t| t.flit.packet.0);
-                        sink.record(TraceEvent {
-                            cycle,
-                            router: self.id,
-                            port: ip,
-                            vc: iv,
-                            kind: TraceEventKind::VcAlloc,
-                            packet,
-                            detail: op as u32,
-                        });
-                    }
-                    // The remaining requesters lost the arbitration.
-                    for &(rip, riv) in reqs {
-                        if (rip, riv) != (ip, iv) {
-                            self.stalls.record(StallCause::VaLoss);
-                            if let Some(rec) = journeys.as_deref_mut() {
-                                let front = self.inputs[rip.index()][riv.index()].buffer.front();
-                                if let Some(t) = front {
-                                    rec.on_stall(t.flit.packet, self.id, StallCause::VaLoss, true);
-                                }
+                scratch.va_requests[b].clear();
+                scratch.va_line_masks[b] = 0;
+                continue;
+            }
+            if let Some(line) = self.va2_arbiters[b].arbitrate_mask(scratch.va_line_masks[b]) {
+                let (ip, iv) = (PortId(line / self.vcs), VcId(line % self.vcs));
+                self.out_owner[b] = Some((ip, iv));
+                self.set_state(line, VcState::Active { out_port: PortId(op), out_vc: VcId(ov) });
+                if traced {
+                    let packet = self.buf.front(line).map_or(0, |t| t.packet.0);
+                    sink.record(TraceEvent {
+                        cycle,
+                        router: self.id,
+                        port: ip,
+                        vc: iv,
+                        kind: TraceEventKind::VcAlloc,
+                        packet,
+                        detail: op as u32,
+                    });
+                }
+                // The remaining requesters lost the arbitration.
+                for ri in 0..scratch.va_requests[b].len() {
+                    let (rip, riv) = scratch.va_requests[b][ri];
+                    if (rip, riv) != (ip, iv) {
+                        self.stalls.record(StallCause::VaLoss);
+                        if let Some(rec) = journeys.as_deref_mut() {
+                            let front = self.buf.front(rip.index() * self.vcs + riv.index());
+                            if let Some(t) = front {
+                                rec.on_stall(t.packet, self.id, StallCause::VaLoss, true);
                             }
                         }
                     }
                 }
             }
+            scratch.va_requests[b].clear();
+            scratch.va_line_masks[b] = 0;
         }
     }
 
     /// RC: route computation for VCs holding an unrouted head flit.
     ///
-    /// With an adaptive topology ([`Topology::route_candidates`] returns
-    /// more than one port) the stage selects the candidate whose output
-    /// VCs hold the most credits — congestion-aware selection — with the
-    /// model's preference order breaking ties.
+    /// With an adaptive topology ([`Topology::route_candidates_into`]
+    /// yields more than one port) the stage selects the candidate whose
+    /// output VCs hold the most credits — congestion-aware selection —
+    /// with the model's preference order breaking ties.
     fn stage_rc(
         &mut self,
         cycle: u64,
         topo: &dyn Topology,
+        scratch: &mut StepScratch,
         counters: &mut ActivityCounters,
         sink: &mut dyn EventSink,
     ) {
+        if self.routing_mask == 0 {
+            return;
+        }
         let traced = sink.enabled();
-        for ip in 0..self.ports {
-            for iv in 0..self.vcs {
-                let ivc = &self.inputs[ip][iv];
-                if ivc.state != VcState::Routing || !ivc.buffer.front_ready(cycle) {
+        let mut routing = self.routing_mask;
+        while routing != 0 {
+            let pv = routing.trailing_zeros() as usize;
+            routing &= routing - 1;
+            {
+                let (ip, iv) = (pv / self.vcs, pv % self.vcs);
+                if !self.buf.front_ready(pv, cycle) {
                     continue;
                 }
                 let (packet, dst) = {
-                    let head = &ivc.buffer.front().expect("routing VC holds a head flit").flit;
-                    debug_assert!(head.is_head(), "routing state without a head flit");
+                    let head = self.buf.front(pv).expect("routing VC holds a head flit");
+                    debug_assert!(head.head, "routing state without a head flit");
                     (head.packet.0, head.dst)
                 };
-                let mut candidates = topo.route_candidates(self.id, dst);
+                let candidates = &mut scratch.candidates;
+                candidates.clear();
+                topo.route_candidates_into(self.id, dst, candidates);
                 debug_assert!(!candidates.is_empty(), "routing produced no candidates");
                 if self.fault_routing {
-                    let masked = apply_fault_mask(&mut candidates, &self.dead_out);
+                    let masked = apply_fault_mask(candidates, &self.dead_out);
                     // Also mask the backtrack port (the reverse of the
                     // edge the flit arrived on). Dimension-ordered routes
                     // are monotone and never backtrack, so this only
@@ -760,7 +1004,8 @@ impl Router {
                     candidates[0]
                 } else {
                     let credits_of = |p: PortId| -> usize {
-                        self.outputs[p.index()].iter().map(|ovc| ovc.credits).sum()
+                        let base = p.index() * self.vcs;
+                        self.out_credits[base..base + self.vcs].iter().sum()
                     };
                     // max_by_key returns the *last* maximum; iterate in
                     // reverse so ties resolve to the earliest (preferred)
@@ -773,7 +1018,7 @@ impl Router {
                         .expect("non-empty candidates")
                 };
                 counters.rc_computations += 1;
-                self.inputs[ip][iv].state = VcState::WaitingVc { out_port };
+                self.set_state(pv, VcState::WaitingVc { out_port });
                 if traced {
                     sink.record(TraceEvent {
                         cycle,
@@ -817,59 +1062,90 @@ mod tests {
         }
     }
 
-    /// A single-flit packet destined for the local node must traverse
-    /// RC → VA → SA → ST in four successive cycles and then eject.
-    #[test]
-    fn single_flit_ejects_after_four_stages() {
-        let topo = Mesh2D::new(2, 2);
-        let cfg = mk_cfg();
-        let mut r = Router::new(NodeId(0), 5, &cfg);
-        let mut counters = ActivityCounters::new();
-        let mut activity = RouterActivity::default();
-        let mut ejected = Vec::new();
-        let mut links: Vec<Link> = Vec::new();
+    /// Per-test harness bundling the caller-owned state `Router::step`
+    /// borrows (arena, scratch, links, counters).
+    struct Ctx {
+        topo: Mesh2D,
+        arena: FlitArena,
+        scratch: StepScratch,
+        counters: ActivityCounters,
+        activity: RouterActivity,
+        ejected: Vec<EjectedFlit>,
+        links: Vec<Link>,
+    }
 
-        r.receive_flit(
-            PortId::LOCAL,
-            VcId(0),
-            mk_head(NodeId(0), PacketClass::Ack),
-            0,
-            &mut counters,
-            &mut activity,
-        );
+    impl Ctx {
+        fn new(cfg: &NetworkConfig) -> Self {
+            Ctx {
+                topo: Mesh2D::new(2, 2),
+                arena: FlitArena::new(),
+                scratch: StepScratch::new(5, cfg.router.vcs_per_port),
+                counters: ActivityCounters::new(),
+                activity: RouterActivity::default(),
+                ejected: Vec::new(),
+                links: Vec::new(),
+            }
+        }
 
-        for cycle in 0..=3 {
+        fn recv(&mut self, r: &mut Router, port: PortId, vc: VcId, flit: Flit, cycle: u64) {
+            let fref = self.arena.alloc(flit);
+            r.receive_flit(
+                port,
+                vc,
+                fref,
+                &self.arena,
+                cycle,
+                &mut self.counters,
+                &mut self.activity,
+            );
+        }
+
+        fn step(&mut self, r: &mut Router, cycle: u64) {
             r.step(
                 cycle,
-                &topo,
-                &mut links,
-                &mut counters,
-                &mut activity,
-                &mut ejected,
+                &self.topo,
+                &mut self.arena,
+                &mut self.links,
+                &mut self.scratch,
+                &mut self.counters,
+                &mut self.activity,
+                &mut self.ejected,
                 &mut NullSink,
                 None,
             );
         }
-        assert_eq!(ejected.len(), 1, "RC@0, VA@1, SA@2, ST@3");
-        assert_eq!(ejected[0].cycle, 3);
-        assert_eq!(ejected[0].flit.hops, 0);
+    }
+
+    /// A single-flit packet destined for the local node must traverse
+    /// RC → VA → SA → ST in four successive cycles and then eject.
+    #[test]
+    fn single_flit_ejects_after_four_stages() {
+        let cfg = mk_cfg();
+        let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut c = Ctx::new(&cfg);
+
+        c.recv(&mut r, PortId::LOCAL, VcId(0), mk_head(NodeId(0), PacketClass::Ack), 0);
+
+        for cycle in 0..=3 {
+            c.step(&mut r, cycle);
+        }
+        assert_eq!(c.ejected.len(), 1, "RC@0, VA@1, SA@2, ST@3");
+        assert_eq!(c.ejected[0].cycle, 3);
+        assert_eq!(c.ejected[0].flit.hops, 0);
         assert!(r.is_quiescent());
-        assert_eq!(counters.flits_ejected, 1);
-        assert_eq!(counters.packets_ejected, 1);
-        assert_eq!(counters.rc_computations, 1);
+        assert_eq!(c.arena.allocated(), 0, "ejection frees the arena slot");
+        assert_eq!(c.counters.flits_ejected, 1);
+        assert_eq!(c.counters.packets_ejected, 1);
+        assert_eq!(c.counters.rc_computations, 1);
     }
 
     /// Two head flits contending for the same output VC are granted in
     /// successive cycles, not simultaneously.
     #[test]
     fn output_vc_is_exclusive() {
-        let topo = Mesh2D::new(2, 2);
         let cfg = mk_cfg();
         let mut r = Router::new(NodeId(0), 5, &cfg);
-        let mut counters = ActivityCounters::new();
-        let mut activity = RouterActivity::default();
-        let mut ejected = Vec::new();
-        let mut links: Vec<Link> = Vec::new();
+        let mut c = Ctx::new(&cfg);
 
         // Two packets on different input VCs, both local-bound, same class
         // → same output VC.
@@ -877,75 +1153,45 @@ mod tests {
         f0.packet = PacketId(10);
         let mut f1 = mk_head(NodeId(0), PacketClass::Ack);
         f1.packet = PacketId(11);
-        r.receive_flit(PortId::LOCAL, VcId(0), f0, 0, &mut counters, &mut activity);
-        r.receive_flit(PortId(1), VcId(0), f1, 0, &mut counters, &mut activity);
+        c.recv(&mut r, PortId::LOCAL, VcId(0), f0, 0);
+        c.recv(&mut r, PortId(1), VcId(0), f1, 0);
 
         for cycle in 0..=5 {
-            r.step(
-                cycle,
-                &topo,
-                &mut links,
-                &mut counters,
-                &mut activity,
-                &mut ejected,
-                &mut NullSink,
-                None,
-            );
+            c.step(&mut r, cycle);
         }
-        assert_eq!(ejected.len(), 2);
+        assert_eq!(c.ejected.len(), 2);
         // Ejections happen in different cycles (the single ejection VC
         // serialises the packets).
-        assert_ne!(ejected[0].cycle, ejected[1].cycle);
+        assert_ne!(c.ejected[0].cycle, c.ejected[1].cycle);
     }
 
     /// Credits throttle forwarding: with a full downstream VC, nothing is
     /// granted until a credit returns.
     #[test]
     fn credits_gate_switch_allocation() {
-        let topo = Mesh2D::new(2, 2);
         let cfg = mk_cfg();
         let mut r = Router::new(NodeId(0), 5, &cfg);
-        let mut counters = ActivityCounters::new();
-        let mut activity = RouterActivity::default();
-        let mut ejected = Vec::new();
+        let mut c = Ctx::new(&cfg);
         // One outgoing link east (to node 1).
-        let mut links = vec![Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1)];
+        c.links = vec![Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1)];
         r.set_out_link(PortId(1), 0);
 
         // Exhaust all credits on (east, vc0).
-        r.outputs[1][0].credits = 0;
+        r.out_credits[r.pv(PortId(1), VcId(0))] = 0;
 
         let f = mk_head(NodeId(1), PacketClass::Ack);
-        r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
+        c.recv(&mut r, PortId::LOCAL, VcId(0), f, 0);
         for cycle in 0..10 {
-            r.step(
-                cycle,
-                &topo,
-                &mut links,
-                &mut counters,
-                &mut activity,
-                &mut ejected,
-                &mut NullSink,
-                None,
-            );
+            c.step(&mut r, cycle);
         }
-        assert_eq!(links[0].flits_in_flight(), 0, "no credit, no traversal");
+        assert_eq!(c.links[0].flits_in_flight(), 0, "no credit, no traversal");
 
         // Return one credit; the flit must now flow.
         r.receive_credit(PortId(1), VcId(0));
         for cycle in 10..15 {
-            r.step(
-                cycle,
-                &topo,
-                &mut links,
-                &mut counters,
-                &mut activity,
-                &mut ejected,
-                &mut NullSink,
-                None,
-            );
+            c.step(&mut r, cycle);
         }
-        assert_eq!(links[0].flits_in_flight(), 1);
+        assert_eq!(c.links[0].flits_in_flight(), 1);
         assert!(r.is_quiescent());
     }
 
@@ -953,50 +1199,34 @@ mod tests {
     /// fraction of the flit.
     #[test]
     fn shutdown_weights_separable_activity() {
-        let topo = Mesh2D::new(2, 2);
         let mut cfg = mk_cfg();
         cfg.layer_shutdown = true;
         let mut r = Router::new(NodeId(0), 5, &cfg);
-        let mut counters = ActivityCounters::new();
-        let mut activity = RouterActivity::default();
-        let mut ejected = Vec::new();
-        let mut links: Vec<Link> = Vec::new();
+        let mut c = Ctx::new(&cfg);
 
         let mut f = mk_head(NodeId(0), PacketClass::Ack);
         f.data = FlitData::with_active_words(4, 1); // short flit
-        r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
+        c.recv(&mut r, PortId::LOCAL, VcId(0), f, 0);
         for cycle in 0..=3 {
-            r.step(
-                cycle,
-                &topo,
-                &mut links,
-                &mut counters,
-                &mut activity,
-                &mut ejected,
-                &mut NullSink,
-                None,
-            );
+            c.step(&mut r, cycle);
         }
-        assert_eq!(counters.buffer_writes_raw, 1);
-        assert!((counters.buffer_writes - 0.25).abs() < 1e-12);
-        assert!((counters.buffer_reads - 0.25).abs() < 1e-12);
-        assert!((counters.xbar_traversals - 0.25).abs() < 1e-12);
+        assert_eq!(c.counters.buffer_writes_raw, 1);
+        assert!((c.counters.buffer_writes - 0.25).abs() < 1e-12);
+        assert!((c.counters.buffer_reads - 0.25).abs() < 1e-12);
+        assert!((c.counters.xbar_traversals - 0.25).abs() < 1e-12);
         // Non-separable logic is not gated: RC ran at full weight.
-        assert_eq!(counters.rc_computations, 1);
+        assert_eq!(c.counters.rc_computations, 1);
     }
 
     /// With fault routing on, RC masks a dead output port and detours
     /// through the best live neighbour instead.
     #[test]
     fn dead_port_detours_route_computation() {
-        let topo = Mesh2D::new(2, 2);
         let cfg = mk_cfg();
         let mut r = Router::new(NodeId(0), 5, &cfg);
-        let mut counters = ActivityCounters::new();
-        let mut activity = RouterActivity::default();
-        let mut ejected = Vec::new();
+        let mut c = Ctx::new(&cfg);
         // Node 0 of the 2x2 mesh is wired east (port 1) and north (port 3).
-        let mut links = vec![
+        c.links = vec![
             Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1),
             Link::new((NodeId(0), PortId(3)), (NodeId(2), PortId(4)), 3.1),
         ];
@@ -1008,19 +1238,10 @@ mod tests {
         // Destination east of us: the deterministic route is through the
         // dead port, so the detour must pick north.
         let f = mk_head(NodeId(1), PacketClass::Ack);
-        r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
-        r.step(
-            0,
-            &topo,
-            &mut links,
-            &mut counters,
-            &mut activity,
-            &mut ejected,
-            &mut NullSink,
-            None,
-        );
+        c.recv(&mut r, PortId::LOCAL, VcId(0), f, 0);
+        c.step(&mut r, 0);
         assert_eq!(
-            r.inputs[0][0].state,
+            r.vc_state[r.pv(PortId::LOCAL, VcId(0))],
             VcState::WaitingVc { out_port: PortId(3) },
             "masked route falls back to the live north port"
         );
@@ -1033,12 +1254,14 @@ mod tests {
     fn port_death_restarts_waiting_vcs() {
         let cfg = mk_cfg();
         let mut r = Router::new(NodeId(0), 5, &cfg);
-        r.inputs[0][0].state = VcState::WaitingVc { out_port: PortId(1) };
-        r.inputs[2][1].state = VcState::WaitingVc { out_port: PortId(3) };
+        let pv00 = r.pv(PortId(0), VcId(0));
+        let pv21 = r.pv(PortId(2), VcId(1));
+        r.set_state(pv00, VcState::WaitingVc { out_port: PortId(1) });
+        r.set_state(pv21, VcState::WaitingVc { out_port: PortId(3) });
         r.on_port_death(PortId(1));
-        assert_eq!(r.inputs[0][0].state, VcState::Routing, "route through dead port recomputed");
+        assert_eq!(r.vc_state[pv00], VcState::Routing, "route through dead port recomputed");
         assert_eq!(
-            r.inputs[2][1].state,
+            r.vc_state[pv21],
             VcState::WaitingVc { out_port: PortId(3) },
             "routes through live ports keep their grant request"
         );
@@ -1048,47 +1271,26 @@ mod tests {
     /// toward it and charges the LinkFault stall cause.
     #[test]
     fn paused_link_stalls_sa_with_link_fault_cause() {
-        let topo = Mesh2D::new(2, 2);
         let cfg = mk_cfg();
         let mut r = Router::new(NodeId(0), 5, &cfg);
-        let mut counters = ActivityCounters::new();
-        let mut activity = RouterActivity::default();
-        let mut ejected = Vec::new();
-        let mut links = vec![Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1)];
+        let mut c = Ctx::new(&cfg);
+        c.links = vec![Link::new((NodeId(0), PortId(1)), (NodeId(1), PortId(2)), 3.1)];
         r.set_out_link(PortId(1), 0);
         r.set_link_paused(PortId(1), true);
 
         let f = mk_head(NodeId(1), PacketClass::Ack);
-        r.receive_flit(PortId::LOCAL, VcId(0), f, 0, &mut counters, &mut activity);
+        c.recv(&mut r, PortId::LOCAL, VcId(0), f, 0);
         for cycle in 0..6 {
-            r.step(
-                cycle,
-                &topo,
-                &mut links,
-                &mut counters,
-                &mut activity,
-                &mut ejected,
-                &mut NullSink,
-                None,
-            );
+            c.step(&mut r, cycle);
         }
-        assert_eq!(links[0].flits_in_flight(), 0, "paused link admits no traffic");
+        assert_eq!(c.links[0].flits_in_flight(), 0, "paused link admits no traffic");
         assert!(r.stall_counters().link_fault > 0, "stall attributed to the link fault");
 
         r.set_link_paused(PortId(1), false);
         for cycle in 6..10 {
-            r.step(
-                cycle,
-                &topo,
-                &mut links,
-                &mut counters,
-                &mut activity,
-                &mut ejected,
-                &mut NullSink,
-                None,
-            );
+            c.step(&mut r, cycle);
         }
-        assert_eq!(links[0].flits_in_flight(), 1, "unpausing releases the flit");
+        assert_eq!(c.links[0].flits_in_flight(), 1, "unpausing releases the flit");
     }
 
     /// The severed-packet reaper drains buffered flits of a dropped
@@ -1098,10 +1300,9 @@ mod tests {
     fn reaper_purges_severed_packet_and_refluxes_credits() {
         let cfg = mk_cfg();
         let mut r = Router::new(NodeId(0), 5, &cfg);
-        let mut counters = ActivityCounters::new();
-        let mut activity = RouterActivity::default();
+        let mut c = Ctx::new(&cfg);
         // Incoming link feeding port 2 (west side), for credit reflux.
-        let mut links = vec![Link::new((NodeId(1), PortId(2)), (NodeId(0), PortId(1)), 3.1)];
+        c.links = vec![Link::new((NodeId(1), PortId(2)), (NodeId(0), PortId(1)), 3.1)];
         r.set_in_link(PortId(1), 0);
 
         let mut head = mk_head(NodeId(3), PacketClass::ReadRequest);
@@ -1110,26 +1311,28 @@ mod tests {
         let mut body = head.clone();
         body.kind = FlitKind::Body;
         body.seq = 1;
-        r.receive_flit(PortId(1), VcId(0), head, 0, &mut counters, &mut activity);
-        r.receive_flit(PortId(1), VcId(0), body, 0, &mut counters, &mut activity);
+        c.recv(&mut r, PortId(1), VcId(0), head, 0);
+        c.recv(&mut r, PortId(1), VcId(0), body, 0);
+        let pv = r.pv(PortId(1), VcId(0));
         // Pretend VA granted the east output VC to this packet.
-        r.inputs[1][0].state = VcState::Active { out_port: PortId(1), out_vc: VcId(0) };
-        r.outputs[1][0].owner = Some((PortId(1), VcId(0)));
+        r.set_state(pv, VcState::Active { out_port: PortId(1), out_vc: VcId(0) });
+        r.out_owner[r.pv(PortId(1), VcId(0))] = Some((PortId(1), VcId(0)));
 
         let severed: HashSet<PacketId> = [PacketId(42)].into_iter().collect();
-        let purged = r.purge_severed(&severed, 5, &mut links);
+        let purged = r.purge_severed(&severed, 5, &mut c.arena, &mut c.links);
         assert_eq!(purged, 2);
         assert_eq!(r.buffered_flits(), 0);
-        assert_eq!(r.inputs[1][0].state, VcState::Idle);
-        assert_eq!(r.inputs[1][0].current_packet, None);
-        assert!(r.outputs[1][0].is_free(), "held output VC released");
+        assert_eq!(c.arena.allocated(), 0, "purged flits freed their arena slots");
+        assert_eq!(r.vc_state[pv], VcState::Idle);
+        assert_eq!(r.vc_packet[pv], None);
+        assert!(r.out_owner[r.pv(PortId(1), VcId(0))].is_none(), "held output VC released");
         assert_eq!(
-            links[0].take_due_credit(6).map(|c| c.vc),
+            c.links[0].take_due_credit(6).map(|cr| cr.vc),
             Some(VcId(0)),
             "credit refluxed per flit"
         );
-        assert_eq!(links[0].take_due_credit(6).map(|c| c.vc), Some(VcId(0)));
-        assert!(links[0].take_due_credit(6).is_none());
+        assert_eq!(c.links[0].take_due_credit(6).map(|cr| cr.vc), Some(VcId(0)));
+        assert!(c.links[0].take_due_credit(6).is_none());
     }
 }
 
@@ -1147,6 +1350,8 @@ mod pipeline_depth_tests {
         let mut cfg = NetworkConfig::default();
         cfg.router.pipeline = PipelineConfig::separate_lt().with_depth(depth);
         let mut r = Router::new(NodeId(0), 5, &cfg);
+        let mut arena = FlitArena::new();
+        let mut scratch = StepScratch::new(5, cfg.router.vcs_per_port);
         let mut counters = ActivityCounters::new();
         let mut activity = RouterActivity::default();
         let mut ejected = Vec::new();
@@ -1162,12 +1367,15 @@ mod pipeline_depth_tests {
             created_at: 0,
             hops: 0,
         };
-        r.receive_flit(PortId::LOCAL, VcId(0), flit, 0, &mut counters, &mut activity);
+        let fref = arena.alloc(flit);
+        r.receive_flit(PortId::LOCAL, VcId(0), fref, &arena, 0, &mut counters, &mut activity);
         for cycle in 0..10 {
             r.step(
                 cycle,
                 &topo,
+                &mut arena,
                 &mut links,
+                &mut scratch,
                 &mut counters,
                 &mut activity,
                 &mut ejected,

@@ -18,6 +18,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use serde::{Deserialize, Serialize};
+
 use crate::config::NetworkConfig;
 use crate::fault::{FaultConfig, FaultCounters};
 use crate::journey::{JourneyReport, PacketJourney};
@@ -87,7 +89,7 @@ impl SimConfig {
 }
 
 /// Everything a run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
     /// Mean packet latency in cycles over measured packets.
     pub avg_latency: f64,
@@ -162,6 +164,9 @@ pub struct Simulator {
     pending_heap: BinaryHeap<PendingReply>,
     pending_specs: HashMap<(u64, u64), PacketSpec>,
     next_reply_seq: u64,
+    /// Reused per-cycle ejection buffer (keeps the hot loop free of
+    /// per-cycle `Vec` churn).
+    eject_buf: Vec<crate::router::EjectedFlit>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -188,6 +193,7 @@ impl Simulator {
             pending_heap: BinaryHeap::new(),
             pending_specs: HashMap::new(),
             next_reply_seq: 0,
+            eject_buf: Vec::new(),
         }
     }
 
@@ -293,7 +299,8 @@ impl Simulator {
         histogram: &mut LatencyHistogram,
     ) -> u64 {
         let mut completed = 0;
-        let ejected_flits = self.network.take_ejected();
+        let mut ejected_flits = std::mem::take(&mut self.eject_buf);
+        self.network.drain_ejected(&mut ejected_flits);
         for e in &ejected_flits {
             if e.flit.is_tail() {
                 if let Some(j) = self.network.journeys_mut() {
@@ -301,7 +308,7 @@ impl Simulator {
                 }
             }
         }
-        for e in ejected_flits {
+        for e in &ejected_flits {
             if !e.flit.is_tail() {
                 continue;
             }
@@ -333,6 +340,8 @@ impl Simulator {
             let replies = workload.on_ejected(e.cycle, &ejected);
             self.schedule_replies(replies, cycle);
         }
+        ejected_flits.clear();
+        self.eject_buf = ejected_flits;
         completed
     }
 

@@ -85,11 +85,24 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
     fn route(&self, current: NodeId, dst: NodeId) -> PortId;
 
     /// Candidate output ports for adaptive routing, in preference order.
-    /// The default is the single deterministic port; adaptive topologies
-    /// (see [`crate::adaptive`]) return every turn-legal productive
-    /// port, and the router's RC stage picks by downstream credit count.
+    /// Convenience wrapper over [`Topology::route_candidates_into`] that
+    /// allocates a fresh vector; the router's hot path uses the `_into`
+    /// form with a reused scratch vector instead.
     fn route_candidates(&self, current: NodeId, dst: NodeId) -> Vec<PortId> {
-        vec![self.route(current, dst)]
+        let mut out = Vec::new();
+        self.route_candidates_into(current, dst, &mut out);
+        out
+    }
+
+    /// Appends the candidate output ports for adaptive routing to `out`,
+    /// in preference order. The default is the single deterministic
+    /// port; adaptive topologies (see [`crate::adaptive`]) append every
+    /// turn-legal productive port, and the router's RC stage picks by
+    /// downstream credit count. Implementations must not allocate — the
+    /// caller reuses `out` across every route computation of a
+    /// simulation.
+    fn route_candidates_into(&self, current: NodeId, dst: NodeId, out: &mut Vec<PortId>) {
+        out.push(self.route(current, dst));
     }
 
     /// Physical length in millimetres of the link leaving `node` through

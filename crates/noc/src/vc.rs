@@ -1,12 +1,22 @@
-//! Virtual-channel state machines.
+//! Virtual-channel pipeline states.
 //!
 //! Each input virtual channel advances through the canonical wormhole
 //! pipeline states: idle → routing (RC) → waiting for an output VC (VA) →
 //! active (streaming flits through SA/ST until the tail frees the VC).
+//!
+//! Since the data-oriented core rewrite (DESIGN.md §14) the per-VC
+//! state lives in flat parallel arrays inside [`crate::router::Router`],
+//! keyed by `(port, vc)`; this module keeps only the state enum itself.
+//! The transition rules are unchanged:
+//!
+//! * a flit buffered into an idle VC with a head at the front moves the
+//!   VC to `Routing` and records the serviced packet,
+//! * RC moves `Routing → WaitingVc`, VA2 moves `WaitingVc → Active`,
+//! * the tail's switch traversal returns the VC to `Idle` (or straight
+//!   back to `Routing` when the next packet's head is already buffered),
+//! * a port death sends `WaitingVc` routes through it back to `Routing`.
 
-use crate::buffer::VcBuffer;
 use crate::ids::{PortId, VcId};
-use crate::packet::PacketId;
 
 /// Pipeline state of an input virtual channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,144 +37,4 @@ pub enum VcState {
         /// Output VC granted by VA.
         out_vc: VcId,
     },
-}
-
-/// One input virtual channel: its buffer plus pipeline state.
-#[derive(Debug, Clone)]
-pub struct InputVc {
-    /// Flit storage.
-    pub buffer: VcBuffer,
-    /// Pipeline state.
-    pub state: VcState,
-    /// Packet currently being serviced (owning the pipeline state);
-    /// `None` when idle. The fault reaper uses this to find and purge
-    /// the downstream stubs of a dropped packet.
-    pub current_packet: Option<PacketId>,
-}
-
-impl InputVc {
-    /// Creates an idle VC with a buffer of `depth` flits.
-    pub fn new(depth: usize) -> Self {
-        InputVc { buffer: VcBuffer::new(depth), state: VcState::Idle, current_packet: None }
-    }
-
-    /// Called after a flit lands in the buffer: an idle VC with a buffered
-    /// head flit moves to the routing state.
-    pub fn on_flit_buffered(&mut self) {
-        if self.state == VcState::Idle {
-            if let Some(front) = self.buffer.front() {
-                debug_assert!(
-                    front.flit.is_head(),
-                    "an idle VC must only receive head flits first"
-                );
-                self.state = VcState::Routing;
-                self.current_packet = Some(front.flit.packet);
-            }
-        }
-    }
-
-    /// Called after the tail flit of the current packet leaves: the VC
-    /// returns to idle, or directly to routing if the next packet's head
-    /// is already buffered.
-    pub fn on_tail_departed(&mut self) {
-        self.state = VcState::Idle;
-        self.current_packet = None;
-        self.on_flit_buffered();
-    }
-}
-
-/// Credit and ownership state of one output virtual channel.
-#[derive(Debug, Clone)]
-pub struct OutputVc {
-    /// Input VC currently holding this output VC (wormhole ownership),
-    /// identified as (input port, input VC).
-    pub owner: Option<(PortId, VcId)>,
-    /// Credits: free buffer slots in the downstream input VC.
-    pub credits: usize,
-}
-
-impl OutputVc {
-    /// Creates an unowned output VC with `credits` initial credits.
-    pub fn new(credits: usize) -> Self {
-        OutputVc { owner: None, credits }
-    }
-
-    /// Returns `true` if the VC can be allocated to a new packet.
-    pub fn is_free(&self) -> bool {
-        self.owner.is_none()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::flit::{FlitData, FlitKind};
-    use crate::ids::NodeId;
-    use crate::packet::{PacketClass, PacketId};
-    use crate::Flit;
-
-    fn head_flit() -> Flit {
-        Flit {
-            packet: PacketId(7),
-            seq: 0,
-            kind: FlitKind::Head,
-            src: NodeId(0),
-            dst: NodeId(3),
-            class: PacketClass::ReadRequest,
-            data: FlitData::dense(4),
-            created_at: 0,
-            hops: 0,
-        }
-    }
-
-    #[test]
-    fn idle_to_routing_on_head() {
-        let mut vc = InputVc::new(4);
-        assert_eq!(vc.state, VcState::Idle);
-        assert_eq!(vc.current_packet, None);
-        vc.buffer.push(head_flit(), 0);
-        vc.on_flit_buffered();
-        assert_eq!(vc.state, VcState::Routing);
-        assert_eq!(vc.current_packet, Some(PacketId(7)), "the serviced packet is tracked");
-    }
-
-    #[test]
-    fn active_state_unchanged_by_arrivals() {
-        let mut vc = InputVc::new(4);
-        vc.buffer.push(head_flit(), 0);
-        vc.on_flit_buffered();
-        vc.state = VcState::Active { out_port: PortId(1), out_vc: VcId(0) };
-        let mut body = head_flit();
-        body.kind = FlitKind::Body;
-        vc.buffer.push(body, 1);
-        vc.on_flit_buffered();
-        assert!(matches!(vc.state, VcState::Active { .. }));
-    }
-
-    #[test]
-    fn tail_departure_chains_to_next_packet() {
-        let mut vc = InputVc::new(4);
-        vc.state = VcState::Active { out_port: PortId(1), out_vc: VcId(0) };
-        // Next packet's head already waits in the buffer.
-        vc.buffer.push(head_flit(), 0);
-        vc.on_tail_departed();
-        assert_eq!(vc.state, VcState::Routing);
-    }
-
-    #[test]
-    fn tail_departure_with_empty_buffer_idles() {
-        let mut vc = InputVc::new(4);
-        vc.state = VcState::Active { out_port: PortId(1), out_vc: VcId(1) };
-        vc.on_tail_departed();
-        assert_eq!(vc.state, VcState::Idle);
-    }
-
-    #[test]
-    fn output_vc_ownership() {
-        let mut ovc = OutputVc::new(4);
-        assert!(ovc.is_free());
-        assert_eq!(ovc.credits, 4);
-        ovc.owner = Some((PortId(2), VcId(1)));
-        assert!(!ovc.is_free());
-    }
 }
