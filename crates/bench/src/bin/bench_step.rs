@@ -14,7 +14,8 @@
 use std::time::Instant;
 
 use mira::arch::Arch;
-use mira_bench::{drive_network_step, Cli};
+use mira::experiments::common::EXPERIMENT_SEED;
+use mira_bench::{drive_network_step, write_obs_artifacts, Cli};
 use serde::{Deserialize, Serialize};
 
 /// Fractional slowdown vs the baseline that fails the `--compare` gate.
@@ -115,6 +116,9 @@ fn main() {
     }
 
     let report = StepReport { quick: cli.quick, cycles_per_point: cycles, points };
+    if mira_obs::enabled() {
+        append_ledger(&report, t0);
+    }
     let json = serde_json::to_string_pretty(&report).expect("serialisable report");
     let path = "BENCH_step.json";
     std::fs::write(path, &json).unwrap_or_else(|e| {
@@ -142,5 +146,47 @@ fn main() {
             std::process::exit(1);
         }
     }
+    write_obs_artifacts(cli);
     eprintln!("[done in {:.1?}]", t0.elapsed());
+}
+
+/// Records the matrix in the durable run ledger (bench_step drives the
+/// network directly rather than through the [`Runner`], so it appends
+/// its own entry). IO failure warns instead of failing the bench.
+///
+/// [`Runner`]: mira::experiments::runner::Runner
+fn append_ledger(report: &StepReport, t0: Instant) {
+    use mira_obs::ledger::{self, LedgerEntry};
+    let labels: Vec<String> =
+        report.points.iter().map(|p| format!("{} @ {}", p.arch, p.load)).collect();
+    let hash =
+        ledger::config_hash("bench_step", labels.iter().map(|l| (l.as_str(), EXPERIMENT_SEED)));
+    let build = mira_obs::provenance::Provenance::current();
+    let wall = t0.elapsed();
+    let total_cycles: u64 = report.points.iter().map(|p| p.cycles).sum();
+    let total_flits: u64 = report.points.iter().map(|p| p.flits_ejected).sum();
+    let wall_s = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    let peak = mira_obs::registry::ARENA_LIVE_PEAK.get();
+    let entry = LedgerEntry {
+        ts_ms: ledger::unix_millis(),
+        exhibit: "bench_step".to_string(),
+        config_hash: ledger::hash_hex(hash),
+        seed: EXPERIMENT_SEED,
+        git_rev: build.git_rev,
+        profile: build.profile,
+        rustc: build.rustc,
+        points: report.points.len(),
+        jobs: 1,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        cycles_simulated: total_cycles,
+        kcycles_per_sec: total_cycles as f64 / 1e3 / wall_s,
+        mflits_per_sec: total_flits as f64 / 1e6 / wall_s,
+        saturated_points: 0,
+        peak_arena_flits: peak,
+    };
+    let path = ledger::default_path();
+    if let Err(e) = ledger::append(&path, &entry) {
+        eprintln!("[bench_step] warning: could not append run ledger {}: {e}", path.display());
+    }
+    ledger::record_session(entry);
 }

@@ -3,16 +3,18 @@
 //! tail columns (p99 / p99.9 latency and the dominant attribution
 //! component at p99, per architecture).
 //!
-//! `--json` emits `{"claims": [...], "tail": [...]}`: one object per
-//! claim (`name`, `source`, `expected`, `actual`, `band`, `passes`) and
-//! one tail row per architecture, so CI can archive both as an
-//! artifact.
+//! `--json` emits `{"claims": [...], "tail": [...], "host": {...}}`: one
+//! object per claim (`name`, `source`, `expected`, `actual`, `band`,
+//! `passes`), one tail row per architecture, and a host section (wall
+//! time, Kcycles/s, peak arena watermark, build rev — sourced from the
+//! run ledger), so CI can archive all three as an artifact.
 use std::time::Instant;
 
 use mira::experiments::scorecard::{
     run_scorecard, scorecard_table, tail_summaries, tail_table, Claim,
 };
-use mira_bench::{write_telemetry_artifacts, Cli};
+use mira_bench::{write_obs_artifacts, write_telemetry_artifacts, Cli};
+use mira_obs::ledger;
 use serde::Serialize;
 
 /// JSON shape of one claim row.
@@ -32,8 +34,33 @@ impl Serialize for ClaimRow<'_> {
     }
 }
 
+/// The `"host"` section: this process's simulation batches summarised
+/// from the in-process session ledger (total wall time across batches,
+/// aggregate Kcycles/s, peak arena watermark, build revision).
+fn host_section() -> serde::Value {
+    let entries = ledger::session_entries();
+    let wall_ms: f64 = entries.iter().map(|e| e.wall_ms).sum();
+    let cycles: u64 = entries.iter().map(|e| e.cycles_simulated).sum();
+    let kcycles_per_sec = if wall_ms > 0.0 { cycles as f64 / 1e3 / (wall_ms / 1e3) } else { 0.0 };
+    let peak_arena_flits = entries.iter().map(|e| e.peak_arena_flits).max().unwrap_or(0);
+    let build = mira_obs::provenance::Provenance::current();
+    serde::Value::Object(vec![
+        ("batches".to_string(), entries.len().to_value()),
+        ("wall_ms".to_string(), wall_ms.to_value()),
+        ("cycles_simulated".to_string(), cycles.to_value()),
+        ("kcycles_per_sec".to_string(), kcycles_per_sec.to_value()),
+        ("peak_arena_flits".to_string(), peak_arena_flits.to_value()),
+        ("git_rev".to_string(), build.git_rev.to_value()),
+        ("profile".to_string(), build.profile.to_value()),
+    ])
+}
+
 fn main() {
     let cli = Cli::parse();
+    // The scorecard always collects host observability: its batches feed
+    // the session ledger the `"host"` section is built from. (Simulated
+    // results are unaffected — the golden suites pin that.)
+    mira_obs::set_enabled(true);
     let t0 = Instant::now();
     let claims = run_scorecard(cli.sim_config(), cli.trace_cycles());
     let tail = tail_summaries(cli.sim_config());
@@ -43,6 +70,7 @@ fn main() {
         let wrapped = serde::Value::Object(vec![
             ("claims".to_string(), rows.to_value()),
             ("tail".to_string(), tail.to_value()),
+            ("host".to_string(), host_section()),
         ]);
         println!("{}", serde_json::to_string_pretty(&wrapped).expect("serialisable claims"));
     } else {
@@ -50,8 +78,20 @@ fn main() {
         println!("{}", table.to_text());
         println!("{}", tail_table(&tail).to_text());
         println!("{passed}/{} claims reproduced", claims.len());
+        let entries = ledger::session_entries();
+        let wall_ms: f64 = entries.iter().map(|e| e.wall_ms).sum();
+        let cycles: u64 = entries.iter().map(|e| e.cycles_simulated).sum();
+        let peak = entries.iter().map(|e| e.peak_arena_flits).max().unwrap_or(0);
+        eprintln!(
+            "[host] {} batches, {:.2} s sim wall, {} cycles, peak arena {} flits",
+            entries.len(),
+            wall_ms / 1e3,
+            cycles,
+            peak,
+        );
     }
     write_telemetry_artifacts(cli);
+    write_obs_artifacts(cli);
     eprintln!("[done in {:.1?}]", t0.elapsed());
     if passed < claims.len() {
         std::process::exit(1);

@@ -1,7 +1,9 @@
 //! Trace utility: synthesise an application trace to a JSON-lines file,
 //! print the statistics of an existing trace file, render a per-router
-//! congestion heatmap from a telemetry metrics dump, or pretty-print one
-//! sampled packet's journey from a `--journeys-out` dump.
+//! congestion heatmap from a telemetry metrics dump, pretty-print one
+//! sampled packet's journey from a `--journeys-out` dump, or render a
+//! host-observability snapshot from `--obs-out` as a phase-profile
+//! table.
 //!
 //! ```console
 //! $ cargo run -p mira-bench --bin trace_tool -- generate tpcw /tmp/tpcw.jsonl
@@ -10,6 +12,8 @@
 //! $ cargo run -p mira-bench --bin trace_tool -- netview /tmp/metrics.json
 //! $ cargo run -p mira-bench --bin fig11a -- --quick --journeys-out /tmp/journeys.json
 //! $ cargo run -p mira-bench --bin trace_tool -- journey /tmp/journeys.json 1234
+//! $ cargo run -p mira-bench --bin fig11a -- --quick --obs-out /tmp/obs.json
+//! $ cargo run -p mira-bench --bin trace_tool -- obs /tmp/obs.json
 //! ```
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -28,6 +32,7 @@ fn usage() -> ! {
     eprintln!("       trace_tool stats <in.jsonl>");
     eprintln!("       trace_tool netview <metrics.json> [window-index]");
     eprintln!("       trace_tool journey <journeys.json> [packet-id]");
+    eprintln!("       trace_tool obs <obs.json>");
     eprintln!("apps: {}", Application::ALL.map(|a| a.name()).join(" "));
     std::process::exit(2);
 }
@@ -129,6 +134,55 @@ fn journey_view(j: &PacketJourney) -> String {
         j.span_sum(),
         j.latency()
     ));
+    out
+}
+
+/// Renders an `--obs-out` snapshot: build line, the phase profile as a
+/// table (share of `step_total` per phase), coverage, and the metrics.
+fn obs_view(snap: &mira_obs::ObsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "build {} ({}, {})\n",
+        snap.build.git_rev, snap.build.profile, snap.build.rustc
+    ));
+    let step_nanos = snap.phases.iter().find(|p| p.phase == "step_total").map_or(0, |p| p.nanos);
+    out.push_str(&format!(
+        "{:<16} {:>12} {:>14} {:>10} {:>8}\n",
+        "phase", "calls", "nanos", "ns/call", "% step"
+    ));
+    for p in &snap.phases {
+        if p.calls == 0 {
+            continue;
+        }
+        let per_call = p.nanos / p.calls.max(1);
+        let share = if step_nanos > 0 {
+            format!("{:>7.1}%", p.nanos as f64 / step_nanos as f64 * 100.0)
+        } else {
+            format!("{:>8}", "-")
+        };
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>14} {:>10} {share}\n",
+            p.phase, p.calls, p.nanos, per_call
+        ));
+    }
+    match snap.coverage {
+        Some(cov) => out.push_str(&format!(
+            "step coverage: {:.1}% of step_total attributed to tiled sections\n",
+            cov * 100.0
+        )),
+        None => out.push_str("step coverage: no profiled steps\n"),
+    }
+    if !snap.metrics.is_empty() {
+        out.push_str("metrics:\n");
+        for m in &snap.metrics {
+            match m.kind.as_str() {
+                "histogram" => {
+                    out.push_str(&format!("  {:<32} count {} sum {}\n", m.name, m.value, m.sum))
+                }
+                _ => out.push_str(&format!("  {:<32} {}\n", m.name, m.value)),
+            }
+        }
+    }
     out
 }
 
@@ -276,6 +330,14 @@ fn main() -> std::io::Result<()> {
                     }
                 }
             }
+            Ok(())
+        }
+        Some("obs") => {
+            let Some(path) = args.get(1) else { usage() };
+            let text = std::fs::read_to_string(path)?;
+            let snap: mira_obs::ObsSnapshot = serde_json::from_str(&text)
+                .unwrap_or_else(|e| usage_error(format!("{path} is not an obs snapshot: {e:?}")));
+            print!("{}", obs_view(&snap));
             Ok(())
         }
         _ => usage(),

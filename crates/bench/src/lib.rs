@@ -31,7 +31,8 @@ const USAGE: &str = "usage: <bin> [--quick] [--json] [--metrics-window <cycles>]
                      [--trace-out <path>] [--metrics-out <path>] \
                      [--span-sample-rate <0..=1>] [--journeys-out <path>] \
                      [--fault-rate <fraction>] [--kill-link <node:port[@cycle]>] \
-                     [--fault-seed <seed>] [--compare <baseline.json>]";
+                     [--fault-seed <seed>] [--compare <baseline.json>] \
+                     [--obs-out <path>] [--progress-json]";
 
 /// Shared CLI handling for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +71,14 @@ pub struct Cli {
     /// binaries that support it exit non-zero when a measured point falls
     /// too far below the baseline.
     pub compare: Option<&'static str>,
+    /// Write the host-observability snapshot as JSON (`--obs-out`); a
+    /// Prometheus text rendering lands next to it with a `.prom`
+    /// extension. Giving the flag also enables observability for the
+    /// process (phase timers, metrics, run ledger).
+    pub obs_out: Option<&'static str>,
+    /// Emit one machine-readable JSON line per completed runner point on
+    /// stderr (`--progress-json`).
+    pub progress_json: bool,
 }
 
 /// Parses `node:port[@cycle]` (e.g. `7:3@250`) for `--kill-link`.
@@ -95,7 +104,10 @@ fn usage_error(message: &str) -> ! {
 
 impl Cli {
     /// Parses the process arguments (unknown flags abort with usage).
+    /// Also initialises host observability from the environment
+    /// (`MIRA_OBS=1`), so every bench binary honours it without code.
     pub fn parse() -> Cli {
+        mira_obs::init_from_env();
         let mut cli = Cli::default();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -161,6 +173,12 @@ impl Cli {
                         .unwrap_or_else(|| usage_error("--compare needs a baseline path"));
                     cli.compare = Some(leak(v));
                 }
+                "--obs-out" => {
+                    let v = args.next().unwrap_or_else(|| usage_error("--obs-out needs a path"));
+                    cli.obs_out = Some(leak(v));
+                    mira_obs::set_enabled(true);
+                }
+                "--progress-json" => cli.progress_json = true,
                 "--fault-seed" => {
                     let v = args.next().unwrap_or_else(|| usage_error("--fault-seed needs a seed"));
                     match v.parse::<u64>() {
@@ -240,7 +258,7 @@ impl Cli {
     /// `available_parallelism`, overridable with `MIRA_JOBS`; the
     /// progress line shows whenever stderr is a terminal.
     pub fn runner(&self) -> Runner {
-        Runner::from_env()
+        Runner::from_env().progress_json(self.progress_json)
     }
 }
 
@@ -346,6 +364,29 @@ pub fn write_telemetry_artifacts(cli: Cli) {
     }
 }
 
+/// Writes the host-observability snapshot requested by `--obs-out`: the
+/// JSON snapshot at the given path plus a Prometheus text rendering next
+/// to it with a `.prom` extension. A no-op when the flag is off.
+pub fn write_obs_artifacts(cli: Cli) {
+    let Some(path) = cli.obs_out else {
+        return;
+    };
+    let snap = mira_obs::snapshot();
+    std::fs::write(path, snap.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write obs snapshot to {path}: {e}");
+        std::process::exit(1);
+    });
+    let prom_path = std::path::Path::new(path).with_extension("prom");
+    std::fs::write(&prom_path, snap.to_prometheus()).unwrap_or_else(|e| {
+        eprintln!("cannot write obs exposition to {}: {e}", prom_path.display());
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[obs] snapshot written to {path} (+ {}; inspect with `trace_tool obs`)",
+        prom_path.display()
+    );
+}
+
 /// Prints an exhibit in the requested format, with a timing footer.
 pub fn emit<T: serde::Serialize>(cli: Cli, text: &str, value: &T, started: Instant) {
     if cli.json {
@@ -354,6 +395,7 @@ pub fn emit<T: serde::Serialize>(cli: Cli, text: &str, value: &T, started: Insta
         println!("{text}");
     }
     write_telemetry_artifacts(cli);
+    write_obs_artifacts(cli);
     eprintln!("[done in {:.1?}]", started.elapsed());
 }
 
@@ -379,6 +421,7 @@ pub fn emit_with_runner<T: serde::Serialize>(
         eprintln!("[runner] {}", summary.one_line());
     }
     write_telemetry_artifacts(cli);
+    write_obs_artifacts(cli);
     eprintln!("[done in {:.1?}]", started.elapsed());
 }
 
@@ -412,6 +455,11 @@ pub fn drive_network_step(arch: Arch, rate: f64, cycles: u64) -> u64 {
         net.step(cycle);
         net.drain_ejected(&mut ejected);
         ejected.clear();
+    }
+    if mira_obs::enabled() {
+        let wm = net.watermarks();
+        mira_obs::registry::ARENA_LIVE_PEAK.set_max(wm.arena_live_peak as u64);
+        mira_obs::registry::ROUTER_BUFFER_PEAK.set_max(wm.router_buffer_peak as u64);
     }
     net.counters().flits_ejected
 }

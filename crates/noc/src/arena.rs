@@ -28,6 +28,9 @@ pub struct FlitRef(pub u32);
 pub struct FlitArena {
     slots: Vec<Option<Flit>>,
     free: Vec<u32>,
+    /// Highest live-flit count ever reached (host-side watermark for
+    /// the observability layer; never read by the simulation).
+    live_peak: usize,
 }
 
 impl FlitArena {
@@ -39,7 +42,7 @@ impl FlitArena {
     /// An empty arena with room for `cap` flits before any slot-table
     /// growth.
     pub fn with_capacity(cap: usize) -> Self {
-        FlitArena { slots: Vec::with_capacity(cap), free: Vec::with_capacity(cap) }
+        FlitArena { slots: Vec::with_capacity(cap), free: Vec::with_capacity(cap), live_peak: 0 }
     }
 
     /// Stores `flit`, returning its index. Reuses a freed slot when one
@@ -49,7 +52,7 @@ impl FlitArena {
     ///
     /// [`free`]: FlitArena::free
     pub fn alloc(&mut self, flit: Flit) -> FlitRef {
-        if let Some(idx) = self.free.pop() {
+        let r = if let Some(idx) = self.free.pop() {
             debug_assert!(self.slots[idx as usize].is_none(), "free slot was occupied");
             self.slots[idx as usize] = Some(flit);
             FlitRef(idx)
@@ -60,7 +63,9 @@ impl FlitArena {
                 self.free.reserve(self.slots.len() - self.free.len());
             }
             FlitRef(idx)
-        }
+        };
+        self.live_peak = self.live_peak.max(self.allocated());
+        r
     }
 
     /// Borrows the flit at `r`.
@@ -97,6 +102,11 @@ impl FlitArena {
     /// Total slots ever created (live + free).
     pub fn capacity_slots(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Highest [`FlitArena::allocated`] value ever reached.
+    pub fn live_peak(&self) -> usize {
+        self.live_peak
     }
 
     /// Returns `true` if `r` currently addresses a live flit.

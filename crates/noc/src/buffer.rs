@@ -51,6 +51,9 @@ pub struct FlitSlab {
     len: Box<[u32]>,
     depth: usize,
     occupied: usize,
+    /// Highest total occupancy ever reached (host-side watermark for
+    /// the observability layer; never read by the simulation).
+    occupied_peak: usize,
 }
 
 impl FlitSlab {
@@ -67,6 +70,7 @@ impl FlitSlab {
             len: vec![0; pvs].into_boxed_slice(),
             depth,
             occupied: 0,
+            occupied_peak: 0,
         }
     }
 
@@ -101,6 +105,12 @@ impl FlitSlab {
         self.occupied
     }
 
+    /// Highest [`FlitSlab::occupied`] value ever reached.
+    #[inline]
+    pub fn occupied_peak(&self) -> usize {
+        self.occupied_peak
+    }
+
     /// Writes a flit into FIFO `pv`.
     ///
     /// # Panics
@@ -115,6 +125,7 @@ impl FlitSlab {
         self.slots[idx] = Some(slot);
         self.len[pv] += 1;
         self.occupied += 1;
+        self.occupied_peak = self.occupied_peak.max(self.occupied);
     }
 
     /// The flit at the head of FIFO `pv`, if any.

@@ -40,6 +40,8 @@
 
 use std::collections::HashSet;
 
+use mira_obs::phase::{scope as obs_scope, Phase as ObsPhase};
+
 use crate::arbiter::RoundRobinArbiter;
 use crate::arena::{FlitArena, FlitRef};
 use crate::buffer::{BufSlot, FlitSlab};
@@ -349,6 +351,12 @@ impl Router {
         self.buf.occupied()
     }
 
+    /// Highest total buffer occupancy this router ever reached
+    /// (host-side watermark; see `mira-obs`).
+    pub fn buffer_peak(&self) -> usize {
+        self.buf.occupied_peak()
+    }
+
     /// Returns `true` if the router holds no flits and has no pending
     /// switch grants. A quiescent router's [`Router::step`] is a
     /// provable no-op — no counter, stall, trace, or arbiter mutation —
@@ -613,6 +621,7 @@ impl Router {
         sink: &mut dyn EventSink,
         mut journeys: Option<&mut JourneyRecorder>,
     ) {
+        let _obs = obs_scope(ObsPhase::StageSt);
         if self.st_grants.is_empty() {
             return;
         }
@@ -722,6 +731,7 @@ impl Router {
         sink: &mut dyn EventSink,
         mut journeys: Option<&mut JourneyRecorder>,
     ) {
+        let _obs = obs_scope(ObsPhase::StageSa);
         if self.active_mask == 0 {
             // No VC holds the switch: both allocation stages are no-ops.
             return;
@@ -852,6 +862,7 @@ impl Router {
         sink: &mut dyn EventSink,
         mut journeys: Option<&mut JourneyRecorder>,
     ) {
+        let _obs = obs_scope(ObsPhase::StageVa);
         if self.waiting_mask == 0 {
             return;
         }
@@ -954,6 +965,7 @@ impl Router {
         counters: &mut ActivityCounters,
         sink: &mut dyn EventSink,
     ) {
+        let _obs = obs_scope(ObsPhase::StageRc);
         if self.routing_mask == 0 {
             return;
         }

@@ -394,22 +394,28 @@ impl Simulator {
             }
             let measuring = cycle >= warm_end && cycle < measure_end;
 
-            if cycle < measure_end {
-                for spec in workload.generate(cycle) {
-                    self.inject(spec, cycle, measuring);
-                    if measuring {
-                        measured_created += 1;
+            {
+                let _obs = mira_obs::phase::scope(mira_obs::phase::Phase::Workload);
+                if cycle < measure_end {
+                    for spec in workload.generate(cycle) {
+                        self.inject(spec, cycle, measuring);
+                        if measuring {
+                            measured_created += 1;
+                        }
                     }
                 }
+                // Replies due now are injected with the current window's
+                // measurement status.
+                self.inject_due_replies(cycle, measuring);
             }
-            // Replies due now are injected with the current window's
-            // measurement status.
-            self.inject_due_replies(cycle, measuring);
 
             self.network.step(cycle);
-            measured_dropped += self.process_drops();
-            measured_done +=
-                self.process_ejections(cycle, &mut *workload, &mut per_class, &mut histogram);
+            {
+                let _obs = mira_obs::phase::scope(mira_obs::phase::Phase::Ejection);
+                measured_dropped += self.process_drops();
+                measured_done +=
+                    self.process_ejections(cycle, &mut *workload, &mut per_class, &mut histogram);
+            }
 
             cycle += 1;
 

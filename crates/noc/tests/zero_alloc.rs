@@ -144,4 +144,18 @@ fn steady_state_stepping_never_allocates() {
              across {MEASURED_CYCLES} cycles — the per-cycle path must be allocation-free"
         );
     }
+
+    // With host observability collecting, the contract still holds: the
+    // phase guards are an `Instant` read plus atomic adds, and the hot
+    // loop never touches the metrics registry (first-touch registration
+    // allocates, so registry updates are confined to per-batch code).
+    mira_obs::set_enabled(true);
+    let (allocs, ejected) = allocations_during_steady_state(Box::new(Mesh2D::new(4, 4)), false);
+    mira_obs::set_enabled(false);
+    assert!(ejected > 0, "obs-enabled scenario must actually move traffic");
+    assert_eq!(
+        allocs, 0,
+        "obs-enabled steady-state stepping performed {allocs} heap allocations \
+         across {MEASURED_CYCLES} cycles — observability must not allocate per cycle"
+    );
 }

@@ -1,0 +1,42 @@
+//! Stamps build provenance into the crate as compile-time environment
+//! variables: the git revision this binary was built from and the rustc
+//! that built it. Both fall back to `"unknown"` when the information is
+//! unavailable (tarball builds, missing git), so the build never fails
+//! on their account.
+
+use std::process::Command;
+
+fn capture(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    if s.is_empty() {
+        None
+    } else {
+        Some(s.to_string())
+    }
+}
+
+fn main() {
+    let git_rev = capture("git", &["rev-parse", "--short=12", "HEAD"])
+        .map(|rev| {
+            let dirty = capture("git", &["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+            if dirty {
+                format!("{rev}-dirty")
+            } else {
+                rev
+            }
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let rustc_version = capture(&rustc, &["--version"]).unwrap_or_else(|| "unknown".to_string());
+
+    println!("cargo:rustc-env=MIRA_GIT_REV={git_rev}");
+    println!("cargo:rustc-env=MIRA_RUSTC={rustc_version}");
+    // Re-stamp when the checked-out commit moves.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/index");
+}

@@ -21,6 +21,12 @@ pub struct RunResult {
     pub avg_power_w: f64,
     /// Power–delay product (power × mean latency).
     pub pdp: f64,
+    /// Peak live flits in the run's arena (host-side watermark; not
+    /// part of [`SimReport`], which is pinned bit-for-bit by the golden
+    /// suites).
+    pub arena_peak_flits: u64,
+    /// Peak single-router buffer occupancy, flits.
+    pub buffer_peak_flits: u64,
 }
 
 /// Runs one architecture against a workload.
@@ -48,7 +54,15 @@ pub fn run_custom(
     let pricing = arch.network_power();
     let avg_power_w = pricing.average_power_w(&report.counters);
     let pdp = pricing.power_delay_product(&report.counters, report.avg_latency);
-    RunResult { arch, report, avg_power_w, pdp }
+    let wm = sim.network().watermarks();
+    RunResult {
+        arch,
+        report,
+        avg_power_w,
+        pdp,
+        arena_peak_flits: wm.arena_live_peak as u64,
+        buffer_peak_flits: wm.router_buffer_peak as u64,
+    }
 }
 
 /// The default measurement windows for the full experiments.

@@ -22,15 +22,34 @@
 //!   machine-readable [`RunSummary`] for the benches' `--json` output.
 
 use std::io::IsTerminal;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mira_noc::stats::{LatencyHistogram, LatencyStats};
 use mira_noc::telemetry::StallCounters;
+use mira_obs::ledger::{self, LedgerEntry};
+use mira_obs::provenance::Provenance;
+use mira_obs::registry::{Counter, Histogram, ARENA_LIVE_PEAK, ROUTER_BUFFER_PEAK};
 use serde::Serialize;
 
 use crate::experiments::common::{RunResult, EXPERIMENT_SEED};
+
+/// Points completed by runner batches in this process.
+static POINTS_TOTAL: Counter =
+    Counter::new("mira_runner_points_total", "Simulation points completed by the runner");
+/// Simulated cycles completed by runner batches in this process.
+static CYCLES_TOTAL: Counter =
+    Counter::new("mira_runner_cycles_total", "Simulated cycles completed by the runner");
+/// Per-point wall-time distribution.
+static POINT_WALL_MS: Histogram =
+    Histogram::new("mira_runner_point_wall_ms", "Per-point wall time on its worker, ms");
+/// Per-point queue-wait distribution (batch start to claim).
+static QUEUE_WAIT_MS: Histogram = Histogram::new(
+    "mira_runner_queue_wait_ms",
+    "Per-point wait from batch start until a worker claimed it, ms",
+);
 
 /// Derives a per-point RNG seed from a base seed and a point index
 /// (SplitMix64-style finalizer: well-spread seeds even for consecutive
@@ -107,6 +126,9 @@ pub struct PointOutcome {
     pub result: RunResult,
     /// Wall-clock time this point took on its worker.
     pub wall: Duration,
+    /// Time from batch start until a worker claimed this point (queue
+    /// wait: how long the point sat behind others).
+    pub queue_wait: Duration,
 }
 
 /// Everything a batch returns: per-point outcomes in input order plus
@@ -166,11 +188,39 @@ pub struct RunSummary {
     pub agg_latency_p95: Option<u64>,
     /// 99th percentile over the merged histograms.
     pub agg_latency_p99: Option<u64>,
+    /// Mean per-point queue wait (batch start → claim), milliseconds.
+    pub queue_wait_mean_ms: f64,
+    /// Worst per-point queue wait, milliseconds.
+    pub queue_wait_max_ms: f64,
+    /// Load-imbalance ratio: busiest worker's busy time over the mean
+    /// worker busy time (1.0 = perfectly balanced; the number ROADMAP
+    /// item 2's sharded stepping will be judged against).
+    pub imbalance: f64,
+    /// Peak live flits in any point's arena (host memory watermark).
+    pub peak_arena_flits: u64,
+    /// Per-worker busy/idle accounting.
+    pub workers: Vec<WorkerSummary>,
+    /// Build provenance of this binary (git rev, rustc, profile).
+    pub build: Provenance,
     /// Per-point label, seed, timing and headline stats.
     pub point_details: Vec<PointSummary>,
     /// Windowed-metrics time series aggregated across points, empty
     /// unless points ran with `TelemetryConfig::metrics_window` set.
     pub windows: Vec<WindowAggregate>,
+}
+
+/// One worker's share of a batch.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerSummary {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Points this worker executed.
+    pub points: usize,
+    /// Time spent inside point closures, milliseconds.
+    pub busy_ms: f64,
+    /// Batch wall time minus busy time, milliseconds (startup, queue
+    /// polling, and tail idling after the queue drained).
+    pub idle_ms: f64,
 }
 
 /// One metrics window aggregated over every point that produced it
@@ -249,6 +299,12 @@ impl Serialize for RunSummary {
             ("agg_latency_p50".to_string(), self.agg_latency_p50.to_value()),
             ("agg_latency_p95".to_string(), self.agg_latency_p95.to_value()),
             ("agg_latency_p99".to_string(), self.agg_latency_p99.to_value()),
+            ("queue_wait_mean_ms".to_string(), self.queue_wait_mean_ms.to_value()),
+            ("queue_wait_max_ms".to_string(), self.queue_wait_max_ms.to_value()),
+            ("imbalance".to_string(), self.imbalance.to_value()),
+            ("peak_arena_flits".to_string(), self.peak_arena_flits.to_value()),
+            ("workers".to_string(), self.workers.to_value()),
+            ("build".to_string(), self.build.to_value()),
             ("point_details".to_string(), self.point_details.to_value()),
         ];
         if !self.windows.is_empty() {
@@ -279,6 +335,10 @@ pub struct PointSummary {
     /// Simulation rate of this point: millions of flits ejected in the
     /// measurement window per wall-clock second.
     pub mflits_per_sec: f64,
+    /// Wait from batch start until a worker claimed this point, ms.
+    pub queue_wait_ms: f64,
+    /// Peak live flits in this point's arena.
+    pub arena_peak_flits: u64,
 }
 
 /// `numerator / seconds`, zero when the denominator rounds to zero (a
@@ -296,7 +356,12 @@ impl RunSummary {
     /// computed by *merging* the per-point statistics and histograms
     /// ([`LatencyStats::merge`], [`LatencyHistogram::merge`]) — the
     /// same numbers a single serial pass over all packets would give.
-    fn new(jobs: usize, wall: Duration, outcomes: &[PointOutcome]) -> Self {
+    fn new(
+        jobs: usize,
+        wall: Duration,
+        outcomes: &[PointOutcome],
+        worker_stats: &[(usize, Duration)],
+    ) -> Self {
         let mut merged_stats = LatencyStats::new();
         let mut merged_hist = LatencyHistogram::new();
         for o in outcomes {
@@ -307,6 +372,30 @@ impl RunSummary {
         let total_cycles: u64 = outcomes.iter().map(|o| o.result.report.cycles_simulated).sum();
         let total_flits: u64 =
             outcomes.iter().map(|o| o.result.report.counters.flits_ejected).sum();
+        let workers: Vec<WorkerSummary> = worker_stats
+            .iter()
+            .enumerate()
+            .map(|(w, &(points, busy))| {
+                let busy_ms = busy.as_secs_f64() * 1e3;
+                WorkerSummary {
+                    worker: w,
+                    points,
+                    busy_ms,
+                    idle_ms: (wall.as_secs_f64() * 1e3 - busy_ms).max(0.0),
+                }
+            })
+            .collect();
+        let imbalance = if workers.is_empty() {
+            1.0
+        } else {
+            let mean_busy = workers.iter().map(|w| w.busy_ms).sum::<f64>() / workers.len() as f64;
+            let max_busy = workers.iter().map(|w| w.busy_ms).fold(0.0, f64::max);
+            if mean_busy > 0.0 {
+                max_busy / mean_busy
+            } else {
+                1.0
+            }
+        };
         RunSummary {
             jobs,
             points: outcomes.len(),
@@ -321,6 +410,20 @@ impl RunSummary {
             agg_latency_p50: merged_hist.p50(),
             agg_latency_p95: merged_hist.p95(),
             agg_latency_p99: merged_hist.p99(),
+            queue_wait_mean_ms: if outcomes.is_empty() {
+                0.0
+            } else {
+                outcomes.iter().map(|o| o.queue_wait.as_secs_f64() * 1e3).sum::<f64>()
+                    / outcomes.len() as f64
+            },
+            queue_wait_max_ms: outcomes
+                .iter()
+                .map(|o| o.queue_wait.as_secs_f64() * 1e3)
+                .fold(0.0, f64::max),
+            imbalance,
+            peak_arena_flits: outcomes.iter().map(|o| o.result.arena_peak_flits).max().unwrap_or(0),
+            workers,
+            build: Provenance::current(),
             point_details: outcomes
                 .iter()
                 .map(|o| PointSummary {
@@ -338,6 +441,8 @@ impl RunSummary {
                         o.result.report.counters.flits_ejected as f64 / 1e6,
                         o.wall.as_secs_f64(),
                     ),
+                    queue_wait_ms: o.queue_wait.as_secs_f64() * 1e3,
+                    arena_peak_flits: o.result.arena_peak_flits,
                 })
                 .collect(),
             windows: aggregate_windows(outcomes),
@@ -362,11 +467,45 @@ impl RunSummary {
     }
 }
 
+/// One machine-readable progress record, emitted as a JSON line on
+/// stderr after each point completes when [`Runner::progress_json`] is
+/// on (the `--progress-json` bench flag). Lines are self-contained so a
+/// monitor can tail them without tracking state.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProgressEvent {
+    /// Points finished so far (including this one).
+    pub done: usize,
+    /// Points in the batch.
+    pub total: usize,
+    /// Label of the point that just finished.
+    pub label: String,
+    /// Seed the point ran with.
+    pub seed: u64,
+    /// Wall-clock the point took on its worker, milliseconds.
+    pub wall_ms: f64,
+    /// Cycles the point simulated.
+    pub cycles: u64,
+    /// The point's simulation rate, thousands of cycles per second.
+    pub kcycles_per_sec: f64,
+    /// Whether the point saturated.
+    pub saturated: bool,
+}
+
+impl ProgressEvent {
+    /// The event as one JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("progress event serializes")
+    }
+}
+
 /// The worker pool configuration.
 #[derive(Debug, Clone)]
 pub struct Runner {
     jobs: usize,
     progress: bool,
+    progress_json: bool,
+    ledger_path: Option<PathBuf>,
+    exhibit: Option<String>,
 }
 
 impl Runner {
@@ -379,18 +518,53 @@ impl Runner {
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-        Runner { jobs, progress: std::io::stderr().is_terminal() }
+        Runner {
+            jobs,
+            progress: std::io::stderr().is_terminal(),
+            progress_json: false,
+            ledger_path: None,
+            exhibit: None,
+        }
     }
 
     /// Pool with an explicit worker count (progress off — this is the
     /// constructor tests use).
     pub fn with_jobs(jobs: usize) -> Self {
-        Runner { jobs: jobs.max(1), progress: false }
+        Runner {
+            jobs: jobs.max(1),
+            progress: false,
+            progress_json: false,
+            ledger_path: None,
+            exhibit: None,
+        }
     }
 
     /// Enables or disables the stderr progress line.
     pub fn progress(mut self, on: bool) -> Self {
         self.progress = on;
+        self
+    }
+
+    /// Enables or disables the machine-readable JSONL progress stream
+    /// on stderr (one [`ProgressEvent`] line per completed point,
+    /// alongside — not replacing — the human progress line).
+    pub fn progress_json(mut self, on: bool) -> Self {
+        self.progress_json = on;
+        self
+    }
+
+    /// Overrides the run-ledger path (default:
+    /// [`mira_obs::ledger::default_path`]). Only consulted when
+    /// observability is enabled.
+    pub fn ledger_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.ledger_path = Some(path.into());
+        self
+    }
+
+    /// Names the exhibit for ledger entries (default: the binary's file
+    /// stem).
+    pub fn exhibit(mut self, name: impl Into<String>) -> Self {
+        self.exhibit = Some(name.into());
         self
     }
 
@@ -412,25 +586,52 @@ impl Runner {
         let done = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<PointOutcome>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
+        // Per-worker (points run, busy time) — each worker owns one slot.
+        let worker_stats: Vec<Mutex<(usize, Duration)>> =
+            (0..workers).map(|_| Mutex::new((0, Duration::ZERO))).collect();
+        // Hashed before the run so a crashing point can't change the
+        // batch's identity in the ledger.
+        let config_hash =
+            ledger::config_hash(&self.exhibit_name(), points.iter().map(|p| (p.label(), p.seed())));
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for worker_stat in &worker_stats {
+                let next = &next;
+                let done = &done;
+                let slots = &slots;
+                let points = &points;
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
                     }
                     let p = &points[i];
+                    let queue_wait = started.elapsed();
                     let t0 = Instant::now();
                     let result = (p.run)(p.seed);
                     let wall = t0.elapsed();
                     let cycles = result.report.cycles_simulated;
+                    let saturated = result.report.saturated;
+                    if mira_obs::enabled() {
+                        POINTS_TOTAL.inc(1);
+                        CYCLES_TOTAL.inc(cycles);
+                        POINT_WALL_MS.observe(wall.as_millis() as u64);
+                        QUEUE_WAIT_MS.observe(queue_wait.as_millis() as u64);
+                        ARENA_LIVE_PEAK.set_max(result.arena_peak_flits);
+                        ROUTER_BUFFER_PEAK.set_max(result.buffer_peak_flits);
+                    }
                     *slots[i].lock().expect("outcome slot") = Some(PointOutcome {
                         label: p.label.clone(),
                         seed: p.seed,
                         result,
                         wall,
+                        queue_wait,
                     });
+                    {
+                        let mut stat = worker_stat.lock().expect("worker stat");
+                        stat.0 += 1;
+                        stat.1 += wall;
+                    }
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if self.progress {
                         let elapsed = started.elapsed();
@@ -441,6 +642,19 @@ impl Runner {
                             p.label,
                         );
                     }
+                    if self.progress_json {
+                        let event = ProgressEvent {
+                            done: finished,
+                            total,
+                            label: p.label.clone(),
+                            seed: p.seed,
+                            wall_ms: wall.as_secs_f64() * 1e3,
+                            cycles,
+                            kcycles_per_sec: per_sec(cycles as f64 / 1e3, wall.as_secs_f64()),
+                            saturated,
+                        };
+                        eprintln!("{}", event.to_jsonl());
+                    }
                 });
             }
         });
@@ -449,8 +663,54 @@ impl Runner {
             .into_iter()
             .map(|m| m.into_inner().expect("slot lock").expect("every point ran"))
             .collect();
-        let summary = RunSummary::new(workers, started.elapsed(), &outcomes);
+        let worker_stats: Vec<(usize, Duration)> =
+            worker_stats.into_iter().map(|m| m.into_inner().expect("worker stat")).collect();
+        let summary = RunSummary::new(workers, started.elapsed(), &outcomes, &worker_stats);
+        if mira_obs::enabled() && !outcomes.is_empty() {
+            self.append_ledger(config_hash, &outcomes, &summary);
+        }
         RunBatch { outcomes, summary }
+    }
+
+    /// The exhibit name for ledger entries: the explicit override, or
+    /// the running binary's file stem.
+    fn exhibit_name(&self) -> String {
+        if let Some(name) = &self.exhibit {
+            return name.clone();
+        }
+        std::env::current_exe()
+            .ok()
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| "unknown".to_string())
+    }
+
+    /// Appends one batch entry to the durable run ledger (and the
+    /// in-process session log). IO failure warns on stderr instead of
+    /// failing the batch — the ledger is observability, not results.
+    fn append_ledger(&self, config_hash: u64, outcomes: &[PointOutcome], summary: &RunSummary) {
+        let build = Provenance::current();
+        let entry = LedgerEntry {
+            ts_ms: ledger::unix_millis(),
+            exhibit: self.exhibit_name(),
+            config_hash: ledger::hash_hex(config_hash),
+            seed: outcomes[0].seed,
+            git_rev: build.git_rev,
+            profile: build.profile,
+            rustc: build.rustc,
+            points: summary.points,
+            jobs: summary.jobs,
+            wall_ms: summary.wall_ms,
+            cycles_simulated: summary.cycles_simulated,
+            kcycles_per_sec: summary.kcycles_per_sec,
+            mflits_per_sec: summary.mflits_per_sec,
+            saturated_points: summary.saturated_points,
+            peak_arena_flits: summary.peak_arena_flits,
+        };
+        let path = self.ledger_path.clone().unwrap_or_else(ledger::default_path);
+        if let Err(e) = ledger::append(&path, &entry) {
+            eprintln!("[runner] warning: could not append run ledger {}: {e}", path.display());
+        }
+        ledger::record_session(entry);
     }
 }
 

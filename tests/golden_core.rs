@@ -212,6 +212,21 @@ fn fault_points_match_golden_bits() {
     check_points(&pts[8..]);
 }
 
+/// With host observability collecting (DESIGN.md §15), the golden bits
+/// are *still* unchanged: phase timers and watermark gauges observe the
+/// simulator, never the simulation, so `SimReport` and the power bits
+/// must stay byte-identical to the obs-off snapshots.
+#[test]
+fn obs_enabled_matches_golden_bits() {
+    mira_obs::set_enabled(true);
+    let pts = points();
+    // One fault-free and one fault-injected point cover both report
+    // shapes; the full matrix is pinned by the obs-off tests above.
+    check_points(&pts[..2]);
+    check_points(&pts[8..9]);
+    mira_obs::set_enabled(false);
+}
+
 /// Sanity: the golden recipe actually populates every report section it
 /// claims to pin (guards against a silent telemetry regression making
 /// the snapshots vacuous).
