@@ -172,6 +172,8 @@ fn append_ledger(report: &StepReport, t0: Instant) {
         exhibit: "bench_step".to_string(),
         config_hash: ledger::hash_hex(hash),
         seed: EXPERIMENT_SEED,
+        seed_min: EXPERIMENT_SEED,
+        seed_max: EXPERIMENT_SEED,
         git_rev: build.git_rev,
         profile: build.profile,
         rustc: build.rustc,
@@ -182,6 +184,8 @@ fn append_ledger(report: &StepReport, t0: Instant) {
         kcycles_per_sec: total_cycles as f64 / 1e3 / wall_s,
         mflits_per_sec: total_flits as f64 / 1e6 / wall_s,
         saturated_points: 0,
+        failed_points: 0,
+        resumed_points: 0,
         peak_arena_flits: peak,
     };
     let path = ledger::default_path();

@@ -20,6 +20,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use mira::arch::Arch;
+use mira::error::HostError;
 use mira::experiments::common::EXPERIMENT_SEED;
 use mira::noc::sim::Simulator;
 use mira::noc::telemetry::TelemetryConfig;
@@ -32,7 +33,9 @@ const USAGE: &str = "usage: <bin> [--quick] [--json] [--metrics-window <cycles>]
                      [--span-sample-rate <0..=1>] [--journeys-out <path>] \
                      [--fault-rate <fraction>] [--kill-link <node:port[@cycle]>] \
                      [--fault-seed <seed>] [--compare <baseline.json>] \
-                     [--obs-out <path>] [--progress-json]";
+                     [--obs-out <path>] [--progress-json] \
+                     [--resume] [--checkpoint-dir <dir>] [--point-timeout <secs>] \
+                     [--point-retries <n>] [--fail-fast]";
 
 /// Shared CLI handling for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -79,6 +82,21 @@ pub struct Cli {
     /// Emit one machine-readable JSON line per completed runner point on
     /// stderr (`--progress-json`).
     pub progress_json: bool,
+    /// Replay completed points from the batch's sweep checkpoint and run
+    /// only the missing ones (`--resume`). Implies checkpointing.
+    pub resume: bool,
+    /// Directory for per-point sweep checkpoints (`--checkpoint-dir`);
+    /// giving it enables checkpoint writing.
+    pub checkpoint_dir: Option<&'static str>,
+    /// Watchdog limit per runner point in milliseconds, parsed from the
+    /// `--point-timeout <secs>` flag (stored as ms so [`Cli`] stays
+    /// `Eq`).
+    pub point_timeout_ms: Option<u64>,
+    /// Extra attempts per failed runner point (`--point-retries`).
+    pub point_retries: Option<u32>,
+    /// Abort the batch on the first point failure instead of running the
+    /// remaining points (`--fail-fast`).
+    pub fail_fast: bool,
 }
 
 /// Parses `node:port[@cycle]` (e.g. `7:3@250`) for `--kill-link`.
@@ -179,6 +197,32 @@ impl Cli {
                     mira_obs::set_enabled(true);
                 }
                 "--progress-json" => cli.progress_json = true,
+                "--resume" => cli.resume = true,
+                "--checkpoint-dir" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--checkpoint-dir needs a directory"));
+                    cli.checkpoint_dir = Some(leak(v));
+                }
+                "--point-timeout" => {
+                    let v =
+                        args.next().unwrap_or_else(|| usage_error("--point-timeout needs seconds"));
+                    match v.parse::<f64>() {
+                        Ok(s) if s > 0.0 && s.is_finite() => {
+                            cli.point_timeout_ms = Some((s * 1e3).round().max(1.0) as u64);
+                        }
+                        _ => usage_error(&format!("invalid --point-timeout value {v:?}")),
+                    }
+                }
+                "--point-retries" => {
+                    let v =
+                        args.next().unwrap_or_else(|| usage_error("--point-retries needs a count"));
+                    match v.parse::<u32>() {
+                        Ok(n) => cli.point_retries = Some(n),
+                        _ => usage_error(&format!("invalid --point-retries value {v:?}")),
+                    }
+                }
+                "--fail-fast" => cli.fail_fast = true,
                 "--fault-seed" => {
                     let v = args.next().unwrap_or_else(|| usage_error("--fault-seed needs a seed"));
                     match v.parse::<u64>() {
@@ -256,9 +300,28 @@ impl Cli {
 
     /// The worker pool for this invocation: sized by
     /// `available_parallelism`, overridable with `MIRA_JOBS`; the
-    /// progress line shows whenever stderr is a terminal.
+    /// progress line shows whenever stderr is a terminal. Crash-safety
+    /// flags (`--resume`, `--checkpoint-dir`, `--point-timeout`,
+    /// `--point-retries`, `--fail-fast`) layer on top of their
+    /// environment-variable equivalents.
     pub fn runner(&self) -> Runner {
-        Runner::from_env().progress_json(self.progress_json)
+        let mut runner = Runner::from_env().progress_json(self.progress_json);
+        if let Some(n) = self.point_retries {
+            runner = runner.point_retries(n);
+        }
+        if let Some(ms) = self.point_timeout_ms {
+            runner = runner.point_timeout(std::time::Duration::from_millis(ms));
+        }
+        if self.fail_fast {
+            runner = runner.fail_fast(true);
+        }
+        if let Some(dir) = self.checkpoint_dir {
+            runner = runner.checkpoint_dir(dir);
+        }
+        if self.resume {
+            runner = runner.resume(true);
+        }
+        runner
     }
 }
 
@@ -323,10 +386,9 @@ pub fn write_telemetry_artifacts(cli: Cli) {
 
     if let Some(path) = cli.trace_out {
         let trace = sim.trace_chrome_json().expect("trace sink installed");
-        std::fs::write(path, trace).unwrap_or_else(|e| {
-            eprintln!("cannot write trace to {path}: {e}");
-            std::process::exit(1);
-        });
+        if let Err(e) = std::fs::write(path, trace) {
+            HostError::io("write trace to", path, &e).exit();
+        }
         eprintln!("[telemetry] event trace written to {path} (load in ui.perfetto.dev)");
     }
     if let Some(path) = cli.metrics_out {
@@ -336,10 +398,9 @@ pub fn write_telemetry_artifacts(cli: Cli) {
             windows: report.windows.clone(),
         };
         let json = serde_json::to_string_pretty(&dump).expect("serialisable dump");
-        std::fs::write(path, json).unwrap_or_else(|e| {
-            eprintln!("cannot write metrics to {path}: {e}");
-            std::process::exit(1);
-        });
+        if let Err(e) = std::fs::write(path, json) {
+            HostError::io("write metrics to", path, &e).exit();
+        }
         eprintln!(
             "[telemetry] {} metrics windows written to {path} (render with `trace_tool netview`)",
             report.windows.len()
@@ -353,10 +414,9 @@ pub fn write_telemetry_artifacts(cli: Cli) {
             journeys: sim.journeys().to_vec(),
         };
         let json = serde_json::to_string_pretty(&dump).expect("serialisable journeys");
-        std::fs::write(path, json).unwrap_or_else(|e| {
-            eprintln!("cannot write journeys to {path}: {e}");
-            std::process::exit(1);
-        });
+        if let Err(e) = std::fs::write(path, json) {
+            HostError::io("write journeys to", path, &e).exit();
+        }
         eprintln!(
             "[telemetry] {} packet journeys written to {path} (inspect with `trace_tool journey`)",
             dump.journeys.len()
@@ -372,15 +432,13 @@ pub fn write_obs_artifacts(cli: Cli) {
         return;
     };
     let snap = mira_obs::snapshot();
-    std::fs::write(path, snap.to_json()).unwrap_or_else(|e| {
-        eprintln!("cannot write obs snapshot to {path}: {e}");
-        std::process::exit(1);
-    });
+    if let Err(e) = std::fs::write(path, snap.to_json()) {
+        HostError::io("write obs snapshot to", path, &e).exit();
+    }
     let prom_path = std::path::Path::new(path).with_extension("prom");
-    std::fs::write(&prom_path, snap.to_prometheus()).unwrap_or_else(|e| {
-        eprintln!("cannot write obs exposition to {}: {e}", prom_path.display());
-        std::process::exit(1);
-    });
+    if let Err(e) = std::fs::write(&prom_path, snap.to_prometheus()) {
+        HostError::io("write obs exposition to", &prom_path, &e).exit();
+    }
     eprintln!(
         "[obs] snapshot written to {path} (+ {}; inspect with `trace_tool obs`)",
         prom_path.display()

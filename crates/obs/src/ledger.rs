@@ -38,11 +38,19 @@ pub struct LedgerEntry {
     /// Producing exhibit/binary (e.g. `fig11a`, `bench_step`).
     pub exhibit: String,
     /// [`config_hash`] over the batch's point labels and seeds, as
-    /// 16 hex digits.
+    /// 16 hex digits — the unambiguous batch identity (shared with the
+    /// batch's checkpoint file), stable across partial and resumed
+    /// runs of the same point list.
     pub config_hash: String,
-    /// Seed of the batch's first point (individual seeds are inside the
-    /// hash).
+    /// Seed of the batch's first *submitted* point (individual seeds
+    /// are inside the hash). Derived from the submitted point list, not
+    /// from whichever points completed, so partial batches record the
+    /// same value.
     pub seed: u64,
+    /// Smallest seed across the submitted points.
+    pub seed_min: u64,
+    /// Largest seed across the submitted points.
+    pub seed_max: u64,
     /// Git revision of the producing build.
     pub git_rev: String,
     /// Build profile (`debug`/`release`).
@@ -63,6 +71,11 @@ pub struct LedgerEntry {
     pub mflits_per_sec: f64,
     /// Points that saturated.
     pub saturated_points: usize,
+    /// Points that failed (panicked, timed out, or were skipped by
+    /// fail-fast) after exhausting their retry budget.
+    pub failed_points: usize,
+    /// Points replayed from a sweep checkpoint instead of simulated.
+    pub resumed_points: usize,
     /// Peak live flits in any point's arena.
     pub peak_arena_flits: u64,
 }
@@ -168,6 +181,8 @@ mod tests {
             exhibit: "test".to_string(),
             config_hash: hash_hex(config_hash("test", [("a", seed)].into_iter())),
             seed,
+            seed_min: seed,
+            seed_max: seed,
             git_rev: "abc123".to_string(),
             profile: "debug".to_string(),
             rustc: "rustc test".to_string(),
@@ -178,6 +193,8 @@ mod tests {
             kcycles_per_sec: 80.0,
             mflits_per_sec: 0.4,
             saturated_points: 0,
+            failed_points: 0,
+            resumed_points: 0,
             peak_arena_flits: 64,
         }
     }

@@ -27,8 +27,13 @@
 //! * [`provenance`] — git revision / rustc / build profile stamped into
 //!   the binary at compile time.
 //! * [`ledger`] — the append-only `results/ledger.jsonl` run record
-//!   (config hash, seed, provenance, throughput, watermarks per batch).
+//!   (config hash, seed range, provenance, throughput, watermarks and
+//!   failure counts per batch).
+//! * [`checkpoint`] — per-point sweep checkpoints
+//!   (`results/checkpoints/<exhibit>-<hash>.jsonl`), the replay
+//!   substrate of the runner's `--resume` (DESIGN.md §16).
 
+pub mod checkpoint;
 pub mod ledger;
 pub mod phase;
 pub mod provenance;

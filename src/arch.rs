@@ -15,7 +15,11 @@ use mira_power::geometry::PaperArch;
 use mira_power::network_power::NetworkPower;
 
 /// One of the six evaluated router architectures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Serializes as the variant identifier (e.g. `"ThreeDME"`), which is
+/// what sweep checkpoints persist; [`Arch::name`] stays the paper's
+/// display form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Arch {
     /// Baseline 2D, 6×6 mesh.
     TwoDB,

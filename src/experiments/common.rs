@@ -11,7 +11,12 @@ use crate::experiments::runner::{derive_seed, RunSummary, Runner, SimPoint};
 pub const EXPERIMENT_SEED: u64 = 20080621; // ISCA 2008 week
 
 /// Result of one (architecture, workload) run.
-#[derive(Debug, Clone)]
+///
+/// `Serialize`/`Deserialize` exist so the runner can persist completed
+/// points to sweep checkpoints and replay them bit-identically on
+/// `--resume` (the vendored serde's float path round-trips every finite
+/// `f64` exactly via shortest-display).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RunResult {
     /// Which architecture ran.
     pub arch: Arch,

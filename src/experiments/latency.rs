@@ -436,7 +436,7 @@ impl TailAttribution {
                 let (dom, dom_cycles) = b.mean.dominant();
                 let total = b.mean.total().max(f64::MIN_POSITIVE);
                 let mut parts: Vec<(&str, f64)> = b.mean.parts().to_vec();
-                parts.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite means"));
+                parts.sort_by(|x, y| y.1.total_cmp(&x.1));
                 let breakdown = parts
                     .iter()
                     .take(3)

@@ -1,11 +1,12 @@
-//! Parallel experiment runner: fans independent simulation points out
-//! across a scoped worker pool and returns results in input order.
+//! Crash-safe parallel experiment runner: fans independent simulation
+//! points out across a fault-isolated worker pool and returns results —
+//! or typed failures — in input order.
 //!
 //! Every MIRA exhibit sweeps independent (architecture × rate ×
 //! workload) points, which are embarrassingly parallel. The runner
-//! executes a list of [`SimPoint`]s on `std::thread::scope` workers —
-//! pool size from [`std::thread::available_parallelism`], overridable
-//! with the `MIRA_JOBS` environment variable — and guarantees:
+//! executes a list of [`SimPoint`]s on detached worker threads — pool
+//! size from [`std::thread::available_parallelism`], overridable with
+//! the `MIRA_JOBS` environment variable — and guarantees:
 //!
 //! - **Input order**: outcomes come back in the order points were
 //!   submitted, regardless of which worker finished first.
@@ -17,23 +18,46 @@
 //!   methodology — e.g. 2DB vs 3DM-NC at the same injection rate) share
 //!   a seed. Because a point's result depends only on its closure and
 //!   seed, reports are bit-identical for any worker count or schedule.
+//! - **Fault isolation**: every point runs under
+//!   [`std::panic::catch_unwind`]; a panicking point becomes a typed
+//!   [`PointFailure`] instead of tearing down the batch, and every
+//!   other point's result stays bit-identical to a clean run.
+//!   [`Runner::try_run`] returns one `Result` per point;
+//!   [`Runner::run`] keeps the historical all-success contract and
+//!   panics with an itemized message if any point failed.
+//! - **Retry and watchdog**: failed attempts are retried with the
+//!   *same seed* up to a bounded budget (`MIRA_POINT_RETRIES`), with
+//!   exponential backoff only for host-resource errors (disk full,
+//!   allocation failure). A configurable watchdog
+//!   (`MIRA_POINT_TIMEOUT`) marks runaway points
+//!   [`FailureKind::Timeout`] and replaces their stuck worker so the
+//!   rest of the batch keeps moving.
+//! - **Checkpointed resume**: with a checkpoint directory configured
+//!   (`MIRA_CHECKPOINT_DIR`), every completed point is flushed to
+//!   `results/checkpoints/<exhibit>-<hash>.jsonl` as it finishes; a
+//!   resumed batch (`MIRA_RESUME=1`) replays verified entries and runs
+//!   only the missing points, bit-identical to an uninterrupted run.
 //! - **Observability**: per-point wall-clock and cycle counts, an
 //!   optional progress line (done/total, ETA) on stderr, and a
-//!   machine-readable [`RunSummary`] for the benches' `--json` output.
+//!   machine-readable [`RunSummary`] for the benches' `--json` output,
+//!   now including a `failed_points` itemization.
 
 use std::io::IsTerminal;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use mira_noc::stats::{LatencyHistogram, LatencyStats};
 use mira_noc::telemetry::StallCounters;
+use mira_obs::checkpoint::{self, CheckpointEntry, CheckpointWriter};
 use mira_obs::ledger::{self, LedgerEntry};
 use mira_obs::provenance::Provenance;
 use mira_obs::registry::{Counter, Histogram, ARENA_LIVE_PEAK, ROUTER_BUFFER_PEAK};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
+use crate::error::HostError;
 use crate::experiments::common::{RunResult, EXPERIMENT_SEED};
 
 /// Points completed by runner batches in this process.
@@ -49,6 +73,26 @@ static POINT_WALL_MS: Histogram =
 static QUEUE_WAIT_MS: Histogram = Histogram::new(
     "mira_runner_queue_wait_ms",
     "Per-point wait from batch start until a worker claimed it, ms",
+);
+/// Points that exhausted their retry budget and failed.
+static POINT_FAILURES_TOTAL: Counter = Counter::new(
+    "mira_runner_point_failures_total",
+    "Points recorded as failed (panic, timeout or fail-fast skip)",
+);
+/// Retried point attempts.
+static POINT_RETRIES_TOTAL: Counter = Counter::new(
+    "mira_runner_point_retries_total",
+    "Point attempts retried after a panicking attempt",
+);
+/// Points the watchdog marked timed out.
+static POINT_TIMEOUTS_TOTAL: Counter = Counter::new(
+    "mira_runner_point_timeouts_total",
+    "Points marked failed by the point-timeout watchdog",
+);
+/// Points replayed from sweep checkpoints instead of simulated.
+static POINTS_RESUMED_TOTAL: Counter = Counter::new(
+    "mira_runner_points_resumed_total",
+    "Points replayed from a sweep checkpoint on resume",
 );
 
 /// Derives a per-point RNG seed from a base seed and a point index
@@ -68,7 +112,8 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
 /// The closure must build its workload *inside* the call (so every
 /// worker constructs an independent RNG from the stored seed) and must
 /// not read any shared mutable state — that is what makes the batch
-/// schedule-independent.
+/// schedule-independent, retries bit-identical, and a caught panic
+/// safe to retry (no partial state survives an unwound attempt).
 pub struct SimPoint {
     label: String,
     seed: u64,
@@ -124,11 +169,89 @@ pub struct PointOutcome {
     pub seed: u64,
     /// The simulation result.
     pub result: RunResult,
-    /// Wall-clock time this point took on its worker.
+    /// Wall-clock time this point took on its worker, across all
+    /// attempts (zero for resumed points).
     pub wall: Duration,
     /// Time from batch start until a worker claimed this point (queue
     /// wait: how long the point sat behind others).
     pub queue_wait: Duration,
+    /// Attempts the point needed (1 = first try; 0 = replayed from a
+    /// checkpoint, never executed in this process).
+    pub attempts: u32,
+    /// Whether the result was replayed from a sweep checkpoint instead
+    /// of simulated in this batch.
+    pub resumed: bool,
+}
+
+/// Why a point did not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureKind {
+    /// The point's closure panicked on its final attempt.
+    Panic {
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// The point exceeded the configured watchdog timeout.
+    Timeout {
+        /// The limit it exceeded.
+        limit: Duration,
+    },
+    /// The point was never run: an earlier failure aborted the batch
+    /// under the fail-fast policy.
+    Skipped,
+}
+
+impl FailureKind {
+    /// Stable machine-readable tag (`panic` / `timeout` / `skipped`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Panic { .. } => "panic",
+            FailureKind::Timeout { .. } => "timeout",
+            FailureKind::Skipped => "skipped",
+        }
+    }
+
+    /// Human-readable detail line.
+    pub fn detail(&self) -> String {
+        match self {
+            FailureKind::Panic { payload } => payload.clone(),
+            FailureKind::Timeout { limit } => format!("exceeded point timeout {limit:?}"),
+            FailureKind::Skipped => "skipped after an earlier failure (fail-fast)".to_string(),
+        }
+    }
+}
+
+/// One failed point: identity, cause, and how much was spent on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointFailure {
+    /// Position of the point in the submitted batch.
+    pub index: usize,
+    /// Label copied from the [`SimPoint`].
+    pub label: String,
+    /// Seed the point ran (or would have run) with.
+    pub seed: u64,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Attempts completed when the failure was recorded (1 for watchdog
+    /// timeouts — the attempt in flight; 0 for fail-fast skips).
+    pub attempts: u32,
+    /// Wall-clock spent on the point across all attempts.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "point {} `{}` (seed {}) ", self.index, self.label, self.seed)?;
+        match &self.kind {
+            FailureKind::Panic { payload } => write!(f, "panicked: {payload}")?,
+            FailureKind::Timeout { limit } => write!(f, "timed out after {limit:?}")?,
+            FailureKind::Skipped => write!(f, "skipped (fail-fast)")?,
+        }
+        if self.attempts > 1 {
+            write!(f, " [{} attempts]", self.attempts)?;
+        }
+        Ok(())
+    }
 }
 
 /// Everything a batch returns: per-point outcomes in input order plus
@@ -149,27 +272,68 @@ impl RunBatch {
     }
 }
 
+/// What [`Runner::try_run`] returns: one `Result` per submitted point,
+/// in input order, plus the aggregate summary (which itemizes the
+/// failures again under [`RunSummary::failed_points`]).
+#[derive(Debug, Clone)]
+pub struct TryRunBatch {
+    exhibit: String,
+    /// Per-point outcome or typed failure, index-aligned with the
+    /// submitted points.
+    pub outcomes: Vec<Result<PointOutcome, PointFailure>>,
+    /// Aggregate timing and statistics over the batch.
+    pub summary: RunSummary,
+}
+
+impl TryRunBatch {
+    /// The failed points, in input order.
+    pub fn failures(&self) -> impl Iterator<Item = &PointFailure> {
+        self.outcomes.iter().filter_map(|r| r.as_ref().err())
+    }
+
+    /// Converts into the all-success [`RunBatch`], or a
+    /// [`HostError::Batch`] itemizing every failed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::Batch`] when any point failed.
+    pub fn into_complete(self) -> Result<RunBatch, HostError> {
+        let points = self.outcomes.len();
+        let failures: Vec<String> = self.failures().map(|f| f.to_string()).collect();
+        if !failures.is_empty() {
+            return Err(HostError::Batch { exhibit: self.exhibit, points, failures });
+        }
+        let outcomes = self
+            .outcomes
+            .into_iter()
+            .map(|r| r.expect("no failures in a complete batch"))
+            .collect();
+        Ok(RunBatch { outcomes, summary: self.summary })
+    }
+}
+
 /// Machine-readable summary of one batch (emitted under `"runner"` in
 /// the benches' `--json` output).
 ///
 /// `Serialize` is implemented by hand (not derived) so the `windows`
-/// time-series is omitted entirely when no point ran with metrics
-/// windows enabled — the default-path JSON stays byte-identical to
-/// pre-telemetry output.
+/// time-series, the `failed_points` itemization and the
+/// `resumed_points`/`retried_points` counts are omitted entirely when
+/// empty/zero — the default-path JSON stays byte-identical to
+/// pre-crash-safety output.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Worker threads used.
     pub jobs: usize,
-    /// Points executed.
+    /// Points submitted (successes plus failures).
     pub points: usize,
     /// Wall-clock for the whole batch, milliseconds.
     pub wall_ms: f64,
     /// Sum of per-point wall-clocks, milliseconds (`busy_ms / wall_ms`
-    /// ≈ achieved parallelism).
+    /// ≈ achieved parallelism). Includes time spent on failed points.
     pub busy_ms: f64,
-    /// Total simulator cycles across all points.
+    /// Total simulator cycles across all completed points.
     pub cycles_simulated: u64,
-    /// Total measured packets ejected across all points.
+    /// Total measured packets ejected across all completed points.
     pub packets_ejected: u64,
     /// Simulation rate over the batch: thousands of simulated cycles
     /// per wall-clock second (worker-parallel, so this can exceed any
@@ -188,7 +352,8 @@ pub struct RunSummary {
     pub agg_latency_p95: Option<u64>,
     /// 99th percentile over the merged histograms.
     pub agg_latency_p99: Option<u64>,
-    /// Mean per-point queue wait (batch start → claim), milliseconds.
+    /// Mean per-point queue wait (batch start → claim), milliseconds,
+    /// over points executed in this batch (resumed points never queue).
     pub queue_wait_mean_ms: f64,
     /// Worst per-point queue wait, milliseconds.
     pub queue_wait_max_ms: f64,
@@ -198,12 +363,21 @@ pub struct RunSummary {
     pub imbalance: f64,
     /// Peak live flits in any point's arena (host memory watermark).
     pub peak_arena_flits: u64,
-    /// Per-worker busy/idle accounting.
+    /// Per-worker busy/idle accounting (replacement workers spawned by
+    /// the watchdog append extra rows).
     pub workers: Vec<WorkerSummary>,
     /// Build provenance of this binary (git rev, rustc, profile).
     pub build: Provenance,
-    /// Per-point label, seed, timing and headline stats.
+    /// Per-point label, seed, timing and headline stats (completed
+    /// points only; failures are itemized in `failed_points`).
     pub point_details: Vec<PointSummary>,
+    /// Failed points, in input order (empty on a clean batch).
+    pub failed_points: Vec<FailureSummary>,
+    /// Points replayed from a sweep checkpoint instead of simulated.
+    pub resumed_points: usize,
+    /// Points that needed more than one attempt (successes and
+    /// failures).
+    pub retried_points: usize,
     /// Windowed-metrics time series aggregated across points, empty
     /// unless points ran with `TelemetryConfig::metrics_window` set.
     pub windows: Vec<WindowAggregate>,
@@ -214,13 +388,48 @@ pub struct RunSummary {
 pub struct WorkerSummary {
     /// Worker index within the pool.
     pub worker: usize,
-    /// Points this worker executed.
+    /// Points this worker executed (including attempts whose result
+    /// lost a race with the watchdog).
     pub points: usize,
     /// Time spent inside point closures, milliseconds.
     pub busy_ms: f64,
     /// Batch wall time minus busy time, milliseconds (startup, queue
     /// polling, and tail idling after the queue drained).
     pub idle_ms: f64,
+}
+
+/// One failed point as serialized under `failed_points` in the batch
+/// summary (and the benches' `--json` output).
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureSummary {
+    /// Position of the point in the submitted batch.
+    pub index: usize,
+    /// Point label.
+    pub label: String,
+    /// Seed the point ran (or would have run) with.
+    pub seed: u64,
+    /// Failure tag: `panic`, `timeout` or `skipped`.
+    pub kind: String,
+    /// Human-readable cause (panic payload, timeout limit, …).
+    pub detail: String,
+    /// Attempts completed when the failure was recorded.
+    pub attempts: u32,
+    /// Wall-clock spent on the point, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl FailureSummary {
+    fn of(f: &PointFailure) -> Self {
+        FailureSummary {
+            index: f.index,
+            label: f.label.clone(),
+            seed: f.seed,
+            kind: f.kind.name().to_string(),
+            detail: f.kind.detail(),
+            attempts: f.attempts,
+            wall_ms: f.wall.as_secs_f64() * 1e3,
+        }
+    }
 }
 
 /// One metrics window aggregated over every point that produced it
@@ -244,7 +453,7 @@ pub struct WindowAggregate {
 
 /// Groups per-point metrics windows by index into batch-level
 /// aggregates.
-fn aggregate_windows(outcomes: &[PointOutcome]) -> Vec<WindowAggregate> {
+fn aggregate_windows(outcomes: &[&PointOutcome]) -> Vec<WindowAggregate> {
     let mut aggs: Vec<WindowAggregate> = Vec::new();
     for o in outcomes {
         for w in &o.result.report.windows {
@@ -307,6 +516,15 @@ impl Serialize for RunSummary {
             ("build".to_string(), self.build.to_value()),
             ("point_details".to_string(), self.point_details.to_value()),
         ];
+        if !self.failed_points.is_empty() {
+            fields.push(("failed_points".to_string(), self.failed_points.to_value()));
+        }
+        if self.resumed_points > 0 {
+            fields.push(("resumed_points".to_string(), self.resumed_points.to_value()));
+        }
+        if self.retried_points > 0 {
+            fields.push(("retried_points".to_string(), self.retried_points.to_value()));
+        }
         if !self.windows.is_empty() {
             fields.push(("windows".to_string(), self.windows.to_value()));
         }
@@ -356,22 +574,25 @@ impl RunSummary {
     /// computed by *merging* the per-point statistics and histograms
     /// ([`LatencyStats::merge`], [`LatencyHistogram::merge`]) — the
     /// same numbers a single serial pass over all packets would give.
+    /// Failed points contribute to `busy_ms` (their worker time was
+    /// real) but to none of the simulation aggregates.
     fn new(
         jobs: usize,
         wall: Duration,
-        outcomes: &[PointOutcome],
+        outcomes: &[Result<PointOutcome, PointFailure>],
         worker_stats: &[(usize, Duration)],
     ) -> Self {
+        let ok: Vec<&PointOutcome> = outcomes.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let executed: Vec<&PointOutcome> = ok.iter().copied().filter(|o| !o.resumed).collect();
         let mut merged_stats = LatencyStats::new();
         let mut merged_hist = LatencyHistogram::new();
-        for o in outcomes {
+        for o in &ok {
             merged_stats.merge(&o.result.report.latency());
             merged_hist.merge(&o.result.report.histogram);
         }
         let wall_s = wall.as_secs_f64();
-        let total_cycles: u64 = outcomes.iter().map(|o| o.result.report.cycles_simulated).sum();
-        let total_flits: u64 =
-            outcomes.iter().map(|o| o.result.report.counters.flits_ejected).sum();
+        let total_cycles: u64 = ok.iter().map(|o| o.result.report.cycles_simulated).sum();
+        let total_flits: u64 = ok.iter().map(|o| o.result.report.counters.flits_ejected).sum();
         let workers: Vec<WorkerSummary> = worker_stats
             .iter()
             .enumerate()
@@ -396,35 +617,46 @@ impl RunSummary {
                 1.0
             }
         };
+        let failed_points: Vec<FailureSummary> =
+            outcomes.iter().filter_map(|r| r.as_ref().err()).map(FailureSummary::of).collect();
+        let failure_busy_ms: f64 = outcomes
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .map(|f| f.wall.as_secs_f64() * 1e3)
+            .sum();
+        let attempts_of = |r: &Result<PointOutcome, PointFailure>| match r {
+            Ok(o) => o.attempts,
+            Err(f) => f.attempts,
+        };
         RunSummary {
             jobs,
             points: outcomes.len(),
             wall_ms: wall.as_secs_f64() * 1e3,
-            busy_ms: outcomes.iter().map(|o| o.wall.as_secs_f64() * 1e3).sum(),
+            busy_ms: ok.iter().map(|o| o.wall.as_secs_f64() * 1e3).sum::<f64>() + failure_busy_ms,
             cycles_simulated: total_cycles,
-            packets_ejected: outcomes.iter().map(|o| o.result.report.packets_ejected).sum(),
+            packets_ejected: ok.iter().map(|o| o.result.report.packets_ejected).sum(),
             kcycles_per_sec: per_sec(total_cycles as f64 / 1e3, wall_s),
             mflits_per_sec: per_sec(total_flits as f64 / 1e6, wall_s),
-            saturated_points: outcomes.iter().filter(|o| o.result.report.saturated).count(),
+            saturated_points: ok.iter().filter(|o| o.result.report.saturated).count(),
             agg_latency_mean: merged_stats.mean(),
             agg_latency_p50: merged_hist.p50(),
             agg_latency_p95: merged_hist.p95(),
             agg_latency_p99: merged_hist.p99(),
-            queue_wait_mean_ms: if outcomes.is_empty() {
+            queue_wait_mean_ms: if executed.is_empty() {
                 0.0
             } else {
-                outcomes.iter().map(|o| o.queue_wait.as_secs_f64() * 1e3).sum::<f64>()
-                    / outcomes.len() as f64
+                executed.iter().map(|o| o.queue_wait.as_secs_f64() * 1e3).sum::<f64>()
+                    / executed.len() as f64
             },
-            queue_wait_max_ms: outcomes
+            queue_wait_max_ms: executed
                 .iter()
                 .map(|o| o.queue_wait.as_secs_f64() * 1e3)
                 .fold(0.0, f64::max),
             imbalance,
-            peak_arena_flits: outcomes.iter().map(|o| o.result.arena_peak_flits).max().unwrap_or(0),
+            peak_arena_flits: ok.iter().map(|o| o.result.arena_peak_flits).max().unwrap_or(0),
             workers,
             build: Provenance::current(),
-            point_details: outcomes
+            point_details: ok
                 .iter()
                 .map(|o| PointSummary {
                     label: o.label.clone(),
@@ -445,14 +677,17 @@ impl RunSummary {
                     arena_peak_flits: o.result.arena_peak_flits,
                 })
                 .collect(),
-            windows: aggregate_windows(outcomes),
+            failed_points,
+            resumed_points: ok.iter().filter(|o| o.resumed).count(),
+            retried_points: outcomes.iter().filter(|r| attempts_of(r) > 1).count(),
+            windows: aggregate_windows(&ok),
         }
     }
 
     /// One-line human rendering (printed to stderr by the benches in
     /// text mode).
     pub fn one_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} points on {} workers: {:.2} s wall, {:.2} s busy, {} cycles \
              ({:.0} Kcyc/s, {:.2} Mflit/s), {} saturated",
             self.points,
@@ -463,7 +698,14 @@ impl RunSummary {
             self.kcycles_per_sec,
             self.mflits_per_sec,
             self.saturated_points,
-        )
+        );
+        if !self.failed_points.is_empty() {
+            line.push_str(&format!(", {} FAILED", self.failed_points.len()));
+        }
+        if self.resumed_points > 0 {
+            line.push_str(&format!(", {} resumed", self.resumed_points));
+        }
+        line
     }
 }
 
@@ -471,7 +713,11 @@ impl RunSummary {
 /// stderr after each point completes when [`Runner::progress_json`] is
 /// on (the `--progress-json` bench flag). Lines are self-contained so a
 /// monitor can tail them without tracking state.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `Serialize` is hand-written so the `failed` field only appears on
+/// failure lines — success lines stay byte-identical to earlier
+/// releases.
+#[derive(Debug, Clone)]
 pub struct ProgressEvent {
     /// Points finished so far (including this one).
     pub done: usize,
@@ -483,12 +729,34 @@ pub struct ProgressEvent {
     pub seed: u64,
     /// Wall-clock the point took on its worker, milliseconds.
     pub wall_ms: f64,
-    /// Cycles the point simulated.
+    /// Cycles the point simulated (0 for failures).
     pub cycles: u64,
     /// The point's simulation rate, thousands of cycles per second.
     pub kcycles_per_sec: f64,
     /// Whether the point saturated.
     pub saturated: bool,
+    /// Whether the point failed (the line then records the failure, not
+    /// a result).
+    pub failed: bool,
+}
+
+impl Serialize for ProgressEvent {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("done".to_string(), self.done.to_value()),
+            ("total".to_string(), self.total.to_value()),
+            ("label".to_string(), self.label.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("wall_ms".to_string(), self.wall_ms.to_value()),
+            ("cycles".to_string(), self.cycles.to_value()),
+            ("kcycles_per_sec".to_string(), self.kcycles_per_sec.to_value()),
+            ("saturated".to_string(), self.saturated.to_value()),
+        ];
+        if self.failed {
+            fields.push(("failed".to_string(), self.failed.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 impl ProgressEvent {
@@ -496,6 +764,531 @@ impl ProgressEvent {
     pub fn to_jsonl(&self) -> String {
         serde_json::to_string(self).expect("progress event serializes")
     }
+}
+
+/// Seeds of the submitted point list, captured before the run so the
+/// ledger records batch identity even when points fail.
+#[derive(Debug, Clone, Copy)]
+struct SeedSpan {
+    first: u64,
+    min: u64,
+    max: u64,
+}
+
+/// A result slot: every submitted point owns exactly one, finalized
+/// exactly once (worker success/panic, watchdog timeout, fail-fast
+/// skip, or checkpoint replay — whichever gets there first).
+#[allow(clippy::large_enum_variant)] // one slot per point, moved out once at batch end
+enum Slot {
+    Empty,
+    Done(PointOutcome),
+    Failed(PointFailure),
+}
+
+/// What a worker currently has on its bench.
+#[derive(Debug, Clone)]
+struct Inflight {
+    index: usize,
+    since: Instant,
+    /// Set by the watchdog after it times the point out: the worker
+    /// must discard its (already-lost) result and exit, because a
+    /// replacement has taken its place in the pool.
+    zombie: bool,
+}
+
+/// Per-worker bookkeeping, indexed by worker id. Replacement workers
+/// spawned by the watchdog extend both vectors.
+struct Roster {
+    inflight: Vec<Option<Inflight>>,
+    stats: Vec<(usize, Duration)>,
+}
+
+/// Everything the detached workers, the watchdog and the waiting main
+/// thread share for one batch.
+struct BatchState {
+    total: usize,
+    started: Instant,
+    next: AtomicUsize,
+    abort: AtomicBool,
+    points: Vec<SimPoint>,
+    slots: Vec<Mutex<Slot>>,
+    finalized: Mutex<usize>,
+    complete: Condvar,
+    progress: bool,
+    progress_json: bool,
+    resumed_initial: usize,
+    max_attempts: u32,
+    backoff: Duration,
+    fail_fast: bool,
+    chaos_every: Option<usize>,
+    timeout: Option<Duration>,
+    roster: Mutex<Roster>,
+    ckpt: Mutex<Option<CheckpointWriter>>,
+    config_hash: u64,
+}
+
+/// What one point execution came back with (before slot arbitration).
+#[allow(clippy::large_enum_variant)] // short-lived, one per attempt
+enum Verdict {
+    Ok(RunResult),
+    Panicked(String),
+}
+
+/// Renders a caught panic payload (the `&str`/`String` panics
+/// `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Whether a panic payload looks like a transient host-resource
+/// failure (worth backing off before the deterministic retry) rather
+/// than a simulator bug (retried immediately — same seed, same bug,
+/// but the retry budget documents the attempt).
+fn is_host_resource_error(payload: &str) -> bool {
+    let lower = payload.to_ascii_lowercase();
+    [
+        "os error",
+        "no space left",
+        "cannot allocate",
+        "out of memory",
+        "too many open files",
+        "resource temporarily unavailable",
+    ]
+    .iter()
+    .any(|pat| lower.contains(pat))
+}
+
+/// Reads one environment setting. Unset or blank means "not
+/// configured"; a value that does not parse (or fails `valid`) exits
+/// non-zero naming the variable — a typo in `MIRA_POINT_TIMEOUT` must
+/// not silently run the sweep without its watchdog.
+fn env_setting<T: std::str::FromStr>(
+    key: &'static str,
+    expects: &str,
+    valid: impl Fn(&T) -> bool,
+) -> Option<T> {
+    let raw = std::env::var(key).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<T>() {
+        Ok(v) if valid(&v) => Some(v),
+        _ => crate::error::HostError::Flag {
+            flag: key,
+            detail: format!("expects {expects}, got {trimmed:?}"),
+        }
+        .exit(),
+    }
+}
+
+impl BatchState {
+    /// Runs one point with the retry policy: bounded attempts, same
+    /// seed every time, exponential backoff only between attempts that
+    /// failed on host resources.
+    fn attempt_point(&self, index: usize, p: &SimPoint) -> (Verdict, u32) {
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let inject =
+                attempt == 1 && self.chaos_every.is_some_and(|n| (index + 1).is_multiple_of(n));
+            let run = &p.run;
+            let seed = p.seed;
+            // The closures are pure functions of the seed by contract
+            // (module docs), so observing one after an unwind is safe.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(move || {
+                if inject {
+                    panic!("injected chaos panic (MIRA_CHAOS_PANIC_EVERY)");
+                }
+                run(seed)
+            }));
+            match outcome {
+                Ok(result) => return (Verdict::Ok(result), attempt),
+                Err(payload) => {
+                    let payload = panic_message(payload.as_ref());
+                    if attempt >= self.max_attempts {
+                        return (Verdict::Panicked(payload), attempt);
+                    }
+                    if mira_obs::enabled() {
+                        POINT_RETRIES_TOTAL.inc(1);
+                    }
+                    if is_host_resource_error(&payload) && !self.backoff.is_zero() {
+                        std::thread::sleep(
+                            self.backoff * 2u32.saturating_pow((attempt - 1).min(5)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs `value` into slot `index` if it is still empty, runs
+    /// the side effects (metrics, checkpoint append, progress), bumps
+    /// the finalized count and wakes the waiter. Returns whether this
+    /// call won the slot — a loser (a closure that finished after the
+    /// watchdog already timed its point out) discards its value.
+    fn finalize(&self, index: usize, value: Slot) -> bool {
+        let progress_rec;
+        {
+            let mut slot = self.slots[index].lock().expect("result slot");
+            if !matches!(*slot, Slot::Empty) {
+                return false;
+            }
+            match &value {
+                Slot::Done(o) => {
+                    if mira_obs::enabled() {
+                        POINTS_TOTAL.inc(1);
+                        CYCLES_TOTAL.inc(o.result.report.cycles_simulated);
+                        POINT_WALL_MS.observe(o.wall.as_millis() as u64);
+                        QUEUE_WAIT_MS.observe(o.queue_wait.as_millis() as u64);
+                        ARENA_LIVE_PEAK.set_max(o.result.arena_peak_flits);
+                        ROUTER_BUFFER_PEAK.set_max(o.result.buffer_peak_flits);
+                    }
+                    // Flush the checkpoint *before* the point counts as
+                    // finalized: once visible as done, it is durable.
+                    self.checkpoint_append(o);
+                    progress_rec = (self.progress || self.progress_json).then(|| ProgressRecord {
+                        label: o.label.clone(),
+                        seed: o.seed,
+                        wall: o.wall,
+                        cycles: o.result.report.cycles_simulated,
+                        saturated: o.result.report.saturated,
+                        failed: false,
+                        detail: None,
+                    });
+                }
+                Slot::Failed(f) => {
+                    if mira_obs::enabled() {
+                        POINT_FAILURES_TOTAL.inc(1);
+                        if matches!(f.kind, FailureKind::Timeout { .. }) {
+                            POINT_TIMEOUTS_TOTAL.inc(1);
+                        }
+                    }
+                    if self.fail_fast && !matches!(f.kind, FailureKind::Skipped) {
+                        self.abort.store(true, Ordering::Relaxed);
+                    }
+                    progress_rec = (self.progress || self.progress_json).then(|| ProgressRecord {
+                        label: f.label.clone(),
+                        seed: f.seed,
+                        wall: f.wall,
+                        cycles: 0,
+                        saturated: false,
+                        failed: true,
+                        detail: Some(f.kind.detail()),
+                    });
+                }
+                Slot::Empty => unreachable!("finalize is never called with an empty value"),
+            }
+            *slot = value;
+        }
+        let finished = {
+            let mut done = self.finalized.lock().expect("finalized count");
+            *done += 1;
+            *done
+        };
+        if let Some(rec) = progress_rec {
+            self.emit_progress(finished, &rec);
+        }
+        self.complete.notify_all();
+        true
+    }
+
+    /// Appends a completed point to the batch's checkpoint file (if
+    /// one is configured), disabling checkpointing for the rest of the
+    /// batch on IO failure — checkpoints are a convenience, not a
+    /// reason to fail a healthy sweep.
+    fn checkpoint_append(&self, o: &PointOutcome) {
+        let mut guard = self.ckpt.lock().expect("checkpoint writer");
+        if let Some(w) = guard.as_mut() {
+            let entry = CheckpointEntry {
+                config_hash: ledger::hash_hex(self.config_hash),
+                label: o.label.clone(),
+                seed: o.seed,
+                result: o.result.to_value(),
+            };
+            if let Err(e) = w.append(&entry) {
+                eprintln!(
+                    "[runner] warning: checkpoint append to {} failed: {e}; disabling checkpoints",
+                    w.path().display()
+                );
+                *guard = None;
+            }
+        }
+    }
+
+    /// Emits the human and/or JSONL progress line for one finalized
+    /// point.
+    fn emit_progress(&self, finished: usize, rec: &ProgressRecord) {
+        if self.progress {
+            if rec.failed {
+                eprintln!(
+                    "[runner] {finished}/{} done (FAILED: {}: {})",
+                    self.total,
+                    rec.label,
+                    rec.detail.as_deref().unwrap_or("failed"),
+                );
+            } else {
+                let elapsed = self.started.elapsed();
+                let run_done = finished.saturating_sub(self.resumed_initial).max(1);
+                let eta = elapsed.mul_f64((self.total - finished) as f64 / run_done as f64);
+                let rate = per_sec(rec.cycles as f64 / 1e3, rec.wall.as_secs_f64());
+                eprintln!(
+                    "[runner] {finished}/{} done, {elapsed:.1?} elapsed, ~{eta:.1?} left (last: {} in {:.1?}, {rate:.0} Kcyc/s)",
+                    self.total, rec.label, rec.wall,
+                );
+            }
+        }
+        if self.progress_json {
+            let event = ProgressEvent {
+                done: finished,
+                total: self.total,
+                label: rec.label.clone(),
+                seed: rec.seed,
+                wall_ms: rec.wall.as_secs_f64() * 1e3,
+                cycles: rec.cycles,
+                kcycles_per_sec: per_sec(rec.cycles as f64 / 1e3, rec.wall.as_secs_f64()),
+                saturated: rec.saturated,
+                failed: rec.failed,
+            };
+            eprintln!("{}", event.to_jsonl());
+        }
+    }
+}
+
+/// Progress data captured inside `finalize` (before the value moves
+/// into its slot) and emitted after the finalized count is known.
+struct ProgressRecord {
+    label: String,
+    seed: u64,
+    wall: Duration,
+    cycles: u64,
+    saturated: bool,
+    failed: bool,
+    detail: Option<String>,
+}
+
+/// The claim-run-finalize loop every (detached) worker thread runs.
+fn worker_loop(state: Arc<BatchState>, wid: usize) {
+    loop {
+        let i = state.next.fetch_add(1, Ordering::Relaxed);
+        if i >= state.total {
+            break;
+        }
+        // Resumed points were finalized before the workers started.
+        if !matches!(*state.slots[i].lock().expect("result slot"), Slot::Empty) {
+            continue;
+        }
+        let p = &state.points[i];
+        if state.abort.load(Ordering::Relaxed) {
+            state.finalize(
+                i,
+                Slot::Failed(PointFailure {
+                    index: i,
+                    label: p.label.clone(),
+                    seed: p.seed,
+                    kind: FailureKind::Skipped,
+                    attempts: 0,
+                    wall: Duration::ZERO,
+                }),
+            );
+            continue;
+        }
+        {
+            let mut roster = state.roster.lock().expect("worker roster");
+            roster.inflight[wid] =
+                Some(Inflight { index: i, since: Instant::now(), zombie: false });
+        }
+        let queue_wait = state.started.elapsed();
+        let t0 = Instant::now();
+        let (verdict, attempts) = state.attempt_point(i, p);
+        let wall = t0.elapsed();
+        // Stats update and zombie check happen *before* finalize so the
+        // waiter's post-batch roster snapshot is complete.
+        let am_zombie = {
+            let mut roster = state.roster.lock().expect("worker roster");
+            let zombie = roster.inflight[wid].as_ref().is_some_and(|f| f.zombie);
+            roster.inflight[wid] = None;
+            roster.stats[wid].0 += 1;
+            roster.stats[wid].1 += wall;
+            zombie
+        };
+        let slot = match verdict {
+            Verdict::Ok(result) => Slot::Done(PointOutcome {
+                label: p.label.clone(),
+                seed: p.seed,
+                result,
+                wall,
+                queue_wait,
+                attempts,
+                resumed: false,
+            }),
+            Verdict::Panicked(payload) => Slot::Failed(PointFailure {
+                index: i,
+                label: p.label.clone(),
+                seed: p.seed,
+                kind: FailureKind::Panic { payload },
+                attempts,
+                wall,
+            }),
+        };
+        state.finalize(i, slot);
+        if am_zombie {
+            // The watchdog timed this point out and already spawned a
+            // replacement; this thread's slot in the pool is taken.
+            break;
+        }
+    }
+}
+
+/// Spawns one detached worker. Returns whether the spawn succeeded
+/// (failure warns and degrades — the batch still completes on the
+/// remaining workers).
+fn spawn_worker(state: &Arc<BatchState>, wid: usize) -> bool {
+    let st = Arc::clone(state);
+    match std::thread::Builder::new()
+        .name(format!("mira-worker-{wid}"))
+        .spawn(move || worker_loop(st, wid))
+    {
+        Ok(handle) => {
+            // Detached on purpose: a worker stuck in a runaway closure
+            // must not block batch completion; the process reaps it.
+            drop(handle);
+            true
+        }
+        Err(e) => {
+            eprintln!("[runner] warning: cannot spawn worker {wid}: {e}");
+            false
+        }
+    }
+}
+
+/// One watchdog pass: times out in-flight points that exceeded the
+/// limit, marks their workers zombies and spawns replacements.
+fn watchdog_scan(state: &Arc<BatchState>) {
+    let Some(limit) = state.timeout else { return };
+    let stuck: Vec<(usize, usize, Duration)> = {
+        let roster = state.roster.lock().expect("worker roster");
+        roster
+            .inflight
+            .iter()
+            .enumerate()
+            .filter_map(|(wid, slot)| {
+                slot.as_ref().and_then(|f| {
+                    let running = f.since.elapsed();
+                    (!f.zombie && running > limit).then_some((wid, f.index, running))
+                })
+            })
+            .collect()
+    };
+    for (wid, index, running) in stuck {
+        let p = &state.points[index];
+        let failure = PointFailure {
+            index,
+            label: p.label.clone(),
+            seed: p.seed,
+            kind: FailureKind::Timeout { limit },
+            attempts: 1,
+            wall: running,
+        };
+        if !state.finalize(index, Slot::Failed(failure)) {
+            continue; // the worker finished while we were deciding
+        }
+        // The worker is genuinely stuck inside the closure: it will
+        // discard its result (the slot is taken) and exit when — if —
+        // the closure returns. Replace it so the pool keeps its width.
+        let replacement = {
+            let mut roster = state.roster.lock().expect("worker roster");
+            let still_on_it = roster.inflight[wid]
+                .as_mut()
+                .filter(|f| f.index == index)
+                .map(|f| f.zombie = true)
+                .is_some();
+            if still_on_it {
+                roster.inflight.push(None);
+                roster.stats.push((0, Duration::ZERO));
+                Some(roster.inflight.len() - 1)
+            } else {
+                None
+            }
+        };
+        if let Some(new_wid) = replacement {
+            spawn_worker(state, new_wid);
+        }
+    }
+}
+
+/// Replays verified checkpoint entries into the result slots before any
+/// worker starts. Returns how many points were prefilled.
+fn prefill_from_checkpoint(
+    path: &Path,
+    config_hash: u64,
+    points: &[SimPoint],
+    slots: &[Mutex<Slot>],
+    progress: bool,
+) -> usize {
+    let loaded = match checkpoint::load(path, config_hash) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!(
+                "[runner] warning: cannot read checkpoint {}: {e}; running every point",
+                path.display()
+            );
+            return 0;
+        }
+    };
+    if loaded.torn_lines > 0 {
+        eprintln!(
+            "[runner] checkpoint {}: ignored {} torn line(s) from an interrupted append",
+            path.display(),
+            loaded.torn_lines
+        );
+    }
+    if loaded.stale_lines > 0 {
+        eprintln!(
+            "[runner] checkpoint {}: ignored {} line(s) from a different batch",
+            path.display(),
+            loaded.stale_lines
+        );
+    }
+    let mut pool = loaded.entries;
+    let mut resumed = 0usize;
+    for (i, p) in points.iter().enumerate() {
+        let Some(pos) = pool.iter().position(|e| e.label == p.label && e.seed == p.seed) else {
+            continue;
+        };
+        let entry = pool.swap_remove(pos);
+        match RunResult::from_value(&entry.result) {
+            Ok(result) => {
+                *slots[i].lock().expect("result slot") = Slot::Done(PointOutcome {
+                    label: p.label.clone(),
+                    seed: p.seed,
+                    result,
+                    wall: Duration::ZERO,
+                    queue_wait: Duration::ZERO,
+                    attempts: 0,
+                    resumed: true,
+                });
+                resumed += 1;
+            }
+            Err(e) => {
+                eprintln!(
+                    "[runner] warning: checkpoint {}: entry for `{}` does not replay ({e}); re-running it",
+                    path.display(),
+                    p.label
+                );
+            }
+        }
+    }
+    if resumed > 0 && progress {
+        eprintln!("[runner] resumed {resumed}/{} point(s) from {}", points.len(), path.display());
+    }
+    resumed
 }
 
 /// The worker pool configuration.
@@ -506,29 +1299,73 @@ pub struct Runner {
     progress_json: bool,
     ledger_path: Option<PathBuf>,
     exhibit: Option<String>,
+    max_attempts: u32,
+    backoff: Duration,
+    point_timeout: Option<Duration>,
+    fail_fast: bool,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    chaos_every: Option<usize>,
 }
 
 impl Runner {
     /// Pool sized from the environment: `MIRA_JOBS` if set to a
     /// positive integer, otherwise [`std::thread::available_parallelism`].
     /// Progress reporting defaults to on when stderr is a terminal.
+    ///
+    /// Crash-safety policy also comes from the environment (each knob
+    /// has a matching builder method and, in the benches, a CLI flag):
+    ///
+    /// - `MIRA_POINT_RETRIES` — extra attempts per failed point,
+    /// - `MIRA_POINT_TIMEOUT` — watchdog limit per point, seconds,
+    /// - `MIRA_FAIL_FAST` — `1`/`true`: skip remaining points after
+    ///   the first failure,
+    /// - `MIRA_CHECKPOINT_DIR` — write per-point sweep checkpoints
+    ///   under this directory,
+    /// - `MIRA_RESUME` — `1`/`true`: replay completed points from the
+    ///   checkpoint before running the rest,
+    /// - `MIRA_CHAOS_PANIC_EVERY` — fault injection for the chaos CI
+    ///   job: panic the first attempt of every Nth point.
     pub fn from_env() -> Self {
-        let jobs = std::env::var("MIRA_JOBS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        let jobs = env_setting("MIRA_JOBS", "a positive worker count", |&n: &usize| n > 0)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let truthy = |k: &str| {
+            std::env::var(k).is_ok_and(|v| {
+                matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes")
+            })
+        };
+        let retries = env_setting("MIRA_POINT_RETRIES", "an extra-attempt count", |_: &u32| true)
+            .unwrap_or(0);
+        let point_timeout = env_setting("MIRA_POINT_TIMEOUT", "positive seconds", |&s: &f64| {
+            s > 0.0 && s.is_finite()
+        })
+        .map(Duration::from_secs_f64);
+        let resume = truthy("MIRA_RESUME");
+        let checkpoint_dir = if std::env::var("MIRA_CHECKPOINT_DIR").is_ok() {
+            Some(checkpoint::default_dir())
+        } else {
+            None
+        };
+        let chaos_every =
+            env_setting("MIRA_CHAOS_PANIC_EVERY", "a positive point period", |&n: &usize| n > 0);
         Runner {
             jobs,
             progress: std::io::stderr().is_terminal(),
             progress_json: false,
             ledger_path: None,
             exhibit: None,
+            max_attempts: retries + 1,
+            backoff: Duration::from_millis(100),
+            point_timeout,
+            fail_fast: truthy("MIRA_FAIL_FAST"),
+            checkpoint_dir,
+            resume,
+            chaos_every,
         }
     }
 
-    /// Pool with an explicit worker count (progress off — this is the
-    /// constructor tests use).
+    /// Pool with an explicit worker count (progress off, no retries,
+    /// no timeout, no checkpoints — this is the constructor tests use).
     pub fn with_jobs(jobs: usize) -> Self {
         Runner {
             jobs: jobs.max(1),
@@ -536,6 +1373,13 @@ impl Runner {
             progress_json: false,
             ledger_path: None,
             exhibit: None,
+            max_attempts: 1,
+            backoff: Duration::from_millis(100),
+            point_timeout: None,
+            fail_fast: false,
+            checkpoint_dir: None,
+            resume: false,
+            chaos_every: None,
         }
     }
 
@@ -561,10 +1405,67 @@ impl Runner {
         self
     }
 
-    /// Names the exhibit for ledger entries (default: the binary's file
-    /// stem).
+    /// Names the exhibit for ledger entries and checkpoint files
+    /// (default: the binary's file stem).
     pub fn exhibit(mut self, name: impl Into<String>) -> Self {
         self.exhibit = Some(name.into());
+        self
+    }
+
+    /// Extra attempts per failed point (0 = fail on the first panic).
+    /// Retries rerun the closure with the *same seed*, so a retried
+    /// success is bit-identical to a first-try success.
+    pub fn point_retries(mut self, retries: u32) -> Self {
+        self.max_attempts = retries + 1;
+        self
+    }
+
+    /// Base backoff between attempts that failed on host resources
+    /// (doubled per attempt; other panics retry immediately).
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Watchdog limit per point (all attempts combined): exceeding it
+    /// marks the point [`FailureKind::Timeout`] and replaces its stuck
+    /// worker so the batch keeps moving.
+    pub fn point_timeout(mut self, limit: Duration) -> Self {
+        self.point_timeout = Some(limit);
+        self
+    }
+
+    /// Fail-fast policy: after the first point failure, remaining
+    /// unstarted points are recorded [`FailureKind::Skipped`] instead
+    /// of executed (default: degrade gracefully — run everything and
+    /// report all failures at the end).
+    pub fn fail_fast(mut self, on: bool) -> Self {
+        self.fail_fast = on;
+        self
+    }
+
+    /// Writes per-point sweep checkpoints under `dir` (one
+    /// `<exhibit>-<confighash>.jsonl` file per batch identity). A
+    /// non-resume run resets the batch's file first.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Replays completed points from the batch's checkpoint file
+    /// before running the rest. Implies checkpointing into the default
+    /// directory when none is configured.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Fault injection for chaos tests: panic the *first* attempt of
+    /// every `n`-th point (1-based, by submission index — deterministic
+    /// across schedules and resumes). Combined with
+    /// [`Runner::point_retries`], the batch still completes.
+    pub fn chaos_every(mut self, n: usize) -> Self {
+        self.chaos_every = Some(n.max(1));
         self
     }
 
@@ -573,103 +1474,157 @@ impl Runner {
         self.jobs
     }
 
-    /// Runs every point and returns outcomes in input order.
+    /// Runs every point and returns outcomes in input order, panicking
+    /// with an itemized [`HostError::Batch`] message if any point
+    /// failed — the historical all-success contract positional
+    /// consumers rely on. Use [`Runner::try_run`] to handle failures
+    /// gracefully.
+    pub fn run(&self, points: Vec<SimPoint>) -> RunBatch {
+        match self.try_run(points).into_complete() {
+            Ok(batch) => batch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs every point with fault isolation and returns one `Result`
+    /// per point, in input order.
     ///
     /// Workers pull the next unclaimed index from a shared atomic
     /// counter; each outcome lands in its own slot, so no result
-    /// depends on completion order.
-    pub fn run(&self, points: Vec<SimPoint>) -> RunBatch {
+    /// depends on completion order. Panicking points are caught and
+    /// retried per the configured policy; runaway points are timed out
+    /// by the watchdog; completed points are checkpointed and replayed
+    /// on resume.
+    pub fn try_run(&self, points: Vec<SimPoint>) -> TryRunBatch {
         let started = Instant::now();
         let total = points.len();
-        let workers = self.jobs.min(total).max(1);
-        let next = AtomicUsize::new(0);
-        let done = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<PointOutcome>>> =
-            (0..total).map(|_| Mutex::new(None)).collect();
-        // Per-worker (points run, busy time) — each worker owns one slot.
-        let worker_stats: Vec<Mutex<(usize, Duration)>> =
-            (0..workers).map(|_| Mutex::new((0, Duration::ZERO))).collect();
+        let exhibit = self.exhibit_name();
         // Hashed before the run so a crashing point can't change the
-        // batch's identity in the ledger.
+        // batch's identity in the ledger or checkpoint.
         let config_hash =
-            ledger::config_hash(&self.exhibit_name(), points.iter().map(|p| (p.label(), p.seed())));
+            ledger::config_hash(&exhibit, points.iter().map(|p| (p.label(), p.seed())));
+        let seeds = SeedSpan {
+            first: points.first().map_or(0, |p| p.seed),
+            min: points.iter().map(|p| p.seed).min().unwrap_or(0),
+            max: points.iter().map(|p| p.seed).max().unwrap_or(0),
+        };
 
-        std::thread::scope(|scope| {
-            for worker_stat in &worker_stats {
-                let next = &next;
-                let done = &done;
-                let slots = &slots;
-                let points = &points;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let p = &points[i];
-                    let queue_wait = started.elapsed();
-                    let t0 = Instant::now();
-                    let result = (p.run)(p.seed);
-                    let wall = t0.elapsed();
-                    let cycles = result.report.cycles_simulated;
-                    let saturated = result.report.saturated;
-                    if mira_obs::enabled() {
-                        POINTS_TOTAL.inc(1);
-                        CYCLES_TOTAL.inc(cycles);
-                        POINT_WALL_MS.observe(wall.as_millis() as u64);
-                        QUEUE_WAIT_MS.observe(queue_wait.as_millis() as u64);
-                        ARENA_LIVE_PEAK.set_max(result.arena_peak_flits);
-                        ROUTER_BUFFER_PEAK.set_max(result.buffer_peak_flits);
-                    }
-                    *slots[i].lock().expect("outcome slot") = Some(PointOutcome {
-                        label: p.label.clone(),
-                        seed: p.seed,
-                        result,
-                        wall,
-                        queue_wait,
-                    });
-                    {
-                        let mut stat = worker_stat.lock().expect("worker stat");
-                        stat.0 += 1;
-                        stat.1 += wall;
-                    }
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if self.progress {
-                        let elapsed = started.elapsed();
-                        let eta = elapsed.mul_f64((total - finished) as f64 / finished as f64);
-                        let rate = per_sec(cycles as f64 / 1e3, wall.as_secs_f64());
-                        eprintln!(
-                            "[runner] {finished}/{total} done, {elapsed:.1?} elapsed, ~{eta:.1?} left (last: {} in {wall:.1?}, {rate:.0} Kcyc/s)",
-                            p.label,
-                        );
-                    }
-                    if self.progress_json {
-                        let event = ProgressEvent {
-                            done: finished,
-                            total,
-                            label: p.label.clone(),
-                            seed: p.seed,
-                            wall_ms: wall.as_secs_f64() * 1e3,
-                            cycles,
-                            kcycles_per_sec: per_sec(cycles as f64 / 1e3, wall.as_secs_f64()),
-                            saturated,
-                        };
-                        eprintln!("{}", event.to_jsonl());
-                    }
-                });
+        let ckpt_path = self
+            .checkpoint_dir
+            .clone()
+            .or_else(|| if self.resume { Some(checkpoint::default_dir()) } else { None })
+            .map(|dir| checkpoint::path_for(&dir, &exhibit, config_hash));
+
+        let slots: Vec<Mutex<Slot>> = (0..total).map(|_| Mutex::new(Slot::Empty)).collect();
+        let mut resumed = 0usize;
+        if let Some(path) = &ckpt_path {
+            if self.resume {
+                resumed =
+                    prefill_from_checkpoint(path, config_hash, &points, &slots, self.progress);
+            } else if path.exists() {
+                // A fresh (non-resume) run restarts its checkpoint:
+                // stacking a rerun's entries onto the old file would
+                // only grow it with duplicates.
+                if let Err(e) = std::fs::remove_file(path) {
+                    eprintln!("[runner] warning: cannot reset checkpoint {}: {e}", path.display());
+                }
+            }
+        }
+        if resumed > 0 && mira_obs::enabled() {
+            POINTS_RESUMED_TOTAL.inc(resumed as u64);
+        }
+        let writer = ckpt_path.as_ref().and_then(|path| match CheckpointWriter::open(path) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!(
+                    "[runner] warning: cannot open checkpoint {}: {e}; running without checkpoints",
+                    path.display()
+                );
+                None
             }
         });
 
-        let outcomes: Vec<PointOutcome> = slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("slot lock").expect("every point ran"))
-            .collect();
-        let worker_stats: Vec<(usize, Duration)> =
-            worker_stats.into_iter().map(|m| m.into_inner().expect("worker stat")).collect();
-        let summary = RunSummary::new(workers, started.elapsed(), &outcomes, &worker_stats);
-        if mira_obs::enabled() && !outcomes.is_empty() {
-            self.append_ledger(config_hash, &outcomes, &summary);
+        let runtime_total = total - resumed;
+        let workers = if runtime_total == 0 { 0 } else { self.jobs.min(runtime_total).max(1) };
+
+        let state = Arc::new(BatchState {
+            total,
+            started,
+            next: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            points,
+            slots,
+            finalized: Mutex::new(resumed),
+            complete: Condvar::new(),
+            progress: self.progress,
+            progress_json: self.progress_json,
+            resumed_initial: resumed,
+            max_attempts: self.max_attempts.max(1),
+            backoff: self.backoff,
+            fail_fast: self.fail_fast,
+            chaos_every: self.chaos_every,
+            timeout: self.point_timeout,
+            roster: Mutex::new(Roster {
+                inflight: vec![None; workers],
+                stats: vec![(0, Duration::ZERO); workers],
+            }),
+            ckpt: Mutex::new(writer),
+            config_hash,
+        });
+
+        let mut spawned = 0usize;
+        for wid in 0..workers {
+            if spawn_worker(&state, wid) {
+                spawned += 1;
+            }
         }
-        RunBatch { outcomes, summary }
+        if spawned == 0 && runtime_total > 0 {
+            // Could not start a single thread: degrade to running the
+            // batch inline (no watchdog for a stuck point, but the
+            // batch still completes).
+            worker_loop(Arc::clone(&state), 0);
+        }
+
+        // Wait for completion, scanning for stuck points when a
+        // watchdog timeout is configured.
+        let tick = state.timeout.map_or(Duration::from_millis(250), |t| {
+            (t / 4).clamp(Duration::from_millis(10), Duration::from_millis(250))
+        });
+        {
+            let mut done = state.finalized.lock().expect("finalized count");
+            while *done < total {
+                let (guard, _) = state.complete.wait_timeout(done, tick).expect("finalized count");
+                done = guard;
+                if *done >= total {
+                    break;
+                }
+                if state.timeout.is_some() {
+                    drop(done);
+                    watchdog_scan(&state);
+                    done = state.finalized.lock().expect("finalized count");
+                }
+            }
+        }
+
+        // Every slot is finalized; zombies (if any) hold the Arc but
+        // never touch slots again, so draining via replace is safe.
+        let outcomes: Vec<Result<PointOutcome, PointFailure>> = state
+            .slots
+            .iter()
+            .map(|slot| {
+                match std::mem::replace(&mut *slot.lock().expect("result slot"), Slot::Empty) {
+                    Slot::Done(o) => Ok(o),
+                    Slot::Failed(f) => Err(f),
+                    Slot::Empty => unreachable!("batch completed with an unfinalized slot"),
+                }
+            })
+            .collect();
+        let worker_stats = state.roster.lock().expect("worker roster").stats.clone();
+        let summary = RunSummary::new(workers.max(1), started.elapsed(), &outcomes, &worker_stats);
+        if mira_obs::enabled() && total > 0 {
+            self.append_ledger(&exhibit, config_hash, seeds, &summary);
+        }
+        TryRunBatch { exhibit, outcomes, summary }
     }
 
     /// The exhibit name for ledger entries: the explicit override, or
@@ -687,13 +1642,25 @@ impl Runner {
     /// Appends one batch entry to the durable run ledger (and the
     /// in-process session log). IO failure warns on stderr instead of
     /// failing the batch — the ledger is observability, not results.
-    fn append_ledger(&self, config_hash: u64, outcomes: &[PointOutcome], summary: &RunSummary) {
-        let build = Provenance::current();
+    ///
+    /// Seeds come from the *submitted* point list (not whichever points
+    /// completed), so partial and resumed runs of the same batch record
+    /// the same identity.
+    fn append_ledger(
+        &self,
+        exhibit: &str,
+        config_hash: u64,
+        seeds: SeedSpan,
+        summary: &RunSummary,
+    ) {
+        let build = summary.build.clone();
         let entry = LedgerEntry {
             ts_ms: ledger::unix_millis(),
-            exhibit: self.exhibit_name(),
+            exhibit: exhibit.to_string(),
             config_hash: ledger::hash_hex(config_hash),
-            seed: outcomes[0].seed,
+            seed: seeds.first,
+            seed_min: seeds.min,
+            seed_max: seeds.max,
             git_rev: build.git_rev,
             profile: build.profile,
             rustc: build.rustc,
@@ -704,6 +1671,8 @@ impl Runner {
             kcycles_per_sec: summary.kcycles_per_sec,
             mflits_per_sec: summary.mflits_per_sec,
             saturated_points: summary.saturated_points,
+            failed_points: summary.failed_points.len(),
+            resumed_points: summary.resumed_points,
             peak_arena_flits: summary.peak_arena_flits,
         };
         let path = self.ledger_path.clone().unwrap_or_else(ledger::default_path);
@@ -720,12 +1689,26 @@ mod tests {
     use crate::arch::Arch;
     use crate::experiments::common::{quick_sim_config, run_arch};
     use mira_noc::traffic::UniformRandom;
+    use std::sync::atomic::AtomicU32;
 
     fn ur_point(label: &str, arch: Arch, rate: f64, seed: u64) -> SimPoint {
         SimPoint::new(label, seed, move |s| {
             let cfg = quick_sim_config();
             run_arch(arch, false, Box::new(UniformRandom::new(rate, 5, s)), cfg)
         })
+    }
+
+    fn quick_run(seed: u64) -> RunResult {
+        run_arch(
+            Arch::TwoDB,
+            false,
+            Box::new(UniformRandom::new(0.02, 5, seed)),
+            quick_sim_config(),
+        )
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mira_runner_{name}_{}", std::process::id()))
     }
 
     #[test]
@@ -785,6 +1768,9 @@ mod tests {
         assert!(s.wall_ms > 0.0 && s.busy_ms > 0.0);
         assert_eq!(s.point_details.len(), 2);
         assert_eq!(s.point_details[0].label, "x");
+        assert!(s.failed_points.is_empty());
+        assert_eq!(s.resumed_points, 0);
+        assert_eq!(s.retried_points, 0);
         // Self-metrics: the sim rate ties out against cycles and wall.
         assert!(s.kcycles_per_sec > 0.0);
         let expected = s.cycles_simulated as f64 / 1e3 / (s.wall_ms / 1e3);
@@ -794,6 +1780,12 @@ mod tests {
             assert!(d.kcycles_per_sec > 0.0, "{}", d.label);
         }
         assert!(s.one_line().contains("Kcyc/s"));
+        assert!(!s.one_line().contains("FAILED"));
+        // The crash-safety fields stay out of clean-batch JSON.
+        let json = serde_json::to_string(&s.to_value()).expect("summary serializes");
+        assert!(!json.contains("failed_points"));
+        assert!(!json.contains("resumed_points"));
+        assert!(!json.contains("retried_points"));
     }
 
     #[test]
@@ -802,5 +1794,174 @@ mod tests {
         // MIRA_JOBS in-process would race with parallel test threads.
         assert_eq!(Runner::with_jobs(0).jobs(), 1, "zero clamps to one worker");
         assert_eq!(Runner::with_jobs(7).jobs(), 7);
+    }
+
+    #[test]
+    fn panicking_point_is_isolated() {
+        let points = vec![
+            ur_point("ok0", Arch::TwoDB, 0.05, 11),
+            SimPoint::new("boom", 12, |_| panic!("injected test panic")),
+            ur_point("ok2", Arch::TwoDB, 0.05, 13),
+        ];
+        let batch = Runner::with_jobs(2).try_run(points);
+        assert!(batch.outcomes[0].is_ok());
+        assert!(batch.outcomes[2].is_ok());
+        let f = batch.outcomes[1].as_ref().expect_err("point 1 panicked");
+        assert_eq!(f.index, 1);
+        assert_eq!(f.label, "boom");
+        assert_eq!(f.kind, FailureKind::Panic { payload: "injected test panic".into() });
+        assert_eq!(f.attempts, 1);
+        assert_eq!(batch.summary.failed_points.len(), 1);
+        assert_eq!(batch.summary.failed_points[0].kind, "panic");
+        assert_eq!(batch.summary.point_details.len(), 2, "details cover completed points");
+        // The clean points are bit-identical to a failure-free batch.
+        let clean = Runner::with_jobs(1).run(vec![
+            ur_point("ok0", Arch::TwoDB, 0.05, 11),
+            ur_point("ok2", Arch::TwoDB, 0.05, 13),
+        ]);
+        let failed_ok0 = batch.outcomes[0].as_ref().expect("ok0");
+        assert_eq!(
+            failed_ok0.result.report.avg_latency.to_bits(),
+            clean.outcomes[0].result.report.avg_latency.to_bits()
+        );
+        let json = serde_json::to_string(&batch.summary.to_value()).expect("serializes");
+        assert!(json.contains("failed_points"), "failure itemized in JSON");
+    }
+
+    #[test]
+    fn run_panics_with_itemized_message_on_failure() {
+        let points = vec![SimPoint::new("boom", 5, |_| panic!("kaboom"))];
+        let runner = Runner::with_jobs(1).exhibit("panic_test");
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| runner.run(points)))
+            .expect_err("run must panic on failure");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("panic_test: 1 of 1 points failed"), "{msg}");
+        assert!(msg.contains("`boom` (seed 5) panicked: kaboom"), "{msg}");
+    }
+
+    #[test]
+    fn flaky_point_retries_with_same_seed() {
+        let tries = Arc::new(AtomicU32::new(0));
+        let seen_seed = Arc::new(Mutex::new(Vec::new()));
+        let t = Arc::clone(&tries);
+        let seen = Arc::clone(&seen_seed);
+        let points = vec![SimPoint::new("flaky", 77, move |s| {
+            seen.lock().expect("seen").push(s);
+            if t.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("flaky first attempt");
+            }
+            quick_run(s)
+        })];
+        let batch =
+            Runner::with_jobs(1).point_retries(1).retry_backoff(Duration::ZERO).try_run(points);
+        let o = batch.outcomes[0].as_ref().expect("second attempt succeeds");
+        assert_eq!(o.attempts, 2);
+        assert_eq!(batch.summary.retried_points, 1);
+        assert_eq!(*seen_seed.lock().expect("seen"), vec![77, 77], "retries reuse the seed");
+        // Bit-identical to a first-try run with the same seed.
+        assert_eq!(
+            o.result.report.avg_latency.to_bits(),
+            quick_run(77).report.avg_latency.to_bits()
+        );
+    }
+
+    #[test]
+    fn fail_fast_skips_remaining_points() {
+        let points = vec![
+            SimPoint::new("boom", 1, |_| panic!("first point fails")),
+            ur_point("after1", Arch::TwoDB, 0.05, 2),
+            ur_point("after2", Arch::TwoDB, 0.05, 3),
+        ];
+        let batch = Runner::with_jobs(1).fail_fast(true).try_run(points);
+        assert!(matches!(
+            batch.outcomes[0].as_ref().expect_err("panics").kind,
+            FailureKind::Panic { .. }
+        ));
+        for i in [1, 2] {
+            let f = batch.outcomes[i].as_ref().expect_err("skipped");
+            assert_eq!(f.kind, FailureKind::Skipped, "point {i}");
+        }
+        assert_eq!(batch.summary.failed_points.len(), 3);
+    }
+
+    #[test]
+    fn watchdog_times_out_runaway_point() {
+        let points = vec![
+            ur_point("quick", Arch::TwoDB, 0.05, 21),
+            SimPoint::new("stuck", 22, |s| {
+                std::thread::sleep(Duration::from_millis(600));
+                quick_run(s)
+            }),
+        ];
+        let t0 = Instant::now();
+        let batch = Runner::with_jobs(2).point_timeout(Duration::from_millis(60)).try_run(points);
+        assert!(batch.outcomes[0].is_ok(), "healthy point unaffected");
+        let f = batch.outcomes[1].as_ref().expect_err("stuck point timed out");
+        assert_eq!(f.kind, FailureKind::Timeout { limit: Duration::from_millis(60) });
+        assert!(f.wall >= Duration::from_millis(60));
+        assert!(
+            t0.elapsed() < Duration::from_millis(600),
+            "batch returns without waiting for the runaway closure"
+        );
+        assert_eq!(batch.summary.failed_points[0].kind, "timeout");
+        // Let the zombie finish before the test binary tears down.
+        std::thread::sleep(Duration::from_millis(650));
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_bit_identical() {
+        let dir = scratch_dir("resume_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk_points = || {
+            vec![
+                ur_point("p0", Arch::TwoDB, 0.05, 31),
+                ur_point("p1", Arch::ThreeDM, 0.05, 32),
+                ur_point("p2", Arch::ThreeDME, 0.05, 33),
+            ]
+        };
+        let first =
+            Runner::with_jobs(2).exhibit("resume_unit").checkpoint_dir(&dir).run(mk_points());
+        let second = Runner::with_jobs(2)
+            .exhibit("resume_unit")
+            .checkpoint_dir(&dir)
+            .resume(true)
+            .run(mk_points());
+        assert_eq!(second.summary.resumed_points, 3, "every point replayed");
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!(a.label, b.label);
+            assert!(b.resumed);
+            assert_eq!(b.attempts, 0);
+            assert_eq!(
+                a.result.report.avg_latency.to_bits(),
+                b.result.report.avg_latency.to_bits(),
+                "{}: resumed latency bit-identical",
+                a.label
+            );
+            assert_eq!(a.result.report.packets_ejected, b.result.report.packets_ejected);
+            assert_eq!(a.result.pdp.to_bits(), b.result.pdp.to_bits());
+            assert_eq!(a.result.arena_peak_flits, b.result.arena_peak_flits);
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn chaos_injection_is_deterministic_and_retryable() {
+        let points = vec![
+            ur_point("c0", Arch::TwoDB, 0.05, 41),
+            ur_point("c1", Arch::TwoDB, 0.05, 42),
+            ur_point("c2", Arch::TwoDB, 0.05, 43),
+            ur_point("c3", Arch::TwoDB, 0.05, 44),
+        ];
+        // Every 2nd point's first attempt panics; one retry heals all.
+        let batch = Runner::with_jobs(2)
+            .chaos_every(2)
+            .point_retries(1)
+            .retry_backoff(Duration::ZERO)
+            .try_run(points);
+        assert!(batch.outcomes.iter().all(Result::is_ok), "retries absorb injected chaos");
+        assert_eq!(batch.summary.retried_points, 2, "points 2 and 4 were injected");
+        let attempts: Vec<u32> =
+            batch.outcomes.iter().map(|r| r.as_ref().expect("ok").attempts).collect();
+        assert_eq!(attempts, [1, 2, 1, 2]);
     }
 }

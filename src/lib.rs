@@ -16,7 +16,9 @@
 //!   3DM(NC), 3DM-E, 3DM-E(NC)) with their topologies, layouts, pipeline
 //!   decisions and power models;
 //! * [`experiments`] — one runner per table/figure of the paper;
-//! * [`report`] — text rendering of figures and tables.
+//! * [`report`] — text rendering of figures and tables;
+//! * [`error`] — host-side error handling for the harness around the
+//!   simulations (IO, parsing, failed batches).
 //!
 //! ## Quick start
 //!
@@ -31,6 +33,7 @@
 //! ```
 
 pub mod arch;
+pub mod error;
 pub mod experiments;
 pub mod report;
 

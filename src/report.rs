@@ -55,7 +55,7 @@ impl Figure {
     pub fn to_text(&self) -> String {
         let mut xs: Vec<f64> =
             self.series.iter().flat_map(|s| s.points.iter().map(|p| p.x)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite xs"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
         let mut out = format!("# {} — {}\n", self.id, self.title);

@@ -83,6 +83,7 @@ fn progress_event_line_parses() {
         cycles: 7_800,
         kcycles_per_sec: 624.0,
         saturated: false,
+        failed: false,
     };
     let line = e.to_jsonl();
     assert!(!line.contains('\n'), "one line per event");

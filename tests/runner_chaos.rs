@@ -1,0 +1,293 @@
+//! Chaos tests for the crash-safe runner (DESIGN.md §16): point
+//! failures stay isolated, retries are deterministic, runaway points
+//! are timed out, and a sweep resumed from any checkpoint prefix is
+//! bit-identical to an uninterrupted run.
+//!
+//! Sims here use an ultra-short config — the claims under test are
+//! about the *harness* (isolation, resume identity), not statistics.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use mira::arch::Arch;
+use mira::experiments::common::{run_arch, EXPERIMENT_SEED};
+use mira::experiments::runner::{
+    derive_seed, FailureKind, PointOutcome, RunBatch, Runner, SimPoint,
+};
+use mira_noc::sim::SimConfig;
+use mira_noc::traffic::UniformRandom;
+use proptest::prelude::*;
+use serde::Serialize;
+
+const EXHIBIT: &str = "chaos_resume";
+const ARCHS: [Arch; 3] = [Arch::TwoDB, Arch::ThreeDM, Arch::ThreeDME];
+
+fn chaos_cfg() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 500,
+        drain_cycles: 2_500,
+        ..SimConfig::default()
+    }
+}
+
+fn sim_point(label: String, arch: Arch, rate: f64, seed: u64) -> SimPoint {
+    SimPoint::new(label, seed, move |s| {
+        run_arch(arch, false, Box::new(UniformRandom::new(rate, 5, s)), chaos_cfg())
+    })
+}
+
+/// The suite's canonical batch: 3 architectures × 2 rates, seeds
+/// shared per rate like the real sweeps.
+fn sim_points() -> Vec<SimPoint> {
+    let mut pts = Vec::new();
+    for (ri, rate) in [0.05, 0.10].into_iter().enumerate() {
+        let seed = derive_seed(EXPERIMENT_SEED, ri as u64);
+        for arch in ARCHS {
+            pts.push(sim_point(format!("chaos {arch} @ {rate}"), arch, rate, seed));
+        }
+    }
+    pts
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mira_chaos_{}_{tag}", std::process::id()))
+}
+
+/// The checkpoint file the canonical batch writes under `dir`.
+fn ckpt_path(dir: &Path) -> PathBuf {
+    let pts = sim_points();
+    let hash = mira_obs::ledger::config_hash(EXHIBIT, pts.iter().map(|p| (p.label(), p.seed())));
+    mira_obs::checkpoint::path_for(dir, EXHIBIT, hash)
+}
+
+/// Bitwise comparison of everything an exhibit reads off a point.
+fn assert_bit_identical(a: &PointOutcome, b: &PointOutcome) {
+    assert_eq!(a.label, b.label, "order must match input order");
+    assert_eq!(a.seed, b.seed);
+    let (x, y) = (&a.result.report, &b.result.report);
+    assert_eq!(x.avg_latency.to_bits(), y.avg_latency.to_bits(), "latency at {}", a.label);
+    assert_eq!(x.avg_hops.to_bits(), y.avg_hops.to_bits(), "hops at {}", a.label);
+    assert_eq!(x.packets_created, y.packets_created, "created at {}", a.label);
+    assert_eq!(x.packets_ejected, y.packets_ejected, "ejected at {}", a.label);
+    assert_eq!(x.counters, y.counters, "event counters at {}", a.label);
+    assert_eq!(
+        a.result.avg_power_w.to_bits(),
+        b.result.avg_power_w.to_bits(),
+        "power at {}",
+        a.label
+    );
+    assert_eq!(a.result.pdp.to_bits(), b.result.pdp.to_bits(), "pdp at {}", a.label);
+    assert_eq!(a.result.arena_peak_flits, b.result.arena_peak_flits, "arena at {}", a.label);
+}
+
+/// One uninterrupted checkpointed run of the canonical batch: the
+/// reference outcomes plus the checkpoint lines it wrote, shared by
+/// every resume test (the runner contract makes it reusable — results
+/// depend only on `(closure, seed)`).
+fn baseline() -> &'static (Vec<PointOutcome>, Vec<String>) {
+    static BASELINE: OnceLock<(Vec<PointOutcome>, Vec<String>)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let dir = temp_dir("baseline");
+        let batch = Runner::with_jobs(3).exhibit(EXHIBIT).checkpoint_dir(&dir).run(sim_points());
+        let text = std::fs::read_to_string(ckpt_path(&dir)).expect("checkpoint written");
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(lines.len(), batch.outcomes.len(), "one checkpoint line per point");
+        (batch.outcomes, lines)
+    })
+}
+
+/// Simulates an interrupt: seeds a fresh checkpoint dir with the first
+/// `prefix` lines the baseline wrote, then re-runs with `--resume`.
+fn resume_with_prefix(prefix: &[String], jobs: usize, tag: &str) -> RunBatch {
+    let dir = temp_dir(tag);
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+    let content: String = prefix.iter().map(|l| format!("{l}\n")).collect();
+    std::fs::write(ckpt_path(&dir), content).expect("seed checkpoint");
+    let batch = Runner::with_jobs(jobs)
+        .exhibit(EXHIBIT)
+        .checkpoint_dir(&dir)
+        .resume(true)
+        .run(sim_points());
+    let _ = std::fs::remove_dir_all(&dir);
+    batch
+}
+
+/// A sweep interrupted at *every* prefix length and resumed — with the
+/// worker count changed across the interrupt — reproduces the
+/// uninterrupted run bit for bit (ISSUE acceptance criterion).
+#[test]
+fn resume_at_every_prefix_is_bit_identical() {
+    let (base, lines) = baseline();
+    for k in 0..=lines.len() {
+        let jobs = if k % 2 == 0 { 1 } else { 3 };
+        let batch = resume_with_prefix(&lines[..k], jobs, "prefix");
+        assert_eq!(batch.summary.resumed_points, k, "prefix {k}");
+        assert_eq!(
+            batch.outcomes.iter().filter(|o| o.resumed).count(),
+            k,
+            "prefix {k}: resumed flags"
+        );
+        assert_eq!(base.len(), batch.outcomes.len());
+        for (a, b) in base.iter().zip(&batch.outcomes) {
+            assert_bit_identical(a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random (interrupt point, pool size) pairs: the resumed run is
+    /// always bit-identical and accounts for exactly the replayed
+    /// prefix.
+    #[test]
+    fn resume_any_prefix_any_pool(k in 0usize..7, jobs in 1usize..5) {
+        let (base, lines) = baseline();
+        let k = k.min(lines.len());
+        let batch = resume_with_prefix(&lines[..k], jobs, "prop");
+        prop_assert_eq!(batch.summary.resumed_points, k);
+        for (a, b) in base.iter().zip(&batch.outcomes) {
+            prop_assert_eq!(a.result.report.avg_latency.to_bits(),
+                            b.result.report.avg_latency.to_bits());
+            prop_assert_eq!(&a.result.report.counters, &b.result.report.counters);
+            prop_assert_eq!(a.result.avg_power_w.to_bits(), b.result.avg_power_w.to_bits());
+        }
+    }
+}
+
+/// A panicking point poisons nothing: every other point's result is
+/// bit-identical to a batch that never saw the bad point, and the
+/// failure is itemized in the summary.
+#[test]
+fn panicking_point_leaves_other_results_bit_identical() {
+    let (clean, _) = baseline();
+    let mut pts = sim_points();
+    pts.insert(3, SimPoint::new("boom", 999, |_| panic!("injected chaos panic")));
+    let batch = Runner::with_jobs(2).try_run(pts);
+
+    let fails: Vec<_> = batch.failures().collect();
+    assert_eq!(fails.len(), 1);
+    assert_eq!(fails[0].index, 3);
+    assert_eq!(fails[0].label, "boom");
+    assert!(
+        matches!(&fails[0].kind, FailureKind::Panic { payload } if payload.contains("injected"))
+    );
+
+    let oks: Vec<&PointOutcome> = batch.outcomes.iter().filter_map(|r| r.as_ref().ok()).collect();
+    assert_eq!(oks.len(), clean.len());
+    for (a, b) in clean.iter().zip(oks) {
+        assert_bit_identical(a, b);
+    }
+
+    assert_eq!(batch.summary.failed_points.len(), 1);
+    assert_eq!(batch.summary.failed_points[0].kind, "panic");
+    let json = serde_json::to_string(&batch.summary.to_value()).expect("summary serializes");
+    assert!(json.contains("failed_points"), "failures reach the JSON consumers");
+}
+
+/// A flaky-once point (panics on its first attempt only) succeeds on
+/// the retry with the same seed, producing the result a never-flaky
+/// run would have.
+#[test]
+fn flaky_once_point_succeeds_on_retry_bit_identically() {
+    static CALLS: AtomicU32 = AtomicU32::new(0);
+    let seed = derive_seed(EXPERIMENT_SEED, 0);
+    let clean =
+        Runner::with_jobs(1).run(vec![sim_point("flaky".into(), Arch::TwoDB, 0.05, seed)]).outcomes;
+
+    let flaky = SimPoint::new("flaky", seed, move |s| {
+        if CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("transient chaos failure");
+        }
+        run_arch(Arch::TwoDB, false, Box::new(UniformRandom::new(0.05, 5, s)), chaos_cfg())
+    });
+    let batch = Runner::with_jobs(1)
+        .point_retries(1)
+        .retry_backoff(Duration::from_millis(1))
+        .run(vec![flaky]);
+
+    assert_eq!(CALLS.load(Ordering::SeqCst), 2, "exactly one retry");
+    assert_eq!(batch.outcomes[0].attempts, 2);
+    assert_eq!(batch.summary.retried_points, 1);
+    assert_bit_identical(&clean[0], &batch.outcomes[0]);
+}
+
+/// A runaway point is marked timed out by the watchdog while the rest
+/// of the pool keeps completing points.
+#[test]
+fn runaway_point_is_timed_out_and_pool_continues() {
+    let seed = derive_seed(EXPERIMENT_SEED, 0);
+    let pts = vec![
+        sim_point("t-ok0".into(), Arch::TwoDB, 0.05, seed),
+        SimPoint::new("stuck", 1, |_| {
+            std::thread::sleep(Duration::from_secs(3));
+            unreachable!("watchdog should have replaced this worker")
+        }),
+        sim_point("t-ok2".into(), Arch::ThreeDM, 0.05, seed),
+    ];
+    let batch = Runner::with_jobs(2).point_timeout(Duration::from_millis(200)).try_run(pts);
+
+    assert!(batch.outcomes[0].is_ok(), "pool kept working");
+    assert!(batch.outcomes[2].is_ok(), "pool survived the runaway point");
+    let f = batch.outcomes[1].as_ref().expect_err("stuck point timed out");
+    assert!(matches!(f.kind, FailureKind::Timeout { .. }), "{:?}", f.kind);
+    assert_eq!(batch.summary.failed_points.len(), 1);
+    assert_eq!(batch.summary.failed_points[0].kind, "timeout");
+}
+
+/// Torn (interrupted mid-write) and stale (different config hash)
+/// checkpoint lines are skipped with the valid prefix still replayed.
+#[test]
+fn torn_and_stale_checkpoint_lines_are_skipped() {
+    let (base, lines) = baseline();
+    let pts = sim_points();
+    let hash = mira_obs::ledger::hash_hex(mira_obs::ledger::config_hash(
+        EXHIBIT,
+        pts.iter().map(|p| (p.label(), p.seed())),
+    ));
+
+    let mut content: String = lines[..3].iter().map(|l| format!("{l}\n")).collect();
+    // A stale line: valid JSON from some other batch identity.
+    content.push_str(&lines[3].replacen(&hash, "0000000000000000", 1));
+    content.push('\n');
+    // A torn line: the process died mid-append.
+    content.push_str("{\"config_hash\":\"tor");
+
+    let dir = temp_dir("torn");
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+    std::fs::write(ckpt_path(&dir), content).expect("seed checkpoint");
+    let batch =
+        Runner::with_jobs(2).exhibit(EXHIBIT).checkpoint_dir(&dir).resume(true).run(sim_points());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(batch.summary.resumed_points, 3, "only the intact prefix replays");
+    for (a, b) in base.iter().zip(&batch.outcomes) {
+        assert_bit_identical(a, b);
+    }
+}
+
+/// The chaos hook panics deterministic points; with one retry budgeted
+/// the batch completes bit-identically, documenting the attempts.
+#[test]
+fn chaos_hook_with_retries_completes_bit_identically() {
+    let (clean, _) = baseline();
+    let batch = Runner::with_jobs(2)
+        .chaos_every(2)
+        .point_retries(1)
+        .retry_backoff(Duration::from_millis(1))
+        .run(sim_points());
+
+    assert_eq!(clean.len(), batch.outcomes.len());
+    for (a, b) in clean.iter().zip(&batch.outcomes) {
+        assert_bit_identical(a, b);
+    }
+    for (i, o) in batch.outcomes.iter().enumerate() {
+        let expected = if (i + 1) % 2 == 0 { 2 } else { 1 };
+        assert_eq!(o.attempts, expected, "point {i}: chaos is index-deterministic");
+    }
+    assert_eq!(batch.summary.retried_points, 3);
+}
