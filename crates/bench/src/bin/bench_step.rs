@@ -187,6 +187,8 @@ fn append_ledger(report: &StepReport, t0: Instant) {
         failed_points: 0,
         resumed_points: 0,
         peak_arena_flits: peak,
+        anomalies: None,
+        anomaly_kinds: None,
     };
     let path = ledger::default_path();
     if let Err(e) = ledger::append(&path, &entry) {

@@ -44,6 +44,7 @@ fn host_section() -> serde::Value {
     let kcycles_per_sec = if wall_ms > 0.0 { cycles as f64 / 1e3 / (wall_ms / 1e3) } else { 0.0 };
     let peak_arena_flits = entries.iter().map(|e| e.peak_arena_flits).max().unwrap_or(0);
     let build = mira_obs::provenance::Provenance::current();
+    let (anomaly_count, anomaly_kinds) = session_anomalies(&entries);
     serde::Value::Object(vec![
         ("batches".to_string(), entries.len().to_value()),
         ("wall_ms".to_string(), wall_ms.to_value()),
@@ -52,7 +53,25 @@ fn host_section() -> serde::Value {
         ("peak_arena_flits".to_string(), peak_arena_flits.to_value()),
         ("git_rev".to_string(), build.git_rev.to_value()),
         ("profile".to_string(), build.profile.to_value()),
+        (
+            "anomalies".to_string(),
+            serde::Value::Object(vec![
+                ("count".to_string(), anomaly_count.to_value()),
+                ("kinds".to_string(), anomaly_kinds.to_value()),
+            ]),
+        ),
     ])
+}
+
+/// Aggregates anomaly-detector firings over the session's ledger
+/// entries: total count and the deduplicated, sorted kind names.
+fn session_anomalies(entries: &[ledger::LedgerEntry]) -> (u64, Vec<String>) {
+    let count: u64 = entries.iter().filter_map(|e| e.anomalies).sum();
+    let mut kinds: Vec<String> =
+        entries.iter().filter_map(|e| e.anomaly_kinds.clone()).flatten().collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    (count, kinds)
 }
 
 fn main() {
@@ -65,6 +84,14 @@ fn main() {
     let claims = run_scorecard(cli.sim_config(), cli.trace_cycles());
     let tail = tail_summaries(cli.sim_config());
     let passed = claims.iter().filter(|c| c.passes()).count();
+    let (anomaly_count, anomaly_kinds) = session_anomalies(&ledger::session_entries());
+    if anomaly_count > 0 {
+        eprintln!(
+            "[scorecard] WARNING: {anomaly_count} anomaly detector firing(s) this session \
+             ({}); inspect the dumps with `trace_tool blackbox`",
+            anomaly_kinds.join(", ")
+        );
+    }
     if cli.json {
         let rows: Vec<ClaimRow> = claims.iter().map(ClaimRow).collect();
         let wrapped = serde::Value::Object(vec![

@@ -14,12 +14,14 @@
 //! $ cargo run -p mira-bench --bin trace_tool -- journey /tmp/journeys.json 1234
 //! $ cargo run -p mira-bench --bin fig11a -- --quick --obs-out /tmp/obs.json
 //! $ cargo run -p mira-bench --bin trace_tool -- obs /tmp/obs.json
+//! $ cargo run -p mira-bench --bin trace_tool -- blackbox results/blackbox/fig11a-p3.json
 //! ```
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use mira::arch::Arch;
 use mira::experiments::EXPERIMENT_SEED;
+use mira::noc::recorder::{BlackBox, StuckPacket};
 use mira::noc::telemetry::{render_heatmap, MetricsWindow};
 use mira::noc::PacketJourney;
 use mira::nuca::cmp::{CmpConfig, CmpSystem, TraceStats};
@@ -33,6 +35,7 @@ fn usage() -> ! {
     eprintln!("       trace_tool netview <metrics.json> [window-index]");
     eprintln!("       trace_tool journey <journeys.json> [packet-id]");
     eprintln!("       trace_tool obs <obs.json>");
+    eprintln!("       trace_tool blackbox <blackbox.json> [packet-id]");
     eprintln!("apps: {}", Application::ALL.map(|a| a.name()).join(" "));
     std::process::exit(2);
 }
@@ -134,6 +137,99 @@ fn journey_view(j: &PacketJourney) -> String {
         j.span_sum(),
         j.latency()
     ));
+    out
+}
+
+/// Renders one stuck packet, with its sampled hop history when the
+/// journey recorder had it.
+fn stuck_view(p: &StuckPacket) -> String {
+    let mut out = format!(
+        "  packet {:<8} {:<14} {:>3} -> {:<3} created @{}, age {} cycles, {} flits\n",
+        p.packet, p.class, p.src, p.dst, p.created_at, p.age, p.len_flits
+    );
+    if let Some(j) = &p.journey {
+        out.push_str(&format!("    source queue: {} cycles\n", j.source_queue));
+        for (i, h) in j.hops.iter().enumerate() {
+            if h.departed > 0 {
+                out.push_str(&format!(
+                    "    hop {i:<2} router {:<3}: in-port {} @{} -> out-port {} @{}\n",
+                    h.router, h.in_port, h.arrived, h.out_port, h.departed
+                ));
+            } else {
+                out.push_str(&format!(
+                    "    hop {i:<2} router {:<3}: in-port {} @{} -> STUCK (head never \
+                     traversed the switch)\n",
+                    h.router, h.in_port, h.arrived
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders a black-box dump: the trigger, every detector verdict, a
+/// per-router occupancy heatmap with frozen/masked routers called out,
+/// and the stuck-packet inventory.
+fn blackbox_view(bb: &BlackBox) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "black box v{}: `{}` halted the run at cycle {}\n",
+        bb.version, bb.trigger.kind, bb.cycle
+    ));
+    out.push_str(&format!("trigger: {}\n", bb.trigger.detail));
+    out.push_str("detector firings:\n");
+    out.push_str(&format!(
+        "  {:<18} {:>10} {:>12} {:>12} {:>8}\n",
+        "kind", "cycle", "observed", "threshold", "samples"
+    ));
+    for f in &bb.fired {
+        out.push_str(&format!(
+            "  {:<18} {:>10} {:>12} {:>12} {:>8}\n",
+            f.kind, f.cycle, f.stats.observed, f.stats.threshold, f.stats.samples
+        ));
+    }
+    let occupancy: Vec<(usize, usize, f64)> =
+        bb.routers.iter().map(|r| (r.x as usize, r.y as usize, r.buffered as f64)).collect();
+    let peak = occupancy.iter().map(|c| c.2).fold(0.0_f64, f64::max);
+    out.push_str(&format!(
+        "buffer occupancy at capture ({} routers, peak {peak:.0} flits):\n",
+        bb.routers.len()
+    ));
+    out.push_str(&render_heatmap(&occupancy));
+    out.push_str("scale: ' ' (idle) . : - = + * # % @ (peak)\n");
+    let frozen: Vec<u64> = bb.routers.iter().filter(|r| r.sa_frozen).map(|r| r.router).collect();
+    if !frozen.is_empty() {
+        out.push_str(&format!("frozen switch allocators (chaos hook): {frozen:?}\n"));
+    }
+    let waiting: usize = bb.routers.iter().map(|r| r.waiting_mask.count_ones() as usize).sum();
+    let active: usize = bb.routers.iter().map(|r| r.active_mask.count_ones() as usize).sum();
+    out.push_str(&format!(
+        "VC states: {} waiting for a VC, {} active; {} flits live in the arena\n",
+        waiting,
+        active,
+        bb.arena.len()
+    ));
+    let wire_flits: u64 = bb.links.iter().map(|l| l.flits).sum();
+    let wire_credits: u64 = bb.links.iter().map(|l| l.credits).sum();
+    out.push_str(&format!(
+        "links: {} non-quiet ({wire_flits} flits, {wire_credits} credit returns in flight)\n",
+        bb.links.len()
+    ));
+    out.push_str(&format!(
+        "event ring: {} events captured, {} dropped\n",
+        bb.events.len(),
+        bb.events_dropped
+    ));
+    out.push_str(&format!("stuck packets ({}):\n", bb.stuck_packets.len()));
+    for p in bb.stuck_packets.iter().take(20) {
+        out.push_str(&stuck_view(p));
+    }
+    if bb.stuck_packets.len() > 20 {
+        out.push_str(&format!(
+            "  ... {} more (pass a packet id to inspect one)\n",
+            bb.stuck_packets.len() - 20
+        ));
+    }
     out
 }
 
@@ -329,6 +425,30 @@ fn main() -> std::io::Result<()> {
                         );
                     }
                 }
+            }
+            Ok(())
+        }
+        Some("blackbox") => {
+            let Some(path) = args.get(1) else { usage() };
+            let text = std::fs::read_to_string(path)?;
+            let value: serde::Value = serde_json::from_str(&text)
+                .unwrap_or_else(|e| usage_error(format!("{path} is not valid JSON: {e:?}")));
+            let bb = BlackBox::from_value(&value)
+                .unwrap_or_else(|e| usage_error(format!("{path} is not a black box: {e:?}")));
+            match args.get(2) {
+                Some(s) => {
+                    let id: u64 = s
+                        .parse()
+                        .unwrap_or_else(|_| usage_error(format!("invalid packet id {s:?}")));
+                    let Some(p) = bb.stuck_packets.iter().find(|p| p.packet == id) else {
+                        usage_error(format!(
+                            "packet {id} is not stuck in {path} ({} stuck packets)",
+                            bb.stuck_packets.len()
+                        ))
+                    };
+                    print!("{}", stuck_view(p));
+                }
+                None => print!("{}", blackbox_view(&bb)),
             }
             Ok(())
         }

@@ -35,7 +35,11 @@ const USAGE: &str = "usage: <bin> [--quick] [--json] [--metrics-window <cycles>]
                      [--fault-seed <seed>] [--compare <baseline.json>] \
                      [--obs-out <path>] [--progress-json] \
                      [--resume] [--checkpoint-dir <dir>] [--point-timeout <secs>] \
-                     [--point-retries <n>] [--fail-fast]";
+                     [--point-retries <n>] [--fail-fast] \
+                     [--anomaly] [--anomaly-no-progress <cycles>] \
+                     [--anomaly-starvation <cycles>] [--anomaly-fault-storm <events>] \
+                     [--anomaly-latency-spike-pct <pct>] [--anomaly-window <cycles>] \
+                     [--blackbox-out <dir>]";
 
 /// Shared CLI handling for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +101,28 @@ pub struct Cli {
     /// Abort the batch on the first point failure instead of running the
     /// remaining points (`--fail-fast`).
     pub fail_fast: bool,
+    /// Arm the flight recorder with every detector at its default
+    /// threshold (`--anomaly`); any specific `--anomaly-*` threshold
+    /// flag implies this.
+    pub anomaly: bool,
+    /// No-progress watchdog threshold in cycles
+    /// (`--anomaly-no-progress`); overrides the default.
+    pub anomaly_no_progress: Option<u64>,
+    /// Starvation head-flit age threshold in cycles
+    /// (`--anomaly-starvation`).
+    pub anomaly_starvation: Option<u64>,
+    /// Fault-storm budget in fault events per window
+    /// (`--anomaly-fault-storm`).
+    pub anomaly_fault_storm: Option<u64>,
+    /// Latency-spike threshold in percent of the trailing baseline p99
+    /// (`--anomaly-latency-spike-pct`).
+    pub anomaly_latency_spike_pct: Option<u32>,
+    /// Windowed-detector evaluation cadence in cycles
+    /// (`--anomaly-window`).
+    pub anomaly_window: Option<u64>,
+    /// Directory anomaly black-box dumps are written under
+    /// (`--blackbox-out`; default `results/blackbox`).
+    pub blackbox_out: Option<&'static str>,
 }
 
 /// Parses `node:port[@cycle]` (e.g. `7:3@250`) for `--kill-link`.
@@ -223,6 +249,73 @@ impl Cli {
                     }
                 }
                 "--fail-fast" => cli.fail_fast = true,
+                "--anomaly" => cli.anomaly = true,
+                "--anomaly-no-progress" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--anomaly-no-progress needs cycles"));
+                    match v.parse::<u64>() {
+                        Ok(cycles) => {
+                            cli.anomaly = true;
+                            cli.anomaly_no_progress = Some(cycles);
+                        }
+                        _ => usage_error(&format!("invalid --anomaly-no-progress value {v:?}")),
+                    }
+                }
+                "--anomaly-starvation" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--anomaly-starvation needs cycles"));
+                    match v.parse::<u64>() {
+                        Ok(age) => {
+                            cli.anomaly = true;
+                            cli.anomaly_starvation = Some(age);
+                        }
+                        _ => usage_error(&format!("invalid --anomaly-starvation value {v:?}")),
+                    }
+                }
+                "--anomaly-fault-storm" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--anomaly-fault-storm needs a budget"));
+                    match v.parse::<u64>() {
+                        Ok(budget) => {
+                            cli.anomaly = true;
+                            cli.anomaly_fault_storm = Some(budget);
+                        }
+                        _ => usage_error(&format!("invalid --anomaly-fault-storm value {v:?}")),
+                    }
+                }
+                "--anomaly-latency-spike-pct" => {
+                    let v = args.next().unwrap_or_else(|| {
+                        usage_error("--anomaly-latency-spike-pct needs a percentage")
+                    });
+                    match v.parse::<u32>() {
+                        Ok(pct) => {
+                            cli.anomaly = true;
+                            cli.anomaly_latency_spike_pct = Some(pct);
+                        }
+                        _ => {
+                            usage_error(&format!("invalid --anomaly-latency-spike-pct value {v:?}"))
+                        }
+                    }
+                }
+                "--anomaly-window" => {
+                    let v =
+                        args.next().unwrap_or_else(|| usage_error("--anomaly-window needs cycles"));
+                    match v.parse::<u64>() {
+                        Ok(cycles) if cycles > 0 => {
+                            cli.anomaly = true;
+                            cli.anomaly_window = Some(cycles);
+                        }
+                        _ => usage_error(&format!("invalid --anomaly-window value {v:?}")),
+                    }
+                }
+                "--blackbox-out" => {
+                    let v =
+                        args.next().unwrap_or_else(|| usage_error("--blackbox-out needs a dir"));
+                    cli.blackbox_out = Some(leak(v));
+                }
                 "--fault-seed" => {
                     let v = args.next().unwrap_or_else(|| usage_error("--fault-seed needs a seed"));
                     match v.parse::<u64>() {
@@ -261,10 +354,42 @@ impl Cli {
             telemetry = telemetry.with_journeys(ppm);
         }
         let base = base.with_telemetry(telemetry);
-        match self.fault_config() {
+        let base = match self.fault_config() {
             Some(faults) => base.with_faults(faults),
             None => base,
+        };
+        match self.anomaly_config() {
+            Some(anomaly) => base.with_anomaly(anomaly),
+            None => base,
         }
+    }
+
+    /// The flight-recorder configuration requested by `--anomaly` and
+    /// the `--anomaly-*` threshold flags, or `None` when no anomaly
+    /// flag was given (so the default path stays bit-identical to the
+    /// recorder-free simulator).
+    pub fn anomaly_config(&self) -> Option<mira::noc::anomaly::AnomalyConfig> {
+        use mira::noc::anomaly::AnomalyConfig;
+        if !self.anomaly {
+            return None;
+        }
+        let mut cfg = AnomalyConfig::detect();
+        if let Some(cycles) = self.anomaly_no_progress {
+            cfg = cfg.with_no_progress(cycles);
+        }
+        if let Some(age) = self.anomaly_starvation {
+            cfg = cfg.with_starvation(age);
+        }
+        if let Some(budget) = self.anomaly_fault_storm {
+            cfg = cfg.with_fault_storm(budget);
+        }
+        if let Some(pct) = self.anomaly_latency_spike_pct {
+            cfg = cfg.with_latency_spike(pct, cfg.latency_spike_min_samples);
+        }
+        if let Some(cycles) = self.anomaly_window {
+            cfg = cfg.with_window(cycles);
+        }
+        Some(cfg)
     }
 
     /// The fault configuration requested by `--fault-rate` /
@@ -320,6 +445,9 @@ impl Cli {
         }
         if self.resume {
             runner = runner.resume(true);
+        }
+        if let Some(dir) = self.blackbox_out {
+            runner = runner.blackbox_out(dir);
         }
         runner
     }

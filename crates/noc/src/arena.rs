@@ -113,6 +113,12 @@ impl FlitArena {
     pub fn is_live(&self, r: FlitRef) -> bool {
         self.slots.get(r.0 as usize).is_some_and(Option::is_some)
     }
+
+    /// Iterates every live slot as `(slot index, flit)`, in slot order
+    /// (the flight recorder's full-arena dump).
+    pub fn iter_live(&self) -> impl Iterator<Item = (u32, &Flit)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|f| (i as u32, f)))
+    }
 }
 
 #[cfg(test)]

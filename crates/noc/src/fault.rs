@@ -436,7 +436,8 @@ mod tests {
     #[test]
     fn explicit_kill_resolves_to_link() {
         let cfg = FaultConfig::disabled().with_kill(3, 1, 42);
-        let plan = FaultPlan::compile(cfg, &line_endpoints(8), 4).unwrap();
+        let plan = FaultPlan::compile(cfg, &line_endpoints(8), 4)
+            .expect("explicit kill on a wired port compiles");
         assert_eq!(plan.kills(), &[ScheduledKill { cycle: 42, link: 3 }]);
     }
 
@@ -450,8 +451,8 @@ mod tests {
     #[test]
     fn random_kills_are_distinct_and_deterministic() {
         let cfg = FaultConfig::disabled().with_random_kills(3, 500).with_seed(7);
-        let a = FaultPlan::compile(cfg, &line_endpoints(16), 4).unwrap();
-        let b = FaultPlan::compile(cfg, &line_endpoints(16), 4).unwrap();
+        let a = FaultPlan::compile(cfg, &line_endpoints(16), 4).expect("random-kill plan compiles");
+        let b = FaultPlan::compile(cfg, &line_endpoints(16), 4).expect("random-kill plan compiles");
         assert_eq!(a.kills(), b.kills());
         assert_eq!(a.kills().len(), 3);
         let mut links: Vec<usize> = a.kills().iter().map(|k| k.link).collect();
@@ -469,20 +470,21 @@ mod tests {
             &e,
             4,
         )
-        .unwrap();
+        .expect("seed-1 plan compiles");
         let b = FaultPlan::compile(
             FaultConfig::disabled().with_random_kills(2, 1000).with_seed(2),
             &e,
             4,
         )
-        .unwrap();
+        .expect("seed-2 plan compiles");
         assert_ne!(a.kills(), b.kills());
     }
 
     #[test]
     fn stuck_gates_keep_at_least_one_word() {
         let cfg = FaultConfig::disabled().with_stuck_gates(4).with_seed(11);
-        let plan = FaultPlan::compile(cfg, &line_endpoints(16), 4).unwrap();
+        let plan =
+            FaultPlan::compile(cfg, &line_endpoints(16), 4).expect("stuck-gate plan compiles");
         let gates: Vec<(u64, usize)> = (0..16).filter_map(|l| plan.stuck_gate(l)).collect();
         assert!(!gates.is_empty());
         assert!(gates.iter().all(|&(_, healthy)| (1..4).contains(&healthy)));
@@ -491,7 +493,7 @@ mod tests {
     #[test]
     fn verdict_rerolls_per_cycle() {
         let cfg = FaultConfig::disabled().with_transient(500_000).with_seed(3);
-        let plan = FaultPlan::compile(cfg, &line_endpoints(4), 4).unwrap();
+        let plan = FaultPlan::compile(cfg, &line_endpoints(4), 4).expect("transient plan compiles");
         // At 50% the verdict must differ across cycles for the same seq
         // — the stateless hash re-rolls, so retries can succeed.
         let mut seen_clean = false;
@@ -508,7 +510,7 @@ mod tests {
     #[test]
     fn shutdown_masks_gated_slice_hits() {
         let cfg = FaultConfig::disabled().with_transient(1_000_000).with_seed(5);
-        let plan = FaultPlan::compile(cfg, &line_endpoints(4), 4).unwrap();
+        let plan = FaultPlan::compile(cfg, &line_endpoints(4), 4).expect("transient plan compiles");
         // Always-fault config: a short flit (1 active word of 4) under
         // shutdown only ever sees Masked (upper-word hits regenerate) —
         // the fault word is always >= 1 when num_words > 1.
@@ -526,9 +528,10 @@ mod tests {
     fn stuck_gate_corrupts_wide_flits_only() {
         let mut cfg = FaultConfig::disabled().with_stuck_gates(1).with_seed(2);
         cfg.transient_ppm = 0;
-        let plan = FaultPlan::compile(cfg, &line_endpoints(2), 4).unwrap();
+        let plan =
+            FaultPlan::compile(cfg, &line_endpoints(2), 4).expect("stuck-gate plan compiles");
         let link = (0..2).find(|&l| plan.stuck_gate(l).is_some()).expect("one stuck link");
-        let (onset, healthy) = plan.stuck_gate(link).unwrap();
+        let (onset, healthy) = plan.stuck_gate(link).expect("the link just found is stuck");
         assert_eq!(plan.verdict(link, 0, onset, 4, healthy, true), Verdict::Clean);
         assert_eq!(plan.verdict(link, 0, onset, 4, healthy + 1, true), Verdict::Detected);
     }
@@ -537,7 +540,7 @@ mod tests {
     fn escaped_mask_is_two_bits_in_one_word() {
         let mut cfg = FaultConfig::disabled().with_transient(1_000_000).with_seed(1);
         cfg.double_ppm = 1_000_000; // every fault escapes
-        let plan = FaultPlan::compile(cfg, &line_endpoints(4), 4).unwrap();
+        let plan = FaultPlan::compile(cfg, &line_endpoints(4), 4).expect("transient plan compiles");
         for cycle in 0..32 {
             match plan.verdict(2, cycle, cycle, 4, 4, false) {
                 Verdict::Escaped { word, mask } => {

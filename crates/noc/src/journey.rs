@@ -398,6 +398,12 @@ impl JourneyRecorder {
         self.active.len()
     }
 
+    /// The still-open journey of `packet`, if it is sampled and in
+    /// flight (the black-box dump attaches these to stuck packets).
+    pub fn open(&self, packet: PacketId) -> Option<&PacketJourney> {
+        self.active.get(&packet.0)
+    }
+
     /// A packet was created: opens a journey if it is sampled.
     pub fn on_created(&mut self, packet: PacketId, cycle: u64, class: PacketClass, measured: bool) {
         if !self.sampler.sampled(packet) {

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod anomaly;
 pub mod arbiter;
 pub mod arena;
 pub mod buffer;
@@ -57,6 +58,7 @@ pub mod layers;
 pub mod link;
 pub mod network;
 pub mod packet;
+pub mod recorder;
 pub mod router;
 pub mod routing;
 pub mod sim;
@@ -67,6 +69,7 @@ pub mod traffic;
 pub mod vc;
 
 pub use adaptive::{AdaptiveMesh2D, TurnModel};
+pub use anomaly::{AnomalyAbort, AnomalyConfig, AnomalyCounts, AnomalyKind, FiredDetector};
 pub use arena::{FlitArena, FlitRef};
 pub use config::{NetworkConfig, PipelineConfig, RouterConfig};
 pub use error::NocError;
@@ -78,6 +81,7 @@ pub use journey::{
     TailBucket,
 };
 pub use packet::{Packet, PacketClass, PacketId};
+pub use recorder::{BlackBox, FlightRecorder};
 pub use sim::{SimConfig, SimReport, Simulator};
 pub use stats::{ActivityCounters, LatencyStats};
 pub use telemetry::{

@@ -339,6 +339,12 @@ impl Link {
         }
     }
 
+    /// Number of credit returns currently in flight (the flight
+    /// recorder's wire-state dump).
+    pub fn credits_in_flight(&self) -> usize {
+        self.credits.len()
+    }
+
     /// Returns `true` if no flits or credits are in flight and (with
     /// ARQ) no flit awaits acknowledgement or resend.
     pub fn is_quiescent(&self) -> bool {
@@ -383,7 +389,7 @@ mod tests {
         let mut l = mk_link();
         send(&mut l, &mut a, mk_flit(), VcId(0), 5);
         assert!(l.take_due_flit(4).is_none());
-        let f = l.take_due_flit(5).unwrap();
+        let f = l.take_due_flit(5).expect("flit is due at its delivery cycle");
         assert_eq!(f.vc, VcId(0));
         assert!(a.is_live(f.flit), "delivered ref is live until the receiver consumes it");
         assert!(l.take_due_flit(6).is_none());
@@ -419,8 +425,8 @@ mod tests {
         f1.seq = 1;
         send(&mut l, &mut a, f0, VcId(0), 2);
         send(&mut l, &mut a, f1, VcId(0), 3);
-        assert_eq!(a.get(l.take_due_flit(3).unwrap().flit).seq, 0);
-        assert_eq!(a.get(l.take_due_flit(3).unwrap().flit).seq, 1);
+        assert_eq!(a.get(l.take_due_flit(3).expect("first flit is due").flit).seq, 0);
+        assert_eq!(a.get(l.take_due_flit(3).expect("second flit is due").flit).seq, 1);
     }
 
     #[test]
@@ -442,8 +448,8 @@ mod tests {
         l.enable_arq(1);
         send(&mut l, &mut ar, mk_flit(), VcId(0), 1);
         send(&mut l, &mut ar, mk_flit(), VcId(1), 2);
-        let a = l.take_due_flit(1).unwrap();
-        let b = l.take_due_flit(2).unwrap();
+        let a = l.take_due_flit(1).expect("first ARQ flit is due");
+        let b = l.take_due_flit(2).expect("second ARQ flit is due");
         assert_eq!((a.seq, b.seq), (0, 1));
         assert_eq!(a.parity, ar.get(a.flit).data.slice_parity());
         assert_eq!(l.arq_window_len(), 2, "unacked flits stay in the window");
@@ -500,7 +506,7 @@ mod tests {
         send(&mut l, &mut ar, other, VcId(1), 2);
         send(&mut l, &mut ar, f1, VcId(0), 3);
         l.arq_nack(3, &mut ar);
-        let (pid, vcs) = l.arq_drop_front_packet().unwrap();
+        let (pid, vcs) = l.arq_drop_front_packet().expect("the NACKed window holds a packet");
         assert_eq!(pid, PacketId(1));
         assert_eq!(vcs, vec![VcId(0), VcId(0)], "both entries of the packet stripped");
         assert_eq!(l.arq_window_len(), 1, "the other packet survives");

@@ -829,6 +829,71 @@ impl Network {
             && self.links.iter().all(Link::is_quiescent)
             && self.routers.iter().all(Router::is_quiescent)
     }
+
+    /// Read access to the routers (black-box dumps and tests).
+    pub(crate) fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// Read access to the links (black-box dumps and tests).
+    pub(crate) fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// An FNV-1a hash over the fabric's structural state: every
+    /// router's work-list masks, buffer occupancy and pending switch
+    /// grants, plus every link's wire contents. Any flit movement or
+    /// pipeline-state transition changes it; a truly wedged fabric
+    /// (deadlock, frozen allocator) keeps it constant cycle after
+    /// cycle — which is exactly what the no-progress watchdog samples.
+    /// Source queues are deliberately excluded: continued injection
+    /// into a deadlocked fabric must not read as progress.
+    pub fn progress_signature(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut feed = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for r in &self.routers {
+            for w in r.progress_word() {
+                feed(w);
+            }
+        }
+        for l in &self.links {
+            feed(l.flits_in_flight() as u64);
+            feed(l.credits_in_flight() as u64);
+        }
+        h
+    }
+
+    /// Chaos hook: permanently freezes `node`'s switch allocator (see
+    /// [`crate::recorder`]). Flits keep arriving and buffering at the
+    /// frozen router but never leave it — the deterministic stall
+    /// behind `MIRA_CHAOS_STALL_AT`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn freeze_router_sa(&mut self, node: usize) {
+        self.routers[node].freeze_sa();
+    }
+
+    /// Age in cycles of the oldest head-of-FIFO flit anywhere in the
+    /// fabric (0 when empty) — the starvation detector's subject.
+    pub fn max_head_age(&self, cycle: u64) -> u64 {
+        self.routers.iter().map(|r| r.max_head_age(cycle)).max().unwrap_or(0)
+    }
+
+    /// Total output VCs across the fabric holding more downstream
+    /// credits than the buffer depth they track. Always 0 unless credit
+    /// conservation is broken.
+    pub fn credit_overflows(&self) -> u64 {
+        self.routers.iter().map(Router::credit_overflows).sum()
+    }
 }
 
 #[cfg(test)]

@@ -184,6 +184,11 @@ pub struct Router {
     /// Route computations diverted around a dead link (fault
     /// telemetry).
     reroutes: u64,
+    /// Chaos hook: when set, the switch allocator issues no grants, so
+    /// every flit entering this router parks forever — a deterministic
+    /// way to exercise the no-progress watchdog. Never set outside
+    /// chaos testing.
+    sa_frozen: bool,
 }
 
 impl Router {
@@ -223,6 +228,7 @@ impl Router {
             dead_out: vec![false; ports],
             link_paused: vec![false; ports],
             reroutes: 0,
+            sa_frozen: false,
         }
     }
 
@@ -467,6 +473,98 @@ impl Router {
     /// Route computations diverted around dead links so far.
     pub fn reroutes(&self) -> u64 {
         self.reroutes
+    }
+
+    /// Chaos hook: freezes the switch allocator permanently, so this
+    /// router accepts flits but never grants the switch — the
+    /// deterministic stall the no-progress watchdog is tested against.
+    pub(crate) fn freeze_sa(&mut self) {
+        self.sa_frozen = true;
+    }
+
+    /// A compact word summarising this router's fabric-facing state:
+    /// the three work-list masks, the buffer occupancy and the pending
+    /// switch grants. Any flit movement, state transition or grant
+    /// changes it, so the no-progress watchdog can hash it per cycle
+    /// instead of comparing full state.
+    pub(crate) fn progress_word(&self) -> [u64; 5] {
+        [
+            self.routing_mask,
+            self.waiting_mask,
+            self.active_mask,
+            self.buf.occupied() as u64,
+            self.st_grants.len() as u64,
+        ]
+    }
+
+    /// Age in cycles of the oldest ready head-of-FIFO flit at this
+    /// router (0 when every FIFO is empty) — the starvation detector's
+    /// subject.
+    pub(crate) fn max_head_age(&self, cycle: u64) -> u64 {
+        (0..self.vc_state.len())
+            .filter_map(|pv| self.buf.front(pv))
+            .map(|s| cycle.saturating_sub(s.ready_at))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of output VCs holding more downstream credits than the
+    /// buffer depth they track — any non-zero value is a
+    /// credit-conservation violation.
+    pub(crate) fn credit_overflows(&self) -> u64 {
+        let depth = self.buf.depth();
+        self.out_credits.iter().filter(|&&c| c > depth).count() as u64
+    }
+
+    /// Freezes this router's SoA state into a
+    /// [`RouterDump`](crate::recorder::RouterDump) for the black box.
+    /// `x`/`y` are the topology coordinates (passed in because the
+    /// router does not know where it sits).
+    pub(crate) fn dump(&self, cycle: u64, x: u64, y: u64) -> crate::recorder::RouterDump {
+        let mut vcs = Vec::new();
+        for pv in 0..self.vc_state.len() {
+            let state = self.vc_state[pv];
+            let occupancy = self.buf.len(pv);
+            if state == VcState::Idle && occupancy == 0 {
+                continue;
+            }
+            let (out_port, out_vc) = match state {
+                VcState::Idle | VcState::Routing => (None, None),
+                VcState::WaitingVc { out_port } => (Some(out_port.index() as u64), None),
+                VcState::Active { out_port, out_vc } => {
+                    (Some(out_port.index() as u64), Some(out_vc.index() as u64))
+                }
+            };
+            vcs.push(crate::recorder::VcDump {
+                pv: pv as u64,
+                port: (pv / self.vcs) as u64,
+                vc: (pv % self.vcs) as u64,
+                state: match state {
+                    VcState::Idle => "idle",
+                    VcState::Routing => "routing",
+                    VcState::WaitingVc { .. } => "waiting_vc",
+                    VcState::Active { .. } => "active",
+                }
+                .to_string(),
+                out_port,
+                out_vc,
+                packet: self.vc_packet[pv].map(|p| p.0),
+                occupancy: occupancy as u64,
+                head_age: self.buf.front(pv).map(|s| cycle.saturating_sub(s.ready_at)),
+                credits: self.out_credits[pv] as u64,
+            });
+        }
+        crate::recorder::RouterDump {
+            router: self.id.index() as u64,
+            x,
+            y,
+            buffered: self.buf.occupied() as u64,
+            routing_mask: self.routing_mask,
+            waiting_mask: self.waiting_mask,
+            active_mask: self.active_mask,
+            sa_frozen: self.sa_frozen,
+            vcs,
+        }
     }
 
     /// Minimal-detour fallback when the fault mask empties the candidate
@@ -732,8 +830,9 @@ impl Router {
         mut journeys: Option<&mut JourneyRecorder>,
     ) {
         let _obs = obs_scope(ObsPhase::StageSa);
-        if self.active_mask == 0 {
-            // No VC holds the switch: both allocation stages are no-ops.
+        if self.active_mask == 0 || self.sa_frozen {
+            // No VC holds the switch (or the chaos hook froze the
+            // allocator): both allocation stages are no-ops.
             return;
         }
         let traced = sink.enabled();

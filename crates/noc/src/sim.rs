@@ -20,15 +20,17 @@ use std::collections::{BinaryHeap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
+use crate::anomaly::{AnomalyAbort, AnomalyConfig, AnomalyCounts, AnomalyKind};
 use crate::config::NetworkConfig;
 use crate::fault::{FaultConfig, FaultCounters};
 use crate::journey::{JourneyReport, PacketJourney};
 use crate::network::Network;
 use crate::packet::{Packet, PacketClass, PacketId, PacketSpec};
+use crate::recorder::{self, FlightRecorder, StuckPacket};
 use crate::stats::{
     ActivityCounters, LatencyHistogram, LatencyStats, PerClassLatency, RouterActivity,
 };
-use crate::telemetry::{MetricsWindow, StallCounters, TelemetryConfig};
+use crate::telemetry::{MetricsWindow, StallCounters, TelemetryConfig, TraceSink};
 use crate::topology::Topology;
 use crate::traffic::{EjectedPacket, Workload};
 
@@ -47,6 +49,10 @@ pub struct SimConfig {
     /// Fault-injection switches (off by default — the zero-overhead
     /// path, bit-identical to a build without the fault subsystem).
     pub faults: FaultConfig,
+    /// Anomaly-detector thresholds (all off by default — the
+    /// zero-overhead path: no recorder is constructed and the run is
+    /// bit-identical to a build without the anomaly subsystem).
+    pub anomaly: AnomalyConfig,
 }
 
 impl Default for SimConfig {
@@ -57,6 +63,7 @@ impl Default for SimConfig {
             drain_cycles: 20_000,
             telemetry: TelemetryConfig::disabled(),
             faults: FaultConfig::disabled(),
+            anomaly: AnomalyConfig::disabled(),
         }
     }
 }
@@ -70,6 +77,7 @@ impl SimConfig {
             drain_cycles: 5_000,
             telemetry: TelemetryConfig::disabled(),
             faults: FaultConfig::disabled(),
+            anomaly: AnomalyConfig::disabled(),
         }
     }
 
@@ -86,10 +94,17 @@ impl SimConfig {
         self.faults = faults;
         self
     }
+
+    /// The same phase lengths with anomaly detection configured.
+    #[must_use]
+    pub fn with_anomaly(mut self, anomaly: AnomalyConfig) -> Self {
+        self.anomaly = anomaly;
+        self
+    }
 }
 
 /// Everything a run produces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Mean packet latency in cycles over measured packets.
     pub avg_latency: f64,
@@ -132,12 +147,74 @@ pub struct SimReport {
     /// Tail-latency attribution over sampled packet journeys, when
     /// `SimConfig::telemetry` enabled span sampling (covers all phases).
     pub journeys: Option<JourneyReport>,
+    /// Per-kind anomaly-detector firing counts (all zero when detection
+    /// is off or the run was clean).
+    pub anomalies: AnomalyCounts,
 }
 
 impl SimReport {
     /// Latency statistics aggregated over all classes.
     pub fn latency(&self) -> LatencyStats {
         self.per_class.total()
+    }
+}
+
+// Hand-written so a clean report's JSON stays byte-identical to the
+// pre-anomaly format: `anomalies` is appended only when a detector
+// actually fired (the golden-bits suites pin this).
+impl Serialize for SimReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("avg_latency".to_string(), self.avg_latency.to_value()),
+            ("avg_hops".to_string(), self.avg_hops.to_value()),
+            ("throughput".to_string(), self.throughput.to_value()),
+            ("packets_created".to_string(), self.packets_created.to_value()),
+            ("packets_ejected".to_string(), self.packets_ejected.to_value()),
+            ("packets_dropped".to_string(), self.packets_dropped.to_value()),
+            ("saturated".to_string(), self.saturated.to_value()),
+            ("faults".to_string(), self.faults.to_value()),
+            ("counters".to_string(), self.counters.to_value()),
+            ("per_class".to_string(), self.per_class.to_value()),
+            ("per_router".to_string(), self.per_router.to_value()),
+            ("histogram".to_string(), self.histogram.to_value()),
+            ("cycles_simulated".to_string(), self.cycles_simulated.to_value()),
+            ("stalls".to_string(), self.stalls.to_value()),
+            ("windows".to_string(), self.windows.to_value()),
+            ("journeys".to_string(), self.journeys.to_value()),
+        ];
+        if self.anomalies.total() > 0 {
+            fields.push(("anomalies".to_string(), self.anomalies.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SimReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(SimReport {
+            avg_latency: f64::from_value(v.field("avg_latency"))?,
+            avg_hops: f64::from_value(v.field("avg_hops"))?,
+            throughput: f64::from_value(v.field("throughput"))?,
+            packets_created: u64::from_value(v.field("packets_created"))?,
+            packets_ejected: u64::from_value(v.field("packets_ejected"))?,
+            packets_dropped: u64::from_value(v.field("packets_dropped"))?,
+            saturated: bool::from_value(v.field("saturated"))?,
+            faults: FaultCounters::from_value(v.field("faults"))?,
+            counters: ActivityCounters::from_value(v.field("counters"))?,
+            per_class: PerClassLatency::from_value(v.field("per_class"))?,
+            per_router: Vec::from_value(v.field("per_router"))?,
+            histogram: LatencyHistogram::from_value(v.field("histogram"))?,
+            cycles_simulated: u64::from_value(v.field("cycles_simulated"))?,
+            stalls: StallCounters::from_value(v.field("stalls"))?,
+            windows: Vec::from_value(v.field("windows"))?,
+            journeys: Option::from_value(v.field("journeys"))?,
+            // Absent in pre-anomaly reports (and omitted for clean
+            // runs): default to all-zero counts.
+            anomalies: match v.field("anomalies") {
+                serde::Value::Null => AnomalyCounts::default(),
+                present => AnomalyCounts::from_value(present)?,
+            },
+        })
     }
 }
 
@@ -155,6 +232,26 @@ struct PacketMeta {
 /// `Reverse`). The sequence number breaks ties deterministically.
 type PendingReply = Reverse<(u64, u64)>;
 
+/// Parses `MIRA_CHAOS_STALL_AT=<cycle>[:router]` — the chaos hook that
+/// freezes one router's switch allocator at the given cycle, making
+/// the no-progress watchdog deterministically testable. The router
+/// defaults to the (roughly central) node `nodes / 2`, which uniform
+/// traffic is guaranteed to cross. Malformed values are ignored: a
+/// chaos hook must never turn a production run into a parse error.
+fn chaos_stall_from_env(nodes: usize) -> Option<(u64, usize)> {
+    let raw = std::env::var("MIRA_CHAOS_STALL_AT").ok()?;
+    let (cycle_part, router_part) = match raw.split_once(':') {
+        Some((c, r)) => (c, Some(r)),
+        None => (raw.as_str(), None),
+    };
+    let cycle: u64 = cycle_part.trim().parse().ok()?;
+    let router = match router_part {
+        Some(r) => r.trim().parse().ok().filter(|&n: &usize| n < nodes)?,
+        None => nodes / 2,
+    };
+    Some((cycle, router))
+}
+
 /// The simulation driver.
 pub struct Simulator {
     network: Network,
@@ -167,6 +264,13 @@ pub struct Simulator {
     /// Reused per-cycle ejection buffer (keeps the hot loop free of
     /// per-cycle `Vec` churn).
     eject_buf: Vec<crate::router::EjectedFlit>,
+    /// The flight recorder, present only when `SimConfig::anomaly`
+    /// arms a detector (the disabled path allocates nothing).
+    recorder: Option<Box<FlightRecorder>>,
+    /// Chaos hook: `(cycle, router)` at which to freeze one router's
+    /// switch allocator (`MIRA_CHAOS_STALL_AT` or
+    /// [`Simulator::set_chaos_stall`]).
+    chaos_stall: Option<(u64, usize)>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -185,6 +289,18 @@ impl Simulator {
         let mut network = Network::new(topo, net_cfg);
         network.set_telemetry(cfg.telemetry);
         network.set_faults(cfg.faults).expect("invalid fault configuration");
+        let recorder = if cfg.anomaly.is_enabled() {
+            // The flight-recorder event ring is a plain TraceSink on
+            // the existing sink seam; an explicitly configured trace
+            // keeps priority (the recorder then reads that ring).
+            if cfg.anomaly.ring_capacity > 0 && cfg.telemetry.trace_capacity == 0 {
+                network.install_sink(Box::new(TraceSink::new(cfg.anomaly.ring_capacity)));
+            }
+            Some(Box::new(FlightRecorder::new(cfg.anomaly)))
+        } else {
+            None
+        };
+        let chaos_stall = chaos_stall_from_env(network.topology().num_nodes());
         Simulator {
             network,
             cfg,
@@ -194,7 +310,16 @@ impl Simulator {
             pending_specs: HashMap::new(),
             next_reply_seq: 0,
             eject_buf: Vec::new(),
+            recorder,
+            chaos_stall,
         }
+    }
+
+    /// Chaos hook: freezes `router`'s switch allocator at `cycle`
+    /// (the programmatic twin of `MIRA_CHAOS_STALL_AT`, usable from
+    /// parallel tests where env vars would race).
+    pub fn set_chaos_stall(&mut self, cycle: u64, router: usize) {
+        self.chaos_stall = Some((cycle, router));
     }
 
     /// Access to the underlying network (e.g. for counters).
@@ -239,6 +364,26 @@ impl Simulator {
     /// `saturated` — the drain failed to empty the measured population.
     pub fn in_flight_measured(&self) -> usize {
         self.in_flight.values().filter(|m| m.measured).count()
+    }
+
+    /// Ids of every packet injected but not yet fully ejected, sorted —
+    /// the set a black-box dump's stuck packets must match exactly.
+    pub fn in_flight_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.in_flight.keys().map(|p| p.0).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The flight recorder's per-kind firing counts (all zero when
+    /// anomaly detection is off).
+    pub fn anomaly_counts(&self) -> AnomalyCounts {
+        self.recorder.as_ref().map(|r| r.counts()).unwrap_or_default()
+    }
+
+    /// Every detector firing so far, in order (empty when anomaly
+    /// detection is off).
+    pub fn anomalies_fired(&self) -> &[crate::anomaly::FiredDetector] {
+        self.recorder.as_deref().map(FlightRecorder::fired).unwrap_or(&[])
     }
 
     fn inject(&mut self, spec: PacketSpec, cycle: u64, measured: bool) {
@@ -322,6 +467,9 @@ impl Simulator {
             if meta.measured {
                 per_class.record(meta.class, latency, e.flit.hops);
                 histogram.record(latency);
+                if let Some(rec) = self.recorder.as_deref_mut() {
+                    rec.record_latency(latency);
+                }
                 completed += 1;
             }
             let ejected = EjectedPacket {
@@ -357,6 +505,38 @@ impl Simulator {
             }
         }
         measured
+    }
+
+    /// Runs every armed anomaly detector for `cycle` and, when a
+    /// halting no-progress trigger fires, captures the black box and
+    /// unwinds with an [`AnomalyAbort`] carrying its rendered JSON.
+    fn evaluate_anomalies(&mut self, cycle: u64) {
+        let Some(rec) = self.recorder.as_deref_mut() else { return };
+        let halting = rec.evaluate(&self.network, cycle);
+        if halting != Some(AnomalyKind::NoProgress) || !rec.config().halt_on_no_progress {
+            return;
+        }
+        // Stuck-packet set: everything injected but not yet ejected,
+        // sorted by id so dumps are deterministic.
+        let mut stuck: Vec<StuckPacket> = self
+            .in_flight
+            .iter()
+            .map(|(pid, meta)| StuckPacket {
+                packet: pid.0,
+                class: format!("{:?}", meta.class),
+                src: meta.src.index() as u64,
+                dst: meta.dst.index() as u64,
+                created_at: meta.created_at,
+                age: cycle.saturating_sub(meta.created_at),
+                len_flits: meta.len_flits as u64,
+                journey: self.network.journeys().and_then(|j| j.open(*pid)).cloned(),
+            })
+            .collect();
+        stuck.sort_unstable_by_key(|s| s.packet);
+        let trigger = rec.fired().last().cloned().expect("no-progress fired without a record");
+        let bb = recorder::capture(&self.network, cycle, trigger, rec.fired(), rec.counts(), stuck);
+        let dump = serde_json::to_string_pretty(&bb).expect("black box serializes");
+        std::panic::panic_any(AnomalyAbort { kind: AnomalyKind::NoProgress, cycle, dump });
     }
 
     /// Runs the workload through warm-up, measurement, and drain, and
@@ -409,12 +589,21 @@ impl Simulator {
                 self.inject_due_replies(cycle, measuring);
             }
 
+            if let Some((at, node)) = self.chaos_stall {
+                if cycle == at {
+                    self.network.freeze_router_sa(node);
+                }
+            }
+
             self.network.step(cycle);
             {
                 let _obs = mira_obs::phase::scope(mira_obs::phase::Phase::Ejection);
                 measured_dropped += self.process_drops();
                 measured_done +=
                     self.process_ejections(cycle, &mut *workload, &mut per_class, &mut histogram);
+            }
+            if self.recorder.is_some() {
+                self.evaluate_anomalies(cycle);
             }
 
             cycle += 1;
@@ -473,6 +662,7 @@ impl Simulator {
             stalls: self.network.stall_totals().delta_since(&stalls_at_start),
             windows: self.network.metrics_windows().to_vec(),
             journeys: self.network.journeys().map(|j| j.report()),
+            anomalies: self.anomaly_counts(),
         }
     }
 }

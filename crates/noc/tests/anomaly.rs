@@ -1,0 +1,143 @@
+//! Flight-recorder integration tests (DESIGN.md §17): the armed
+//! detectors are purely observational on healthy runs, and a genuine
+//! deadlock (injected with the chaos stall hook) trips the no-progress
+//! watchdog with a black-box dump whose stuck-packet set is *exact*.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mira_noc::anomaly::{AnomalyAbort, AnomalyConfig, AnomalyKind};
+use mira_noc::config::NetworkConfig;
+use mira_noc::recorder::{BlackBox, BLACKBOX_VERSION};
+use mira_noc::sim::{SimConfig, SimReport, Simulator};
+use mira_noc::telemetry::TelemetryConfig;
+use mira_noc::topology::Mesh2D;
+use mira_noc::traffic::UniformRandom;
+use proptest::prelude::*;
+use serde::Deserialize;
+
+/// Runs one uniform-random point on a 4x4 mesh with the given anomaly
+/// configuration.
+fn run_ur(rate: f64, seed: u64, anomaly: AnomalyConfig) -> SimReport {
+    let cfg = SimConfig::short().with_anomaly(anomaly);
+    let mut sim = Simulator::new(Box::new(Mesh2D::new(4, 4)), NetworkConfig::default(), cfg);
+    sim.run(Box::new(UniformRandom::new(rate, 5, seed)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On clean seed-sweep runs no detector ever fires, and the armed
+    /// recorder changes nothing: the full report serializes to the
+    /// exact bytes of a recorder-off twin run (the `anomalies` section
+    /// is omitted at zero firings, so even the JSON shape is identical).
+    #[test]
+    fn detectors_never_fire_on_clean_runs(
+        seed in 0u64..1_000,
+        rate in 0.02f64..0.12,
+    ) {
+        let armed = run_ur(rate, seed, AnomalyConfig::detect());
+        prop_assert_eq!(
+            armed.anomalies.total(), 0,
+            "clean run fired detectors: {:?}", armed.anomalies
+        );
+        let plain = run_ur(rate, seed, AnomalyConfig::disabled());
+        let armed_json = serde_json::to_string(&armed).expect("report serializes");
+        let plain_json = serde_json::to_string(&plain).expect("report serializes");
+        prop_assert_eq!(armed_json, plain_json, "armed recorder must be bit-invisible");
+    }
+}
+
+/// The chaos scenario every deadlock assertion below shares: a 4x4 mesh
+/// at 10% load whose router 5 has its switch allocator frozen at cycle
+/// 400, run with every detector armed and a tight no-progress watchdog.
+fn stalled_sim(anomaly: AnomalyConfig) -> Simulator {
+    let cfg = SimConfig::short()
+        // Sample every packet so stuck packets carry their journeys.
+        .with_telemetry(TelemetryConfig::disabled().with_journeys(1_000_000))
+        .with_anomaly(anomaly.with_no_progress(250));
+    let mut sim = Simulator::new(Box::new(Mesh2D::new(4, 4)), NetworkConfig::default(), cfg);
+    sim.set_chaos_stall(400, 5);
+    sim
+}
+
+/// Runs the chaos scenario to its halting trigger and returns the
+/// simulator (frozen at the abort) plus the unwound [`AnomalyAbort`].
+fn run_to_abort() -> (Simulator, AnomalyAbort) {
+    let mut sim = stalled_sim(AnomalyConfig::detect());
+    let err = catch_unwind(AssertUnwindSafe(|| sim.run(Box::new(UniformRandom::new(0.10, 5, 42)))))
+        .expect_err("a frozen switch allocator must trip the no-progress watchdog");
+    let abort = err.downcast::<AnomalyAbort>().expect("payload is an AnomalyAbort");
+    (sim, *abort)
+}
+
+/// A deadlocked run unwinds with a parseable black-box dump whose
+/// stuck-packet set matches the simulator's in-flight set exactly — no
+/// packet missing, none invented.
+#[test]
+fn deadlock_dump_has_exact_stuck_packet_set() {
+    let (sim, abort) = run_to_abort();
+    assert_eq!(abort.kind, AnomalyKind::NoProgress);
+    assert!(abort.cycle > 400, "trigger follows the stall injection");
+
+    let value: serde::Value = serde_json::from_str(&abort.dump).expect("dump is valid JSON");
+    let bb = BlackBox::from_value(&value).expect("dump matches the BlackBox schema");
+    assert_eq!(bb.version, BLACKBOX_VERSION);
+    assert_eq!(bb.cycle, abort.cycle);
+    assert_eq!(bb.trigger.kind, "no_progress");
+    assert!(bb.counts.no_progress >= 1);
+    assert!(!bb.fired.is_empty(), "the trigger is itemized in the firing log");
+
+    let dumped: Vec<u64> = bb.stuck_packets.iter().map(|s| s.packet).collect();
+    assert!(!dumped.is_empty(), "a deadlock strands packets");
+    assert_eq!(dumped, sim.in_flight_ids(), "stuck-packet set must be exact");
+
+    // The dump carries enough state to diagnose the hang: the frozen
+    // router is flagged, live flits are in the arena, the event ring
+    // holds recent history, and sampled journeys are attached.
+    let frozen: Vec<u64> = bb.routers.iter().filter(|r| r.sa_frozen).map(|r| r.router).collect();
+    assert_eq!(frozen, vec![5], "the chaos-frozen router is flagged");
+    assert!(!bb.arena.is_empty(), "stranded flits are still live in the arena");
+    assert!(!bb.events.is_empty(), "the event ring captured recent history");
+    assert!(
+        bb.stuck_packets.iter().any(|s| s.journey.is_some()),
+        "journey-sampled stuck packets carry their hop history"
+    );
+    for s in &bb.stuck_packets {
+        assert_eq!(s.age, abort.cycle - s.created_at, "{}: age is capture-relative", s.packet);
+    }
+}
+
+/// Anomaly failures are deterministic: the same (config, seed) pair
+/// reproduces the same trigger cycle and the same dump, byte for byte.
+#[test]
+fn deadlock_dump_is_deterministic() {
+    let (_, a) = run_to_abort();
+    let (_, b) = run_to_abort();
+    assert_eq!(a.cycle, b.cycle);
+    assert_eq!(a.dump, b.dump, "black-box dumps must reproduce bit-for-bit");
+}
+
+/// With halting off the same deadlock only counts: the run completes
+/// (saturated — the stranded packets never drain), the report carries
+/// the firings, and the final in-flight set equals the stuck set a
+/// halting twin dumped, cross-validating the dump against an
+/// independent run.
+#[test]
+fn non_halting_recorder_counts_the_same_deadlock() {
+    let (_, abort) = run_to_abort();
+    let value: serde::Value = serde_json::from_str(&abort.dump).expect("dump is valid JSON");
+    let bb = BlackBox::from_value(&value).expect("dump matches the BlackBox schema");
+
+    let mut sim = stalled_sim(AnomalyConfig::detect().with_halt(false));
+    let report = sim.run(Box::new(UniformRandom::new(0.10, 5, 42)));
+    assert!(report.saturated, "stranded packets never drain");
+    assert!(report.anomalies.no_progress >= 1, "the watchdog fired: {:?}", report.anomalies);
+    assert!(!sim.anomalies_fired().is_empty());
+
+    let dumped: Vec<u64> = bb.stuck_packets.iter().map(|s| s.packet).collect();
+    assert_eq!(
+        dumped,
+        sim.in_flight_ids(),
+        "the dump's stuck set matches the non-halting twin's final in-flight set"
+    );
+}

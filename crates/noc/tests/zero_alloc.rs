@@ -12,11 +12,13 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use mira_noc::anomaly::AnomalyConfig;
 use mira_noc::config::{NetworkConfig, PipelineConfig};
 use mira_noc::flit::FlitData;
 use mira_noc::ids::NodeId;
 use mira_noc::network::Network;
 use mira_noc::packet::{Packet, PacketClass, PacketId};
+use mira_noc::recorder::FlightRecorder;
 use mira_noc::topology::{ExpressMesh2D, Mesh2D, Mesh3D, Topology};
 
 /// Pass-through allocator that counts allocations while armed. With
@@ -73,8 +75,14 @@ const MEASURED_CYCLES: u64 = 1_000;
 
 /// Builds a network on `topo`, floods it with enough pre-enqueued
 /// traffic to stay busy through warmup + measurement, then counts heap
-/// allocations across the measured window.
-fn allocations_during_steady_state(topo: Box<dyn Topology>, combined: bool) -> (u64, usize) {
+/// allocations across the measured window. With a `recorder` the armed
+/// detectors are evaluated every cycle, the way the simulator drives
+/// them.
+fn allocations_during_steady_state(
+    topo: Box<dyn Topology>,
+    combined: bool,
+    mut recorder: Option<&mut FlightRecorder>,
+) -> (u64, usize) {
     let nodes = topo.num_nodes();
     let pipeline =
         if combined { PipelineConfig::combined_st_lt() } else { PipelineConfig::separate_lt() };
@@ -110,6 +118,9 @@ fn allocations_during_steady_state(topo: Box<dyn Topology>, combined: bool) -> (
     let mut ejected = Vec::with_capacity(4096);
     for cycle in 0..WARMUP_CYCLES {
         net.step(cycle);
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.evaluate(&net, cycle);
+        }
         net.drain_ejected(&mut ejected);
         ejected.clear();
     }
@@ -118,6 +129,9 @@ fn allocations_during_steady_state(topo: Box<dyn Topology>, combined: bool) -> (
     ARMED.store(true, Ordering::SeqCst);
     for cycle in WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES {
         net.step(cycle);
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.evaluate(&net, cycle);
+        }
         net.drain_ejected(&mut ejected);
         ejected.clear();
     }
@@ -136,7 +150,7 @@ fn steady_state_stepping_never_allocates() {
         ("3DM-E", Box::new(ExpressMesh2D::new(6, 6)), true),
     ];
     for (name, topo, combined) in archs {
-        let (allocs, ejected) = allocations_during_steady_state(topo, combined);
+        let (allocs, ejected) = allocations_during_steady_state(topo, combined, None);
         assert!(ejected > 0, "{name}: scenario must actually move traffic");
         assert_eq!(
             allocs, 0,
@@ -150,12 +164,27 @@ fn steady_state_stepping_never_allocates() {
     // loop never touches the metrics registry (first-touch registration
     // allocates, so registry updates are confined to per-batch code).
     mira_obs::set_enabled(true);
-    let (allocs, ejected) = allocations_during_steady_state(Box::new(Mesh2D::new(4, 4)), false);
+    let (allocs, ejected) =
+        allocations_during_steady_state(Box::new(Mesh2D::new(4, 4)), false, None);
     mira_obs::set_enabled(false);
     assert!(ejected > 0, "obs-enabled scenario must actually move traffic");
     assert_eq!(
         allocs, 0,
         "obs-enabled steady-state stepping performed {allocs} heap allocations \
          across {MEASURED_CYCLES} cycles — observability must not allocate per cycle"
+    );
+
+    // The armed flight recorder holds the contract too (DESIGN.md §17):
+    // a non-firing `evaluate()` is pure reads over the SoA state, so
+    // always-on anomaly detection costs zero allocations per cycle.
+    let mut rec = FlightRecorder::new(AnomalyConfig::detect());
+    let (allocs, ejected) =
+        allocations_during_steady_state(Box::new(Mesh2D::new(4, 4)), false, Some(&mut rec));
+    assert!(ejected > 0, "recorder-armed scenario must actually move traffic");
+    assert_eq!(rec.counts().total(), 0, "no detector fires on the healthy scenario");
+    assert_eq!(
+        allocs, 0,
+        "recorder-armed steady-state stepping performed {allocs} heap allocations \
+         across {MEASURED_CYCLES} cycles — a non-firing detector sweep must be allocation-free"
     );
 }

@@ -78,6 +78,15 @@ pub struct LedgerEntry {
     pub resumed_points: usize,
     /// Peak live flits in any point's arena.
     pub peak_arena_flits: u64,
+    /// Anomaly-detector firings across the batch (windowed detections
+    /// plus triggered black-box halts). `None` when the batch was clean
+    /// — and in every entry written before the flight recorder existed,
+    /// which is why these two fields are `Option`s: old ledger lines
+    /// (no such field → `Null`) still deserialize.
+    pub anomalies: Option<u64>,
+    /// Detector names that fired, sorted and deduplicated. `None` when
+    /// the batch was clean.
+    pub anomaly_kinds: Option<Vec<String>>,
 }
 
 /// FNV-1a 64-bit over the exhibit name and every `(label, seed)` pair —
@@ -196,6 +205,8 @@ mod tests {
             failed_points: 0,
             resumed_points: 0,
             peak_arena_flits: 64,
+            anomalies: None,
+            anomaly_kinds: None,
         }
     }
 
@@ -223,6 +234,19 @@ mod tests {
         assert_eq!(entries[1].seed, 8);
         assert_eq!(entries[1].peak_arena_flits, 64);
         std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn entries_without_anomaly_fields_still_parse() {
+        let full = serde_json::to_string(&entry(3)).expect("entry serializes");
+        // Reconstruct a pre-flight-recorder ledger line by stripping
+        // the fields that did not exist yet.
+        let stripped =
+            full.replace(",\"anomalies\":null", "").replace(",\"anomaly_kinds\":null", "");
+        assert_ne!(full, stripped, "the new fields were present to strip");
+        let e: LedgerEntry = serde_json::from_str(&stripped).expect("old line parses");
+        assert_eq!(e.anomalies, None);
+        assert_eq!(e.anomaly_kinds, None);
     }
 
     #[test]

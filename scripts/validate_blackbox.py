@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate flight-recorder black-box dumps against docs/blackbox.schema.json.
+
+Stdlib-only subset JSON-Schema validator (no jsonschema dependency): it
+supports exactly the keywords the schema uses — type (incl. union
+lists), const, enum, minimum, minItems, required, properties, items,
+and local $ref into #/definitions. Unknown keywords are a hard error so
+the schema cannot silently outgrow the validator.
+
+Usage: validate_blackbox.py <dump.json> [<dump.json> ...]
+
+Also runs cross-field consistency checks the schema language cannot
+express: the trigger appears in the firing log, counts cover the log,
+and stuck-packet ages are capture-relative.
+
+Exits non-zero on the first invalid dump.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "docs" / "blackbox.schema.json"
+
+HANDLED = {
+    "$schema", "$ref", "title", "description", "definitions",
+    "type", "const", "enum", "minimum", "minItems", "required",
+    "properties", "items",
+}
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def check_type(value, expected, path):
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        if name == "integer":
+            if isinstance(value, int) and not isinstance(value, bool):
+                return
+        elif name == "number":
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return
+        elif isinstance(value, TYPES[name]) and not (
+            name != "boolean" and isinstance(value, bool)
+        ):
+            return
+    raise Invalid(f"{path}: expected {names}, got {type(value).__name__}")
+
+
+def validate(value, schema, root, path="$"):
+    unknown = set(schema) - HANDLED
+    if unknown:
+        raise Invalid(f"{path}: schema uses unsupported keywords {sorted(unknown)}")
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/definitions/"):
+            raise Invalid(f"{path}: unsupported $ref {ref}")
+        validate(value, root["definitions"][ref.rsplit("/", 1)[1]], root, path)
+        return
+    if "const" in schema and value != schema["const"]:
+        raise Invalid(f"{path}: expected const {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        raise Invalid(f"{path}: {value!r} not in {schema['enum']}")
+    if "type" in schema:
+        check_type(value, schema["type"], path)
+    if "minimum" in schema and isinstance(value, (int, float)) and value < schema["minimum"]:
+        raise Invalid(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                raise Invalid(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, root, f"{path}.{key}")
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            raise Invalid(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], root, f"{path}[{i}]")
+
+
+def check_consistency(bb, path="$"):
+    fired = bb["fired"]
+    trig = bb["trigger"]
+    if not any(f["kind"] == trig["kind"] and f["cycle"] == trig["cycle"] for f in fired):
+        raise Invalid(f"{path}: trigger {trig['kind']}@{trig['cycle']} not in firing log")
+    by_kind = {}
+    for f in fired:
+        by_kind[f["kind"]] = by_kind.get(f["kind"], 0) + 1
+    for kind, n in by_kind.items():
+        if bb["counts"][kind] < n:
+            raise Invalid(f"{path}: counts.{kind}={bb['counts'][kind]} < {n} logged firings")
+    for s in bb["stuck_packets"]:
+        if s["created_at"] + s["age"] != bb["cycle"]:
+            raise Invalid(
+                f"{path}: stuck packet {s['packet']} age {s['age']} is not "
+                f"capture-relative (created {s['created_at']}, cycle {bb['cycle']})"
+            )
+    live = {a["packet"] for a in bb["arena"]}
+    stuck = {s["packet"] for s in bb["stuck_packets"]}
+    if not live <= stuck:
+        raise Invalid(f"{path}: arena holds packets not in the stuck set: {sorted(live - stuck)[:5]}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    schema = json.loads(SCHEMA_PATH.read_text())
+    for arg in argv[1:]:
+        try:
+            bb = json.loads(Path(arg).read_text())
+            validate(bb, schema, schema)
+            check_consistency(bb)
+        except Invalid as e:
+            print(f"{arg}: INVALID: {e}", file=sys.stderr)
+            return 1
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{arg}: unreadable: {e}", file=sys.stderr)
+            return 1
+        print(
+            f"{arg}: valid v{bb['version']} dump — trigger {bb['trigger']['kind']} "
+            f"@ cycle {bb['cycle']}, {len(bb['stuck_packets'])} stuck packets, "
+            f"{len(bb['events'])} ring events"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -49,6 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use mira_noc::anomaly::AnomalyAbort;
 use mira_noc::stats::{LatencyHistogram, LatencyStats};
 use mira_noc::telemetry::StallCounters;
 use mira_obs::checkpoint::{self, CheckpointEntry, CheckpointWriter};
@@ -93,6 +94,12 @@ static POINT_TIMEOUTS_TOTAL: Counter = Counter::new(
 static POINTS_RESUMED_TOTAL: Counter = Counter::new(
     "mira_runner_points_resumed_total",
     "Points replayed from a sweep checkpoint on resume",
+);
+/// Anomaly-detector firings across runner points (windowed detections
+/// on completed points plus triggered black-box halts).
+static ANOMALIES_TOTAL: Counter = Counter::new(
+    "mira_runner_anomalies_total",
+    "Anomaly-detector firings observed across runner points",
 );
 
 /// Derives a per-point RNG seed from a base seed and a point index
@@ -199,15 +206,31 @@ pub enum FailureKind {
     /// The point was never run: an earlier failure aborted the batch
     /// under the fail-fast policy.
     Skipped,
+    /// A flight-recorder detector halted the simulation from inside the
+    /// point (an in-simulator hang or invariant violation). Anomalies
+    /// are deterministic — the same seed wedges the same way — so they
+    /// are never retried, and the simulator's black-box dump is written
+    /// out for `trace_tool blackbox` before the failure is recorded.
+    Anomaly {
+        /// Stable detector tag (`no_progress`, `starvation`, ...).
+        detector: String,
+        /// Simulator cycle the detector halted on.
+        cycle: u64,
+        /// Where the black-box dump landed (`None` when writing it
+        /// failed; the failure stays typed either way).
+        dump_path: Option<PathBuf>,
+    },
 }
 
 impl FailureKind {
-    /// Stable machine-readable tag (`panic` / `timeout` / `skipped`).
+    /// Stable machine-readable tag (`panic` / `timeout` / `skipped` /
+    /// `anomaly`).
     pub fn name(&self) -> &'static str {
         match self {
             FailureKind::Panic { .. } => "panic",
             FailureKind::Timeout { .. } => "timeout",
             FailureKind::Skipped => "skipped",
+            FailureKind::Anomaly { .. } => "anomaly",
         }
     }
 
@@ -217,6 +240,13 @@ impl FailureKind {
             FailureKind::Panic { payload } => payload.clone(),
             FailureKind::Timeout { limit } => format!("exceeded point timeout {limit:?}"),
             FailureKind::Skipped => "skipped after an earlier failure (fail-fast)".to_string(),
+            FailureKind::Anomaly { detector, cycle, dump_path } => match dump_path {
+                Some(p) => format!(
+                    "anomaly `{detector}` halted the run at cycle {cycle} (dump: {})",
+                    p.display()
+                ),
+                None => format!("anomaly `{detector}` halted the run at cycle {cycle}"),
+            },
         }
     }
 }
@@ -246,6 +276,12 @@ impl std::fmt::Display for PointFailure {
             FailureKind::Panic { payload } => write!(f, "panicked: {payload}")?,
             FailureKind::Timeout { limit } => write!(f, "timed out after {limit:?}")?,
             FailureKind::Skipped => write!(f, "skipped (fail-fast)")?,
+            FailureKind::Anomaly { detector, cycle, dump_path } => {
+                write!(f, "tripped anomaly detector `{detector}` at cycle {cycle}")?;
+                if let Some(p) = dump_path {
+                    write!(f, " (dump: {})", p.display())?;
+                }
+            }
         }
         if self.attempts > 1 {
             write!(f, " [{} attempts]", self.attempts)?;
@@ -381,6 +417,13 @@ pub struct RunSummary {
     /// Windowed-metrics time series aggregated across points, empty
     /// unless points ran with `TelemetryConfig::metrics_window` set.
     pub windows: Vec<WindowAggregate>,
+    /// Anomaly-detector firings across the batch: windowed detections
+    /// counted on completed points plus triggered halts (one per
+    /// [`FailureKind::Anomaly`] failure). Zero on a healthy batch.
+    pub anomalies: u64,
+    /// Detector names that fired at least once, sorted and
+    /// deduplicated (empty when `anomalies` is zero).
+    pub anomaly_kinds: Vec<String>,
 }
 
 /// One worker's share of a batch.
@@ -528,6 +571,10 @@ impl Serialize for RunSummary {
         if !self.windows.is_empty() {
             fields.push(("windows".to_string(), self.windows.to_value()));
         }
+        if self.anomalies > 0 {
+            fields.push(("anomalies".to_string(), self.anomalies.to_value()));
+            fields.push(("anomaly_kinds".to_string(), self.anomaly_kinds.to_value()));
+        }
         serde::Value::Object(fields)
     }
 }
@@ -628,6 +675,19 @@ impl RunSummary {
             Ok(o) => o.attempts,
             Err(f) => f.attempts,
         };
+        // Anomalies: windowed detections on completed points (halt off
+        // or non-halting detectors) plus one per triggered halt.
+        let mut anomalies: u64 = ok.iter().map(|o| o.result.report.anomalies.total()).sum();
+        let mut anomaly_kinds: Vec<String> =
+            ok.iter().flat_map(|o| o.result.report.anomalies.kinds()).map(str::to_string).collect();
+        for f in outcomes.iter().filter_map(|r| r.as_ref().err()) {
+            if let FailureKind::Anomaly { detector, .. } = &f.kind {
+                anomalies += 1;
+                anomaly_kinds.push(detector.clone());
+            }
+        }
+        anomaly_kinds.sort_unstable();
+        anomaly_kinds.dedup();
         RunSummary {
             jobs,
             points: outcomes.len(),
@@ -681,6 +741,8 @@ impl RunSummary {
             resumed_points: ok.iter().filter(|o| o.resumed).count(),
             retried_points: outcomes.iter().filter(|r| attempts_of(r) > 1).count(),
             windows: aggregate_windows(&ok),
+            anomalies,
+            anomaly_kinds,
         }
     }
 
@@ -704,6 +766,13 @@ impl RunSummary {
         }
         if self.resumed_points > 0 {
             line.push_str(&format!(", {} resumed", self.resumed_points));
+        }
+        if self.anomalies > 0 {
+            line.push_str(&format!(
+                ", {} ANOMALIES ({})",
+                self.anomalies,
+                self.anomaly_kinds.join(", ")
+            ));
         }
         line
     }
@@ -825,6 +894,8 @@ struct BatchState {
     roster: Mutex<Roster>,
     ckpt: Mutex<Option<CheckpointWriter>>,
     config_hash: u64,
+    exhibit: String,
+    blackbox_dir: PathBuf,
 }
 
 /// What one point execution came back with (before slot arbitration).
@@ -832,6 +903,9 @@ struct BatchState {
 enum Verdict {
     Ok(RunResult),
     Panicked(String),
+    /// A flight-recorder detector halted the simulation; the payload
+    /// carries the pre-rendered black-box dump.
+    Anomaly(AnomalyAbort),
 }
 
 /// Renders a caught panic payload (the `&str`/`String` panics
@@ -911,7 +985,15 @@ impl BatchState {
             match outcome {
                 Ok(result) => return (Verdict::Ok(result), attempt),
                 Err(payload) => {
-                    let payload = panic_message(payload.as_ref());
+                    // An anomaly halt is a deterministic simulator
+                    // verdict carrying a black-box dump, not a host
+                    // fault: take it out of the unwind path *before*
+                    // the payload is flattened to a string, and never
+                    // retry it (same seed, same wedge).
+                    let payload = match payload.downcast::<AnomalyAbort>() {
+                        Ok(abort) => return (Verdict::Anomaly(*abort), attempt),
+                        Err(payload) => panic_message(payload.as_ref()),
+                    };
                     if attempt >= self.max_attempts {
                         return (Verdict::Panicked(payload), attempt);
                     }
@@ -924,6 +1006,25 @@ impl BatchState {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// Writes one anomaly black-box dump as
+    /// `<blackbox_dir>/<exhibit>-p<index>.json`, creating the directory
+    /// as needed. IO failure warns and returns `None` — the typed
+    /// failure still records the detector and cycle.
+    fn write_blackbox(&self, index: usize, abort: &AnomalyAbort) -> Option<PathBuf> {
+        let path = self.blackbox_dir.join(format!("{}-p{index}.json", self.exhibit));
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.blackbox_dir)?;
+            std::fs::write(&path, abort.dump.as_bytes())
+        };
+        match write() {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("[runner] warning: cannot write black-box dump {}: {e}", path.display());
+                None
             }
         }
     }
@@ -949,6 +1050,7 @@ impl BatchState {
                         QUEUE_WAIT_MS.observe(o.queue_wait.as_millis() as u64);
                         ARENA_LIVE_PEAK.set_max(o.result.arena_peak_flits);
                         ROUTER_BUFFER_PEAK.set_max(o.result.buffer_peak_flits);
+                        ANOMALIES_TOTAL.inc(o.result.report.anomalies.total());
                     }
                     // Flush the checkpoint *before* the point counts as
                     // finalized: once visible as done, it is durable.
@@ -968,6 +1070,9 @@ impl BatchState {
                         POINT_FAILURES_TOTAL.inc(1);
                         if matches!(f.kind, FailureKind::Timeout { .. }) {
                             POINT_TIMEOUTS_TOTAL.inc(1);
+                        }
+                        if matches!(f.kind, FailureKind::Anomaly { .. }) {
+                            ANOMALIES_TOTAL.inc(1);
                         }
                     }
                     if self.fail_fast && !matches!(f.kind, FailureKind::Skipped) {
@@ -1136,6 +1241,21 @@ fn worker_loop(state: Arc<BatchState>, wid: usize) {
                 attempts,
                 wall,
             }),
+            Verdict::Anomaly(abort) => {
+                let dump_path = state.write_blackbox(i, &abort);
+                Slot::Failed(PointFailure {
+                    index: i,
+                    label: p.label.clone(),
+                    seed: p.seed,
+                    kind: FailureKind::Anomaly {
+                        detector: abort.kind.name().to_string(),
+                        cycle: abort.cycle,
+                        dump_path,
+                    },
+                    attempts,
+                    wall,
+                })
+            }
         };
         state.finalize(i, slot);
         if am_zombie {
@@ -1306,7 +1426,11 @@ pub struct Runner {
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     chaos_every: Option<usize>,
+    blackbox_dir: Option<PathBuf>,
 }
+
+/// Default directory for anomaly black-box dumps.
+const DEFAULT_BLACKBOX_DIR: &str = "results/blackbox";
 
 impl Runner {
     /// Pool sized from the environment: `MIRA_JOBS` if set to a
@@ -1361,6 +1485,7 @@ impl Runner {
             checkpoint_dir,
             resume,
             chaos_every,
+            blackbox_dir: None,
         }
     }
 
@@ -1380,6 +1505,7 @@ impl Runner {
             checkpoint_dir: None,
             resume: false,
             chaos_every: None,
+            blackbox_dir: None,
         }
     }
 
@@ -1466,6 +1592,14 @@ impl Runner {
     /// [`Runner::point_retries`], the batch still completes.
     pub fn chaos_every(mut self, n: usize) -> Self {
         self.chaos_every = Some(n.max(1));
+        self
+    }
+
+    /// Directory anomaly black-box dumps are written under (default:
+    /// `results/blackbox`). One `<exhibit>-p<index>.json` file per
+    /// point that tripped a halting detector.
+    pub fn blackbox_out(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.blackbox_dir = Some(dir.into());
         self
     }
 
@@ -1570,6 +1704,11 @@ impl Runner {
             }),
             ckpt: Mutex::new(writer),
             config_hash,
+            exhibit: exhibit.clone(),
+            blackbox_dir: self
+                .blackbox_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(DEFAULT_BLACKBOX_DIR)),
         });
 
         let mut spawned = 0usize;
@@ -1674,6 +1813,9 @@ impl Runner {
             failed_points: summary.failed_points.len(),
             resumed_points: summary.resumed_points,
             peak_arena_flits: summary.peak_arena_flits,
+            anomalies: (summary.anomalies > 0).then_some(summary.anomalies),
+            anomaly_kinds: (!summary.anomaly_kinds.is_empty())
+                .then(|| summary.anomaly_kinds.clone()),
         };
         let path = self.ledger_path.clone().unwrap_or_else(ledger::default_path);
         if let Err(e) = ledger::append(&path, &entry) {
@@ -1786,6 +1928,8 @@ mod tests {
         assert!(!json.contains("failed_points"));
         assert!(!json.contains("resumed_points"));
         assert!(!json.contains("retried_points"));
+        assert!(!json.contains("anomalies"), "clean batches carry no anomaly fields");
+        assert_eq!(s.anomalies, 0);
     }
 
     #[test]
@@ -1906,6 +2050,53 @@ mod tests {
         assert_eq!(batch.summary.failed_points[0].kind, "timeout");
         // Let the zombie finish before the test binary tears down.
         std::thread::sleep(Duration::from_millis(650));
+    }
+
+    #[test]
+    fn anomaly_abort_becomes_typed_failure_with_dump() {
+        let dir = scratch_dir("blackbox_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = vec![
+            ur_point("healthy", Arch::TwoDB, 0.05, 51),
+            SimPoint::new("wedged", 52, |_| {
+                std::panic::panic_any(AnomalyAbort {
+                    kind: mira_noc::anomaly::AnomalyKind::NoProgress,
+                    cycle: 1234,
+                    dump: "{\"version\": 1}".to_string(),
+                })
+            }),
+        ];
+        let batch = Runner::with_jobs(1)
+            .exhibit("blackbox_unit")
+            .point_retries(3)
+            .retry_backoff(Duration::ZERO)
+            .blackbox_out(&dir)
+            .try_run(points);
+        assert!(batch.outcomes[0].is_ok(), "healthy point unaffected");
+        let f = batch.outcomes[1].as_ref().expect_err("anomaly fails the point");
+        let FailureKind::Anomaly { detector, cycle, dump_path } = &f.kind else {
+            panic!("expected an anomaly failure, got {:?}", f.kind);
+        };
+        assert_eq!(detector, "no_progress");
+        assert_eq!(*cycle, 1234);
+        assert_eq!(f.attempts, 1, "deterministic anomalies are never retried");
+        let path = dump_path.as_ref().expect("dump written");
+        assert_eq!(path, &dir.join("blackbox_unit-p1.json"));
+        assert_eq!(
+            std::fs::read_to_string(path).expect("dump readable"),
+            "{\"version\": 1}",
+            "the dump file is the simulator's rendered black box, verbatim"
+        );
+        assert_eq!(batch.summary.failed_points.len(), 1);
+        assert_eq!(batch.summary.failed_points[0].kind, "anomaly");
+        assert_eq!(batch.summary.anomalies, 1);
+        assert_eq!(batch.summary.anomaly_kinds, ["no_progress"]);
+        assert!(batch.summary.one_line().contains("1 ANOMALIES (no_progress)"));
+        let json = serde_json::to_string(&batch.summary.to_value()).expect("serializes");
+        assert!(json.contains("\"anomalies\":1"), "{json}");
+        assert!(json.contains("\"anomaly_kinds\":[\"no_progress\"]"), "{json}");
+        assert!(f.to_string().contains("tripped anomaly detector `no_progress` at cycle 1234"));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

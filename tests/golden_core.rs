@@ -22,6 +22,7 @@ use std::path::PathBuf;
 use mira::arch::Arch;
 use mira::experiments::common::{run_arch, RunResult, EXPERIMENT_SEED};
 use mira::experiments::quick_sim_config;
+use mira::noc::anomaly::AnomalyConfig;
 use mira::noc::fault::FaultConfig;
 use mira_noc::telemetry::TelemetryConfig;
 use mira_noc::traffic::{PayloadProfile, UniformRandom};
@@ -123,8 +124,9 @@ fn points() -> Vec<Point> {
     pts
 }
 
-fn run_point(p: &Point) -> RunResult {
-    let mut cfg: SimConfig = quick_sim_config().with_telemetry(golden_telemetry());
+fn run_point(p: &Point, anomaly: AnomalyConfig) -> RunResult {
+    let mut cfg: SimConfig =
+        quick_sim_config().with_telemetry(golden_telemetry()).with_anomaly(anomaly);
     if let Some(f) = p.faults {
         cfg = cfg.with_faults(f);
     }
@@ -160,9 +162,13 @@ fn golden_path(name: &str) -> PathBuf {
 }
 
 fn check_points(pts: &[Point]) {
+    check_points_with(pts, AnomalyConfig::disabled());
+}
+
+fn check_points_with(pts: &[Point], anomaly: AnomalyConfig) {
     let bless = std::env::var_os("MIRA_BLESS").is_some();
     for p in pts {
-        let r = run_point(p);
+        let r = run_point(p, anomaly);
         let actual = golden_json(p, &r);
         let path = golden_path(p.name);
         if bless {
@@ -227,17 +233,32 @@ fn obs_enabled_matches_golden_bits() {
     mira_obs::set_enabled(false);
 }
 
+/// With the full flight-recorder detector suite armed (DESIGN.md §17),
+/// the golden bits are *still* unchanged: on a healthy run no detector
+/// fires, the recorder only reads fabric state, and `SimReport` omits
+/// the anomaly section entirely at zero firings — so the snapshots
+/// match byte for byte, fault-injected points included.
+#[test]
+fn anomaly_armed_matches_golden_bits() {
+    let pts = points();
+    // One fault-free and one fault-injected point cover both report
+    // shapes (the fault point also exercises the fault-storm budget
+    // against real transient traffic).
+    check_points_with(&pts[..2], AnomalyConfig::detect());
+    check_points_with(&pts[8..9], AnomalyConfig::detect());
+}
+
 /// Sanity: the golden recipe actually populates every report section it
 /// claims to pin (guards against a silent telemetry regression making
 /// the snapshots vacuous).
 #[test]
 fn golden_recipe_populates_all_sections() {
     let pts = points();
-    let base = run_point(&pts[0]);
+    let base = run_point(&pts[0], AnomalyConfig::disabled());
     assert!(!base.report.windows.is_empty(), "metrics windows collected");
     assert!(base.report.journeys.as_ref().is_some_and(|j| j.sampled > 0), "journeys sampled");
     assert!(base.report.stalls.stalled > 0, "stall causes counted");
-    let faulted = run_point(&pts[8]);
+    let faulted = run_point(&pts[8], AnomalyConfig::disabled());
     assert!(faulted.report.faults.transient_faults > 0, "transients injected");
     assert!(faulted.report.faults.links_killed > 0, "link killed");
 }

@@ -146,6 +146,28 @@ fn zero_span_rate_is_bit_identical_to_pre_journey_build() {
     }
 }
 
+/// Arming the full anomaly-detector suite (DESIGN.md §17) changes
+/// nothing on a healthy run: the recorder only reads fabric state, no
+/// detector fires, and the pre-telemetry golden bits reproduce exactly,
+/// counters included.
+#[test]
+fn armed_anomaly_recorder_is_bit_identical_to_disabled() {
+    use mira::noc::anomaly::AnomalyConfig;
+    for g in &EXPECTED {
+        let armed = run_point(g, quick_sim_config().with_anomaly(AnomalyConfig::detect()));
+        check(g, &armed, "anomaly-armed");
+        assert_eq!(
+            armed.report.anomalies.total(),
+            0,
+            "{}: no detector may fire on a healthy golden run",
+            g.name
+        );
+        let plain = run_point(g, quick_sim_config());
+        assert_eq!(plain.report.counters, armed.report.counters, "{}: counters", g.name);
+        assert_eq!(plain.pdp.to_bits(), armed.pdp.to_bits(), "{}: pdp", g.name);
+    }
+}
+
 /// The journey recorder is purely observational: sampling every packet
 /// still reproduces the golden bits, counters included.
 #[test]
