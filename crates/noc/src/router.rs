@@ -48,14 +48,12 @@ use crate::buffer::{BufSlot, FlitSlab};
 use crate::config::{NetworkConfig, PipelineConfig};
 use crate::flit::Flit;
 use crate::ids::{NodeId, PortId, VcId};
-use crate::journey::JourneyRecorder;
 use crate::link::Link;
 use crate::packet::PacketId;
 use crate::routing::apply_fault_mask;
-use crate::stats::{ActivityCounters, RouterActivity};
-use crate::telemetry::{
-    EventSink, RouterTelemetry, StallCause, StallCounters, TraceEvent, TraceEventKind,
-};
+use crate::shard::StepFx;
+use crate::stats::RouterActivity;
+use crate::telemetry::{RouterTelemetry, StallCause, StallCounters, TraceEvent, TraceEventKind};
 use crate::topology::Topology;
 use crate::vc::VcState;
 
@@ -305,12 +303,16 @@ impl Router {
         self.on_flit_buffered(pv);
     }
 
-    /// Accepts the flit at `fref` into the input buffer at (`port`, `vc`).
+    /// Accepts the flit at `fref` into the input buffer at (`port`, `vc`),
+    /// returning the active-layer fraction of the buffer write. The
+    /// caller owns the global accounting (`record_buffer_write` and the
+    /// per-router `buffer_events` fraction) — under sharded stepping the
+    /// buffer push happens on the owning worker while the f64 counter
+    /// addition replays on the main thread in canonical order.
     ///
     /// # Panics
     ///
     /// Panics if the buffer is full (credit-accounting violation).
-    #[allow(clippy::too_many_arguments)]
     pub fn receive_flit(
         &mut self,
         port: PortId,
@@ -318,13 +320,9 @@ impl Router {
         fref: FlitRef,
         arena: &FlitArena,
         cycle: u64,
-        counters: &mut ActivityCounters,
-        activity: &mut RouterActivity,
-    ) {
+    ) -> f64 {
         let flit = arena.get(fref);
         let fraction = self.layer_fraction(flit);
-        counters.record_buffer_write(fraction);
-        activity.buffer_events += fraction;
         let slot = BufSlot {
             fref,
             ready_at: cycle,
@@ -337,6 +335,7 @@ impl Router {
         let pv = self.pv(port, vc);
         self.buf.push(pv, slot);
         self.on_flit_buffered(pv);
+        fraction
     }
 
     /// Accepts a returned credit for output VC (`port`, `vc`).
@@ -658,45 +657,37 @@ impl Router {
     ///   (speculative SA; failure degenerates into a retry);
     /// * **two-stage look-ahead** — ST → RC → VA → SA: the route is also
     ///   available in the arrival cycle, modelling look-ahead routing.
-    #[allow(clippy::too_many_arguments)]
-    pub fn step(
+    ///
+    /// Every mutation of shared (cross-router) state goes through the
+    /// [`StepFx`] seam: [`crate::shard::DirectFx`] applies it inline
+    /// (sequential path, byte-identical to the pre-shard code) while
+    /// [`crate::shard::DeferredFx`] logs it for ordered replay (sharded
+    /// path). Monomorphisation keeps the sequential path free of
+    /// virtual-call overhead.
+    pub(crate) fn step<F: StepFx>(
         &mut self,
         cycle: u64,
         topo: &dyn Topology,
-        arena: &mut FlitArena,
-        links: &mut [Link],
         scratch: &mut StepScratch,
-        counters: &mut ActivityCounters,
         activity: &mut RouterActivity,
-        ejected: &mut Vec<EjectedFlit>,
-        sink: &mut dyn EventSink,
-        mut journeys: Option<&mut JourneyRecorder>,
+        fx: &mut F,
     ) {
-        self.stage_st(
-            cycle,
-            arena,
-            links,
-            counters,
-            activity,
-            ejected,
-            sink,
-            journeys.as_deref_mut(),
-        );
+        self.stage_st(cycle, activity, &mut *fx);
         match self.pipeline.depth {
             crate::config::PipelineDepth::FourStage => {
-                self.stage_sa(cycle, scratch, counters, sink, journeys.as_deref_mut());
-                self.stage_va(cycle, scratch, counters, sink, journeys.as_deref_mut());
-                self.stage_rc(cycle, topo, scratch, counters, sink);
+                self.stage_sa(cycle, scratch, &mut *fx);
+                self.stage_va(cycle, scratch, &mut *fx);
+                self.stage_rc(cycle, topo, scratch, &mut *fx);
             }
             crate::config::PipelineDepth::ThreeStageSpeculative => {
-                self.stage_va(cycle, scratch, counters, sink, journeys.as_deref_mut());
-                self.stage_sa(cycle, scratch, counters, sink, journeys.as_deref_mut());
-                self.stage_rc(cycle, topo, scratch, counters, sink);
+                self.stage_va(cycle, scratch, &mut *fx);
+                self.stage_sa(cycle, scratch, &mut *fx);
+                self.stage_rc(cycle, topo, scratch, &mut *fx);
             }
             crate::config::PipelineDepth::TwoStageLookahead => {
-                self.stage_rc(cycle, topo, scratch, counters, sink);
-                self.stage_va(cycle, scratch, counters, sink, journeys.as_deref_mut());
-                self.stage_sa(cycle, scratch, counters, sink, journeys);
+                self.stage_rc(cycle, topo, scratch, &mut *fx);
+                self.stage_va(cycle, scratch, &mut *fx);
+                self.stage_sa(cycle, scratch, fx);
             }
         }
     }
@@ -707,36 +698,23 @@ impl Router {
     /// refills `st_grants`) always runs after it, so iterating the grant
     /// list by index and clearing it at the end is safe and keeps the
     /// vector's capacity.
-    #[allow(clippy::too_many_arguments)]
-    fn stage_st(
-        &mut self,
-        cycle: u64,
-        arena: &mut FlitArena,
-        links: &mut [Link],
-        counters: &mut ActivityCounters,
-        activity: &mut RouterActivity,
-        ejected: &mut Vec<EjectedFlit>,
-        sink: &mut dyn EventSink,
-        mut journeys: Option<&mut JourneyRecorder>,
-    ) {
+    fn stage_st<F: StepFx>(&mut self, cycle: u64, activity: &mut RouterActivity, fx: &mut F) {
         let _obs = obs_scope(ObsPhase::StageSt);
         if self.st_grants.is_empty() {
             return;
         }
-        let traced = sink.enabled();
+        let traced = fx.traced();
         for gi in 0..self.st_grants.len() {
             let g = self.st_grants[gi];
             let pv = self.pv(g.in_port, g.in_vc);
             let slot = self.buf.pop(pv).expect("SA granted an empty VC");
             if slot.head {
-                if let Some(rec) = journeys.as_deref_mut() {
-                    rec.on_st(slot.packet, g.out_port, cycle);
-                }
+                fx.journey_st(slot.packet, g.out_port, cycle);
             }
             // The only payload touch on the traversal path: one arena
             // read for the activity fractions.
             let (fraction, active_layers) = {
-                let data = &arena.get(slot.fref).data;
+                let data = &fx.arena().get(slot.fref).data;
                 if self.layer_shutdown {
                     let words = data.num_words();
                     let active =
@@ -746,8 +724,7 @@ impl Router {
                     (1.0, self.layers)
                 }
             };
-            counters.record_buffer_read(fraction);
-            counters.record_xbar(fraction);
+            fx.st_read(fraction);
             activity.buffer_events += fraction;
             activity.xbar_events += fraction;
             activity.xbar_events_raw += 1;
@@ -761,7 +738,7 @@ impl Router {
             }
             self.layer_events += 1;
             if traced {
-                sink.record(TraceEvent {
+                fx.trace(TraceEvent {
                     cycle,
                     router: self.id,
                     port: g.in_port,
@@ -771,7 +748,7 @@ impl Router {
                     detail: g.out_port.index() as u32,
                 });
                 if active_layers < self.layers {
-                    sink.record(TraceEvent {
+                    fx.trace(TraceEvent {
                         cycle,
                         router: self.id,
                         port: g.out_port,
@@ -785,23 +762,17 @@ impl Router {
 
             // Return a credit upstream for the freed buffer slot.
             if let Some(li) = self.in_links[g.in_port.index()] {
-                links[li].send_credit(g.in_vc, cycle + 1);
+                fx.send_credit(li, g.in_vc, cycle + 1);
             }
 
             if g.out_port.is_local() {
-                counters.flits_ejected += 1;
-                if slot.tail {
-                    counters.packets_ejected += 1;
-                }
-                ejected.push(EjectedFlit { flit: arena.take(slot.fref), node: self.id, cycle });
+                fx.eject(slot.fref, self.id, cycle, slot.tail);
             } else {
-                arena.get_mut(slot.fref).hops += 1;
                 let li = self.out_links[g.out_port.index()]
                     .expect("route led through a port with no link");
-                counters.record_link(links[li].length_mm, fraction);
-                activity.link_flit_mm += links[li].length_mm * fraction;
+                activity.link_flit_mm += fx.link_length_mm(li) * fraction;
                 let deliver = Link::delivery_cycle(cycle, self.pipeline.link_extra_cycles());
-                links[li].send_flit(arena, slot.fref, g.out_vc, deliver);
+                fx.forward(li, slot.fref, g.out_vc, deliver, fraction);
             }
 
             if slot.tail {
@@ -821,21 +792,14 @@ impl Router {
     /// an eligible VC that fails to receive an ST grant (lost SA1 or SA2)
     /// is charged `SaLoss`. The two sets are disjoint, so each stalled
     /// VC-cycle carries exactly one cause.
-    fn stage_sa(
-        &mut self,
-        cycle: u64,
-        scratch: &mut StepScratch,
-        counters: &mut ActivityCounters,
-        sink: &mut dyn EventSink,
-        mut journeys: Option<&mut JourneyRecorder>,
-    ) {
+    fn stage_sa<F: StepFx>(&mut self, cycle: u64, scratch: &mut StepScratch, fx: &mut F) {
         let _obs = obs_scope(ObsPhase::StageSa);
         if self.active_mask == 0 || self.sa_frozen {
             // No VC holds the switch (or the chaos hook froze the
             // allocator): both allocation stages are no-ops.
             return;
         }
-        let traced = sink.enabled();
+        let traced = fx.traced();
         // SA1: one candidate VC per input port. Only ports with an
         // `Active` VC (a set bit in the work-list mask) do any work.
         scratch.sa1.clear();
@@ -864,9 +828,9 @@ impl Router {
                     // The outgoing link is replaying its window; new
                     // traffic would interleave into the resent stream.
                     self.stalls.record(StallCause::LinkFault);
-                    if let Some(rec) = journeys.as_deref_mut() {
+                    if fx.journeys_on() {
                         if let Some(t) = self.buf.front(pv) {
-                            rec.on_stall(t.packet, self.id, StallCause::LinkFault, t.head);
+                            fx.journey_stall(t.packet, self.id, StallCause::LinkFault, t.head);
                         }
                     }
                     continue;
@@ -875,9 +839,9 @@ impl Router {
                     elig_mask |= 1u64 << iv;
                 } else {
                     self.stalls.record(StallCause::NoCredit);
-                    if let Some(rec) = journeys.as_deref_mut() {
+                    if fx.journeys_on() {
                         if let Some(t) = self.buf.front(pv) {
-                            rec.on_stall(t.packet, self.id, StallCause::NoCredit, t.head);
+                            fx.journey_stall(t.packet, self.id, StallCause::NoCredit, t.head);
                         }
                     }
                 }
@@ -885,7 +849,7 @@ impl Router {
             if elig_mask == 0 {
                 continue;
             }
-            counters.sa1_arbitrations += 1;
+            fx.count_sa1();
             if let Some(iv) = self.sa1_arbiters[ip].arbitrate_mask(elig_mask) {
                 if let VcState::Active { out_port, out_vc } = self.vc_state[ip * self.vcs + iv] {
                     scratch.sa1[ip] = Some((VcId(iv), out_port, out_vc));
@@ -906,7 +870,7 @@ impl Router {
         while sa2_used != 0 {
             let op = sa2_used.trailing_zeros() as usize;
             sa2_used &= sa2_used - 1;
-            counters.sa2_arbitrations += 1;
+            fx.count_sa2();
             if let Some(ip) = self.sa2_arbiters[op].arbitrate_mask(scratch.sa2_req[op]) {
                 let (iv, out_port, out_vc) = scratch.sa1[ip].expect("requester has an SA1 grant");
                 if !out_port.is_local() {
@@ -917,7 +881,7 @@ impl Router {
                 if traced {
                     let packet =
                         self.buf.front(ip * self.vcs + iv.index()).map_or(0, |t| t.packet.0);
-                    sink.record(TraceEvent {
+                    fx.trace(TraceEvent {
                         cycle,
                         router: self.id,
                         port: PortId(ip),
@@ -938,9 +902,9 @@ impl Router {
         for &pair in &scratch.eligible_all {
             if !scratch.granted.contains(&pair) {
                 self.stalls.record(StallCause::SaLoss);
-                if let Some(rec) = journeys.as_deref_mut() {
+                if fx.journeys_on() {
                     if let Some(t) = self.buf.front(pair.0 * self.vcs + pair.1) {
-                        rec.on_stall(t.packet, self.id, StallCause::SaLoss, t.head);
+                        fx.journey_stall(t.packet, self.id, StallCause::SaLoss, t.head);
                     }
                 }
             }
@@ -953,19 +917,12 @@ impl Router {
     /// Stall attribution for head flits waiting on a VC: requesters of an
     /// output VC still owned by another packet are charged `RouteBusy`;
     /// losers of the arbitration for a free VC are charged `VaLoss`.
-    fn stage_va(
-        &mut self,
-        cycle: u64,
-        scratch: &mut StepScratch,
-        counters: &mut ActivityCounters,
-        sink: &mut dyn EventSink,
-        mut journeys: Option<&mut JourneyRecorder>,
-    ) {
+    fn stage_va<F: StepFx>(&mut self, cycle: u64, scratch: &mut StepScratch, fx: &mut F) {
         let _obs = obs_scope(ObsPhase::StageVa);
         if self.waiting_mask == 0 {
             return;
         }
-        let traced = sink.enabled();
+        let traced = fx.traced();
         // VA1: each waiting input VC (a set bit in the work-list mask)
         // selects its desired output VC — one VC per traffic class
         // (control / data), clamped to the available VC count. Buckets
@@ -984,7 +941,7 @@ impl Router {
             }
             let class = self.buf.front(pv).expect("waiting VC holds a head flit").class;
             let out_vc = class.vc_index().min(self.vcs - 1);
-            counters.va1_arbitrations += 1;
+            fx.count_va1();
             let b = out_port.index() * self.vcs + out_vc;
             scratch.va_requests[b].push((PortId(pv / self.vcs), VcId(pv % self.vcs)));
             scratch.va_line_masks[b] |= 1u64 << pv;
@@ -997,17 +954,17 @@ impl Router {
             let b = va2_used.trailing_zeros() as usize;
             va2_used &= va2_used - 1;
             let (op, ov) = (b / self.vcs, b % self.vcs);
-            counters.va2_arbitrations += 1;
+            fx.count_va2();
             if self.out_owner[b].is_some() {
                 // The target VC is held by an in-flight packet: every
                 // requester stalls on route occupancy this cycle.
                 for ri in 0..scratch.va_requests[b].len() {
                     let (rip, riv) = scratch.va_requests[b][ri];
                     self.stalls.record(StallCause::RouteBusy);
-                    if let Some(rec) = journeys.as_deref_mut() {
+                    if fx.journeys_on() {
                         let front = self.buf.front(rip.index() * self.vcs + riv.index());
                         if let Some(t) = front {
-                            rec.on_stall(t.packet, self.id, StallCause::RouteBusy, true);
+                            fx.journey_stall(t.packet, self.id, StallCause::RouteBusy, true);
                         }
                     }
                 }
@@ -1021,7 +978,7 @@ impl Router {
                 self.set_state(line, VcState::Active { out_port: PortId(op), out_vc: VcId(ov) });
                 if traced {
                     let packet = self.buf.front(line).map_or(0, |t| t.packet.0);
-                    sink.record(TraceEvent {
+                    fx.trace(TraceEvent {
                         cycle,
                         router: self.id,
                         port: ip,
@@ -1036,10 +993,10 @@ impl Router {
                     let (rip, riv) = scratch.va_requests[b][ri];
                     if (rip, riv) != (ip, iv) {
                         self.stalls.record(StallCause::VaLoss);
-                        if let Some(rec) = journeys.as_deref_mut() {
+                        if fx.journeys_on() {
                             let front = self.buf.front(rip.index() * self.vcs + riv.index());
                             if let Some(t) = front {
-                                rec.on_stall(t.packet, self.id, StallCause::VaLoss, true);
+                                fx.journey_stall(t.packet, self.id, StallCause::VaLoss, true);
                             }
                         }
                     }
@@ -1056,19 +1013,18 @@ impl Router {
     /// yields more than one port) the stage selects the candidate whose
     /// output VCs hold the most credits — congestion-aware selection —
     /// with the model's preference order breaking ties.
-    fn stage_rc(
+    fn stage_rc<F: StepFx>(
         &mut self,
         cycle: u64,
         topo: &dyn Topology,
         scratch: &mut StepScratch,
-        counters: &mut ActivityCounters,
-        sink: &mut dyn EventSink,
+        fx: &mut F,
     ) {
         let _obs = obs_scope(ObsPhase::StageRc);
         if self.routing_mask == 0 {
             return;
         }
-        let traced = sink.enabled();
+        let traced = fx.traced();
         let mut routing = self.routing_mask;
         while routing != 0 {
             let pv = routing.trailing_zeros() as usize;
@@ -1128,10 +1084,10 @@ impl Router {
                         .max_by_key(|&p| credits_of(p))
                         .expect("non-empty candidates")
                 };
-                counters.rc_computations += 1;
+                fx.count_rc();
                 self.set_state(pv, VcState::WaitingVc { out_port });
                 if traced {
-                    sink.record(TraceEvent {
+                    fx.trace(TraceEvent {
                         cycle,
                         router: self.id,
                         port: PortId(ip),
@@ -1152,6 +1108,7 @@ mod tests {
     use crate::config::NetworkConfig;
     use crate::flit::{FlitData, FlitKind};
     use crate::packet::{PacketClass, PacketId};
+    use crate::stats::ActivityCounters;
     use crate::telemetry::NullSink;
     use crate::topology::Mesh2D;
 
@@ -1200,30 +1157,22 @@ mod tests {
 
         fn recv(&mut self, r: &mut Router, port: PortId, vc: VcId, flit: Flit, cycle: u64) {
             let fref = self.arena.alloc(flit);
-            r.receive_flit(
-                port,
-                vc,
-                fref,
-                &self.arena,
-                cycle,
-                &mut self.counters,
-                &mut self.activity,
-            );
+            let fraction = r.receive_flit(port, vc, fref, &self.arena, cycle);
+            self.counters.record_buffer_write(fraction);
+            self.activity.buffer_events += fraction;
         }
 
         fn step(&mut self, r: &mut Router, cycle: u64) {
-            r.step(
-                cycle,
-                &self.topo,
-                &mut self.arena,
-                &mut self.links,
-                &mut self.scratch,
-                &mut self.counters,
-                &mut self.activity,
-                &mut self.ejected,
-                &mut NullSink,
-                None,
-            );
+            let mut sink = NullSink;
+            let mut fx = crate::shard::DirectFx {
+                arena: &mut self.arena,
+                links: &mut self.links,
+                counters: &mut self.counters,
+                ejected: &mut self.ejected,
+                sink: &mut sink,
+                journeys: None,
+            };
+            r.step(cycle, &self.topo, &mut self.scratch, &mut self.activity, &mut fx);
         }
     }
 
@@ -1453,6 +1402,7 @@ mod pipeline_depth_tests {
     use crate::config::{NetworkConfig, PipelineConfig, PipelineDepth};
     use crate::flit::{FlitData, FlitKind};
     use crate::packet::{PacketClass, PacketId};
+    use crate::stats::ActivityCounters;
     use crate::telemetry::NullSink;
     use crate::topology::Mesh2D;
 
@@ -1479,20 +1429,20 @@ mod pipeline_depth_tests {
             hops: 0,
         };
         let fref = arena.alloc(flit);
-        r.receive_flit(PortId::LOCAL, VcId(0), fref, &arena, 0, &mut counters, &mut activity);
+        let fraction = r.receive_flit(PortId::LOCAL, VcId(0), fref, &arena, 0);
+        counters.record_buffer_write(fraction);
+        activity.buffer_events += fraction;
         for cycle in 0..10 {
-            r.step(
-                cycle,
-                &topo,
-                &mut arena,
-                &mut links,
-                &mut scratch,
-                &mut counters,
-                &mut activity,
-                &mut ejected,
-                &mut NullSink,
-                None,
-            );
+            let mut sink = NullSink;
+            let mut fx = crate::shard::DirectFx {
+                arena: &mut arena,
+                links: &mut links,
+                counters: &mut counters,
+                ejected: &mut ejected,
+                sink: &mut sink,
+                journeys: None,
+            };
+            r.step(cycle, &topo, &mut scratch, &mut activity, &mut fx);
             if let Some(e) = ejected.first() {
                 return e.cycle;
             }

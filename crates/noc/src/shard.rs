@@ -1,0 +1,754 @@
+//! Intra-run sharded stepping (DESIGN.md §18): parallel cycle execution
+//! of a single mesh, bit-identical at any worker count.
+//!
+//! The mesh is partitioned into contiguous spatial tiles of routers
+//! (shard 0 runs on the calling thread, shards 1..N on a persistent
+//! [`WorkerPool`]). Within one `Network::step`, each barrier-separated
+//! phase runs the shard-local work in parallel and defers every
+//! *globally ordered* effect — f64 activity-counter accumulation, trace
+//! events, journey records, link sends, ejections — into a per-shard
+//! log that the main thread replays in canonical (router- or link-
+//! ascending) order. Commutative `u64` counters are summed from
+//! per-shard [`PipelineTallies`] instead. The result is byte-identical
+//! to the sequential path at every seam: the same f64 additions in the
+//! same order, the same trace/journey event sequence, the same arena
+//! free-list history.
+//!
+//! The seam itself is the [`StepFx`] trait: `Router::step` reports
+//! every cross-router effect through it. [`DirectFx`] (the sequential
+//! path) applies each effect immediately, reproducing the pre-shard
+//! code exactly; [`DeferredFx`] (shard workers) appends [`Effect`]s to
+//! the shard's log for ordered replay.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::arena::{FlitArena, FlitRef};
+use crate::ids::{NodeId, PortId, VcId};
+use crate::journey::JourneyRecorder;
+use crate::link::Link;
+use crate::router::{EjectedFlit, StepScratch};
+use crate::stats::ActivityCounters;
+use crate::telemetry::{EventSink, StallCause, TraceEvent};
+
+/// Hard cap on shard count (stack-allocated replay cursors; far above
+/// any core count this simulator targets).
+pub(crate) const MAX_SHARDS: usize = 64;
+
+/// Commutative `u64` pipeline counters accumulated per shard and summed
+/// into the global [`ActivityCounters`] after the barrier (integer
+/// addition is order-free, so summing per-shard partials is
+/// bit-identical to sequential accumulation).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PipelineTallies {
+    pub rc: u64,
+    pub va1: u64,
+    pub va2: u64,
+    pub sa1: u64,
+    pub sa2: u64,
+}
+
+impl PipelineTallies {
+    pub(crate) fn merge_into(&mut self, counters: &mut ActivityCounters) {
+        counters.rc_computations += self.rc;
+        counters.va1_arbitrations += self.va1;
+        counters.va2_arbitrations += self.va2;
+        counters.sa1_arbitrations += self.sa1;
+        counters.sa2_arbitrations += self.sa2;
+        *self = PipelineTallies::default();
+    }
+}
+
+/// The effect seam of `Router::step`: every mutation of *shared* state
+/// (arena, links, global counters, sink, journeys, ejection queue) goes
+/// through these methods. Router-local state (VC pipeline, arbiter
+/// state, stall counters, per-router activity) stays direct — it is
+/// shard-owned either way.
+pub(crate) trait StepFx {
+    /// `true` when the event sink wants trace events.
+    fn traced(&self) -> bool;
+    /// `true` when a journey recorder is attached.
+    fn journeys_on(&self) -> bool;
+    /// Read access to the flit arena (the ST payload touch).
+    fn arena(&self) -> &FlitArena;
+    /// Length of link `li` in millimetres (read-only link access).
+    fn link_length_mm(&self, li: usize) -> f64;
+    /// Emits a trace event.
+    fn trace(&mut self, ev: TraceEvent);
+    /// Journey: head flit won the switch toward `out_port`.
+    fn journey_st(&mut self, packet: crate::packet::PacketId, out_port: PortId, cycle: u64);
+    /// Journey: flit stalled at `router` for `cause`.
+    fn journey_stall(
+        &mut self,
+        packet: crate::packet::PacketId,
+        router: NodeId,
+        cause: StallCause,
+        head: bool,
+    );
+    /// ST's buffer read + crossbar traversal (layer-weighted f64s —
+    /// replay order matters).
+    fn st_read(&mut self, fraction: f64);
+    /// RC computation performed (u64 — commutative).
+    fn count_rc(&mut self);
+    /// VA1 arbitration performed.
+    fn count_va1(&mut self);
+    /// VA2 arbitration performed.
+    fn count_va2(&mut self);
+    /// SA1 arbitration performed.
+    fn count_sa1(&mut self);
+    /// SA2 arbitration performed.
+    fn count_sa2(&mut self);
+    /// Returns a credit upstream on link `li`.
+    fn send_credit(&mut self, li: usize, vc: VcId, at: u64);
+    /// Ejects the flit at `fref` at `node` (frees its arena slot).
+    fn eject(&mut self, fref: FlitRef, node: NodeId, cycle: u64, tail: bool);
+    /// Forwards the flit at `fref` onto link `li` (hop count, link
+    /// energy, wire send).
+    fn forward(&mut self, li: usize, fref: FlitRef, vc: VcId, at: u64, fraction: f64);
+}
+
+/// Immediate-application [`StepFx`]: the sequential path. Reproduces
+/// the pre-shard `Router::step` side-effect order exactly — the golden
+/// bit suites pin this.
+pub(crate) struct DirectFx<'a> {
+    pub arena: &'a mut FlitArena,
+    pub links: &'a mut [Link],
+    pub counters: &'a mut ActivityCounters,
+    pub ejected: &'a mut Vec<EjectedFlit>,
+    pub sink: &'a mut dyn EventSink,
+    pub journeys: Option<&'a mut JourneyRecorder>,
+}
+
+impl StepFx for DirectFx<'_> {
+    #[inline]
+    fn traced(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    #[inline]
+    fn journeys_on(&self) -> bool {
+        self.journeys.is_some()
+    }
+
+    #[inline]
+    fn arena(&self) -> &FlitArena {
+        self.arena
+    }
+
+    #[inline]
+    fn link_length_mm(&self, li: usize) -> f64 {
+        self.links[li].length_mm
+    }
+
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        self.sink.record(ev);
+    }
+
+    #[inline]
+    fn journey_st(&mut self, packet: crate::packet::PacketId, out_port: PortId, cycle: u64) {
+        if let Some(rec) = self.journeys.as_deref_mut() {
+            rec.on_st(packet, out_port, cycle);
+        }
+    }
+
+    #[inline]
+    fn journey_stall(
+        &mut self,
+        packet: crate::packet::PacketId,
+        router: NodeId,
+        cause: StallCause,
+        head: bool,
+    ) {
+        if let Some(rec) = self.journeys.as_deref_mut() {
+            rec.on_stall(packet, router, cause, head);
+        }
+    }
+
+    #[inline]
+    fn st_read(&mut self, fraction: f64) {
+        self.counters.record_buffer_read(fraction);
+        self.counters.record_xbar(fraction);
+    }
+
+    #[inline]
+    fn count_rc(&mut self) {
+        self.counters.rc_computations += 1;
+    }
+
+    #[inline]
+    fn count_va1(&mut self) {
+        self.counters.va1_arbitrations += 1;
+    }
+
+    #[inline]
+    fn count_va2(&mut self) {
+        self.counters.va2_arbitrations += 1;
+    }
+
+    #[inline]
+    fn count_sa1(&mut self) {
+        self.counters.sa1_arbitrations += 1;
+    }
+
+    #[inline]
+    fn count_sa2(&mut self) {
+        self.counters.sa2_arbitrations += 1;
+    }
+
+    #[inline]
+    fn send_credit(&mut self, li: usize, vc: VcId, at: u64) {
+        self.links[li].send_credit(vc, at);
+    }
+
+    #[inline]
+    fn eject(&mut self, fref: FlitRef, node: NodeId, cycle: u64, tail: bool) {
+        self.counters.flits_ejected += 1;
+        if tail {
+            self.counters.packets_ejected += 1;
+        }
+        self.ejected.push(EjectedFlit { flit: self.arena.take(fref), node, cycle });
+    }
+
+    #[inline]
+    fn forward(&mut self, li: usize, fref: FlitRef, vc: VcId, at: u64, fraction: f64) {
+        self.arena.get_mut(fref).hops += 1;
+        self.counters.record_link(self.links[li].length_mm, fraction);
+        self.links[li].send_flit(self.arena, fref, vc, at);
+    }
+}
+
+/// One deferred pipeline effect, replayed by the main thread in shard
+/// (= router-ascending) order. The replay applies exactly the sequence
+/// of shared-state mutations [`DirectFx`] would have applied inline.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Effect {
+    JourneySt { packet: crate::packet::PacketId, out_port: PortId },
+    JourneyStall { packet: crate::packet::PacketId, router: NodeId, cause: StallCause, head: bool },
+    StRead { fraction: f64 },
+    Trace(TraceEvent),
+    SendCredit { li: u32, vc: VcId, at: u64 },
+    Eject { fref: FlitRef, node: NodeId, tail: bool },
+    Forward { li: u32, fref: FlitRef, vc: VcId, at: u64, fraction: f64 },
+}
+
+/// Logging [`StepFx`] for shard workers: shared-state effects are
+/// appended to the shard's log; commutative counters accumulate in the
+/// shard's [`PipelineTallies`]. The arena and links are read-only here
+/// (lengths and ST payload reads), which is what makes sharing them
+/// across workers sound.
+pub(crate) struct DeferredFx<'a> {
+    pub arena: &'a FlitArena,
+    pub links: &'a [Link],
+    pub traced: bool,
+    pub journeys_on: bool,
+    pub log: &'a mut Vec<Effect>,
+    pub t: &'a mut PipelineTallies,
+}
+
+impl StepFx for DeferredFx<'_> {
+    #[inline]
+    fn traced(&self) -> bool {
+        self.traced
+    }
+
+    #[inline]
+    fn journeys_on(&self) -> bool {
+        self.journeys_on
+    }
+
+    #[inline]
+    fn arena(&self) -> &FlitArena {
+        self.arena
+    }
+
+    #[inline]
+    fn link_length_mm(&self, li: usize) -> f64 {
+        self.links[li].length_mm
+    }
+
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        self.log.push(Effect::Trace(ev));
+    }
+
+    #[inline]
+    fn journey_st(&mut self, packet: crate::packet::PacketId, out_port: PortId, _cycle: u64) {
+        if self.journeys_on {
+            self.log.push(Effect::JourneySt { packet, out_port });
+        }
+    }
+
+    #[inline]
+    fn journey_stall(
+        &mut self,
+        packet: crate::packet::PacketId,
+        router: NodeId,
+        cause: StallCause,
+        head: bool,
+    ) {
+        if self.journeys_on {
+            self.log.push(Effect::JourneyStall { packet, router, cause, head });
+        }
+    }
+
+    #[inline]
+    fn st_read(&mut self, fraction: f64) {
+        self.log.push(Effect::StRead { fraction });
+    }
+
+    #[inline]
+    fn count_rc(&mut self) {
+        self.t.rc += 1;
+    }
+
+    #[inline]
+    fn count_va1(&mut self) {
+        self.t.va1 += 1;
+    }
+
+    #[inline]
+    fn count_va2(&mut self) {
+        self.t.va2 += 1;
+    }
+
+    #[inline]
+    fn count_sa1(&mut self) {
+        self.t.sa1 += 1;
+    }
+
+    #[inline]
+    fn count_sa2(&mut self) {
+        self.t.sa2 += 1;
+    }
+
+    #[inline]
+    fn send_credit(&mut self, li: usize, vc: VcId, at: u64) {
+        self.log.push(Effect::SendCredit { li: li as u32, vc, at });
+    }
+
+    #[inline]
+    fn eject(&mut self, fref: FlitRef, node: NodeId, _cycle: u64, tail: bool) {
+        self.log.push(Effect::Eject { fref, node, tail });
+    }
+
+    #[inline]
+    fn forward(&mut self, li: usize, fref: FlitRef, vc: VcId, at: u64, fraction: f64) {
+        self.log.push(Effect::Forward { li: li as u32, fref, vc, at, fraction });
+    }
+}
+
+/// A flit delivered off a link by a phase-1 worker: the buffer push
+/// happened in place (the destination router is shard-owned); the
+/// globally ordered remainder — trace event, journey arrival, the f64
+/// buffer-write counter — replays from this entry in link order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct P1Flit {
+    pub li: u32,
+    pub fraction: f64,
+    pub packet: crate::packet::PacketId,
+    pub dst: NodeId,
+    pub port: PortId,
+    pub vc: VcId,
+    pub head: bool,
+}
+
+/// A credit popped off a link by a phase-1 worker; the upstream
+/// `receive_credit` (and its trace event) replays in link order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct P1Credit {
+    pub li: u32,
+    pub vc: VcId,
+}
+
+/// A flit injected by a phase-4 (NIC) worker; the `flits_injected`
+/// count, journey record, trace event, and f64 buffer-write counter
+/// replay in node order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NicEntry {
+    pub node: NodeId,
+    pub vc: VcId,
+    pub packet: crate::packet::PacketId,
+    pub head: bool,
+    pub fraction: f64,
+}
+
+/// Static shard partition: contiguous router ranges plus the link
+/// ownership derived from them. A link is *owned* (popped) by the shard
+/// of its destination router, so a phase-1 worker delivers flits only
+/// into routers it owns and every link is touched by exactly one
+/// worker.
+#[derive(Debug)]
+pub(crate) struct ShardPlan {
+    /// Half-open router ranges `[start, end)`, one per shard,
+    /// contiguous and balanced.
+    pub ranges: Vec<(usize, usize)>,
+    /// Owning shard per link (shard of `link.to`), ascending link id
+    /// within each shard's list.
+    pub link_owner: Vec<u32>,
+    /// Links owned by each shard, ascending.
+    pub links_of: Vec<Vec<u32>>,
+}
+
+impl ShardPlan {
+    pub(crate) fn new(routers: usize, links: &[Link], shards: usize) -> Self {
+        let ranges: Vec<(usize, usize)> =
+            (0..shards).map(|s| (s * routers / shards, (s + 1) * routers / shards)).collect();
+        let owner_of = |node: usize| -> u32 {
+            ranges
+                .iter()
+                .position(|&(a, b)| node >= a && node < b)
+                .expect("router outside every shard range") as u32
+        };
+        let mut link_owner = Vec::with_capacity(links.len());
+        let mut links_of: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for (li, l) in links.iter().enumerate() {
+            let w = owner_of(l.to.0.index());
+            link_owner.push(w);
+            links_of[w as usize].push(li as u32);
+        }
+        ShardPlan { ranges, link_owner, links_of }
+    }
+}
+
+/// Per-shard working memory, reused every cycle (cleared keeping
+/// capacity — the steady-state step loop stays allocation-free).
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    pub scratch: StepScratch,
+    pub tallies: PipelineTallies,
+    pub fx_log: Vec<Effect>,
+    pub p1_flits: Vec<P1Flit>,
+    pub p1_credits: Vec<P1Credit>,
+    pub nic_log: Vec<NicEntry>,
+}
+
+impl ShardCtx {
+    fn new(range_len: usize, owned_links: usize, radix: usize, vcs: usize, depth: usize) -> Self {
+        ShardCtx {
+            scratch: StepScratch::new(radix, vcs),
+            tallies: PipelineTallies::default(),
+            // Upper bounds with headroom: one ST grant per output port
+            // per router per cycle, each producing a handful of effects
+            // (plus stall/trace records under contention).
+            fx_log: Vec::with_capacity(range_len * radix * 8),
+            // At most one due flit and a couple of credits per link per
+            // fault-free cycle.
+            p1_flits: Vec::with_capacity(owned_links * 2 + 8),
+            p1_credits: Vec::with_capacity(owned_links * 2 + 8),
+            nic_log: Vec::with_capacity(range_len * vcs * depth + 8),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.fx_log.clear();
+        self.p1_flits.clear();
+        self.p1_credits.clear();
+        self.nic_log.clear();
+    }
+}
+
+type JobPtr = *const (dyn Fn(usize) + Sync);
+
+/// State shared between the dispatching thread and the pool workers.
+struct PoolShared {
+    /// Bumped once per dispatch; workers spin on it.
+    epoch: AtomicU64,
+    /// Workers that finished the current epoch (every worker bumps it,
+    /// panicking or not — the join must never deadlock).
+    done: AtomicU64,
+    /// The current job, valid for the duration of one epoch.
+    job: UnsafeCell<Option<JobPtr>>,
+    shutdown: AtomicBool,
+    /// Set when `panic` holds a payload (checked without locking on the
+    /// per-dispatch fast path).
+    panicked: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Busy-wait iterations before falling back to `yield_now`. Zero on
+    /// oversubscribed hosts (fewer CPUs than pool threads), where
+    /// spinning only steals the core the other threads need.
+    spin_limit: u32,
+}
+
+// The job pointer is only written between epochs (before the Release
+// bump) and only read after the Acquire load of the new epoch; the
+// pointee outlives the epoch because `run` joins before returning.
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+/// A persistent spin-then-yield worker pool. Shard 0 is the calling
+/// thread; workers carry shard indices `1..=N-1`. Dispatch and join are
+/// allocation-free (the zero-alloc suite covers the sharded step).
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.handles.len()).finish()
+    }
+}
+
+const SPIN_LIMIT: u32 = 1 << 14;
+
+impl WorkerPool {
+    /// Spawns `workers` threads carrying shard indices `1..=workers`.
+    pub(crate) fn new(workers: usize) -> Self {
+        // The pool runs `workers + 1` threads per dispatch (the caller
+        // is shard 0). With at least that many CPUs, spinning keeps the
+        // barrier latency in the nanoseconds; with fewer, every spin
+        // iteration delays the very thread the barrier is waiting on.
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let spin_limit = if cpus > workers { SPIN_LIMIT } else { 0 };
+        let shared = Arc::new(PoolShared {
+            epoch: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            job: UnsafeCell::new(None),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            spin_limit,
+        });
+        let handles = (1..=workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mira-shard-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Runs `f(shard)` for every shard: `f(0)` on the calling thread,
+    /// `f(1..=workers)` on the pool, and returns after all complete. A
+    /// panic on any shard is re-raised here (the caller's panic first)
+    /// after the barrier, so the pool never deadlocks on a poisoned
+    /// epoch.
+    pub(crate) fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        let shared = &*self.shared;
+        shared.done.store(0, Ordering::Relaxed);
+        // Erase the borrow lifetime: the job pointer is only dereferenced
+        // between the epoch bump below and the join, while `f` is live.
+        let erased: JobPtr = unsafe { std::mem::transmute(std::ptr::from_ref(f)) };
+        unsafe { *shared.job.get() = Some(erased) };
+        shared.epoch.fetch_add(1, Ordering::Release);
+
+        let main_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        let workers = self.handles.len() as u64;
+        let mut spins = 0u32;
+        while shared.done.load(Ordering::Acquire) != workers {
+            spins += 1;
+            if spins < shared.spin_limit {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if let Err(p) = main_result {
+            resume_unwind(p);
+        }
+        if shared.panicked.swap(false, Ordering::Acquire) {
+            let payload = shared
+                .panic
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("panicked flag set without a payload");
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, idx: usize) {
+    // Worker-side phase scopes must not double-charge the sections the
+    // main thread already times around dispatch + join.
+    mira_obs::phase::set_worker_thread(true);
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                seen = e;
+                break;
+            }
+            spins += 1;
+            if spins < shared.spin_limit {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let job = unsafe { (*shared.job.get()).expect("epoch bumped without a job") };
+        let f = unsafe { &*job };
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(idx))) {
+            *shared.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(p);
+            shared.panicked.store(true, Ordering::Release);
+        }
+        shared.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Everything the sharded step needs, built once by
+/// `Network::set_shards` and reused every cycle.
+#[derive(Debug)]
+pub(crate) struct ShardRuntime {
+    pub shards: usize,
+    pub plan: ShardPlan,
+    pub pool: WorkerPool,
+    pub ctxs: Vec<ShardCtx>,
+}
+
+impl ShardRuntime {
+    pub(crate) fn new(
+        shards: usize,
+        routers: usize,
+        links: &[Link],
+        radix: usize,
+        vcs: usize,
+        depth: usize,
+    ) -> Self {
+        assert!((2..=MAX_SHARDS).contains(&shards), "shard count out of range");
+        let plan = ShardPlan::new(routers, links, shards);
+        let ctxs = (0..shards)
+            .map(|s| {
+                let (a, b) = plan.ranges[s];
+                ShardCtx::new(b - a, plan.links_of[s].len(), radix, vcs, depth)
+            })
+            .collect();
+        ShardRuntime { shards, plan, pool: WorkerPool::new(shards - 1), ctxs }
+    }
+}
+
+/// A raw pointer that asserts cross-thread shareability. Soundness is
+/// the dispatcher's obligation: every sharded phase hands each worker a
+/// disjoint slice of the pointee (routers, activity, NICs, contexts, or
+/// links partitioned by owner).
+pub(crate) struct SyncPtr<T: ?Sized>(pub *mut T);
+
+// Manual impls: the derives would bound on `T: Copy`, but the wrapper
+// copies the pointer, not the pointee.
+impl<T: ?Sized> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ?Sized> Copy for SyncPtr<T> {}
+
+unsafe impl<T: ?Sized> Send for SyncPtr<T> {}
+unsafe impl<T: ?Sized> Sync for SyncPtr<T> {}
+
+impl<T: ?Sized> SyncPtr<T> {
+    /// The wrapped pointer. A method (not field access) so closures
+    /// capture the `Sync` wrapper rather than disjointly capturing the
+    /// raw pointer, which is `!Sync`.
+    #[inline]
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Shared-read twin of [`SyncPtr`].
+pub(crate) struct SyncConstPtr<T: ?Sized>(pub *const T);
+
+impl<T: ?Sized> Clone for SyncConstPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ?Sized> Copy for SyncConstPtr<T> {}
+
+unsafe impl<T: ?Sized> Send for SyncConstPtr<T> {}
+unsafe impl<T: ?Sized> Sync for SyncConstPtr<T> {}
+
+impl<T: ?Sized> SyncConstPtr<T> {
+    /// The wrapped pointer (see [`SyncPtr::get`] for why a method).
+    #[inline]
+    pub(crate) fn get(self) -> *const T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_every_shard_and_joins() {
+        let pool = WorkerPool::new(3);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        for round in 1..=5usize {
+            pool.run(&|s| {
+                hits[s].fetch_add(s + 1, Ordering::Relaxed);
+            });
+            for (s, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), (s + 1) * round, "shard {s} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|s| {
+                if s == 2 {
+                    panic!("shard 2 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must surface on the dispatcher");
+        // The pool survives the panic: the next dispatch still works.
+        let ok = AtomicUsize::new(0);
+        pool.run(&|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn plan_partitions_routers_and_links_exactly_once() {
+        use crate::ids::{NodeId, PortId};
+        let links: Vec<Link> = (0..12)
+            .map(|i| Link::new((NodeId(i % 9), PortId(1)), (NodeId((i + 1) % 9), PortId(2)), 1.0))
+            .collect();
+        let plan = ShardPlan::new(9, &links, 4);
+        assert_eq!(plan.ranges.first(), Some(&(0, 2)));
+        assert_eq!(plan.ranges.last(), Some(&(6, 9)));
+        let covered: usize = plan.ranges.iter().map(|(a, b)| b - a).sum();
+        assert_eq!(covered, 9, "every router in exactly one shard");
+        let mut seen = vec![0u32; links.len()];
+        for (w, ls) in plan.links_of.iter().enumerate() {
+            let mut prev = None;
+            for &li in ls {
+                assert_eq!(plan.link_owner[li as usize], w as u32);
+                assert!(prev.is_none_or(|p| p < li), "per-shard link list ascending");
+                prev = Some(li);
+                seen[li as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "every link owned exactly once");
+    }
+}

@@ -53,6 +53,11 @@ pub struct SimConfig {
     /// zero-overhead path: no recorder is constructed and the run is
     /// bit-identical to a build without the anomaly subsystem).
     pub anomaly: AnomalyConfig,
+    /// Intra-run shard count for parallel cycle execution (DESIGN.md
+    /// §18). `0` defers to the `MIRA_SHARDS` environment default applied
+    /// by `Network::new`; any other value overrides it (`1` forces
+    /// sequential stepping). Bit-identical at every count.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -64,6 +69,7 @@ impl Default for SimConfig {
             telemetry: TelemetryConfig::disabled(),
             faults: FaultConfig::disabled(),
             anomaly: AnomalyConfig::disabled(),
+            shards: 0,
         }
     }
 }
@@ -78,6 +84,7 @@ impl SimConfig {
             telemetry: TelemetryConfig::disabled(),
             faults: FaultConfig::disabled(),
             anomaly: AnomalyConfig::disabled(),
+            shards: 0,
         }
     }
 
@@ -99,6 +106,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_anomaly(mut self, anomaly: AnomalyConfig) -> Self {
         self.anomaly = anomaly;
+        self
+    }
+
+    /// The same phase lengths with an explicit intra-run shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -287,6 +301,11 @@ impl Simulator {
     /// configuration.
     pub fn new(topo: Box<dyn Topology>, net_cfg: NetworkConfig, cfg: SimConfig) -> Self {
         let mut network = Network::new(topo, net_cfg);
+        if cfg.shards > 0 {
+            // An explicit count overrides the MIRA_SHARDS default that
+            // Network::new may already have applied.
+            network.set_shards(cfg.shards);
+        }
         network.set_telemetry(cfg.telemetry);
         network.set_faults(cfg.faults).expect("invalid fault configuration");
         let recorder = if cfg.anomaly.is_enabled() {

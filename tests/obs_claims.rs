@@ -128,6 +128,28 @@ fn obs_enabled_end_to_end() {
     assert!(by_name("stage_st").calls > 0, "router stages profiled");
     assert!(by_name("workload").calls > 0, "driver phases profiled");
 
+    // Claim 1, sharded: with the mesh split across shard workers
+    // (DESIGN.md §18) the same phases still tile `Network::step`.
+    // Worker threads suppress their scopes (only the coordinating
+    // thread records), so the section sum cannot exceed the step total
+    // — coverage lands in [0.95, 1.0] instead of blowing past 1 from
+    // concurrent double-counting.
+    mira_obs::phase::reset();
+    let r = run_arch(
+        Arch::ThreeDM,
+        false,
+        Box::new(UniformRandom::new(0.10, 5, EXPERIMENT_SEED)),
+        quick_sim_config().with_shards(2),
+    );
+    assert!(r.report.packets_ejected > 0, "sharded profiled run moved traffic");
+    let coverage = mira_obs::phase::coverage().expect("sharded steps were profiled");
+    assert!(
+        (0.95..=1.0).contains(&coverage),
+        "sharded phase sections account for {:.1}% of step wall time \
+         (claim: >= 95%, and <= 100% — workers must not double-count)",
+        coverage * 100.0
+    );
+
     // Claim 2: a runner batch appends one complete ledger entry.
     let ledger_path =
         std::env::temp_dir().join(format!("mira_obs_claims_ledger_{}.jsonl", std::process::id()));
